@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the optimization stack: the LP engine,
+//! the Stage-1/Stage-3 solves, the Eq.-21 baseline, and the end-to-end
+//! three-stage assignment (one bench per moving part of the Fig.-6
+//! pipeline, so regressions in any stage are visible in isolation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thermaware_core::stage1::{solve_stage1, Stage1Options};
+use thermaware_core::stage3::solve_stage3;
+use thermaware_core::{solve_baseline, solve_three_stage, ThreeStageOptions};
+use thermaware_datacenter::{CracSearchOptions, DataCenter, ScenarioParams};
+use thermaware_lp::{Problem, RowOp, Sense};
+
+fn scenario(n_nodes: usize, n_crac: usize) -> DataCenter {
+    ScenarioParams {
+        n_nodes,
+        n_crac,
+        ..ScenarioParams::paper(0.2, 0.3)
+    }
+    .build(7)
+    .expect("scenario")
+}
+
+/// A dense random-ish LP in the shape of the Stage-1 problems: box-bounded
+/// variables, inequality rows with mixed signs.
+fn lp_instance(m: usize, n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let c = ((j * 2654435761) % 97) as f64 / 10.0;
+            p.add_var(&format!("x{j}"), 0.0, 1.0 + (j % 5) as f64, c)
+        })
+        .collect();
+    for i in 0..m {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let a = (((i * 31 + j * 17) % 13) as f64 - 4.0) / 4.0;
+                (v, a)
+            })
+            .collect();
+        p.add_row_nodup(&format!("r{i}"), &terms, RowOp::Le, 5.0 + (i % 7) as f64);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for &(m, n) in &[(20usize, 60usize), (60, 200), (150, 600)] {
+        let p = lp_instance(m, n);
+        group.bench_with_input(BenchmarkId::new("solve", format!("{m}x{n}")), &p, |b, p| {
+            b.iter(|| black_box(p.solve().unwrap().objective))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let dc = scenario(40, 2);
+    let mut group = c.benchmark_group("assignment_40n");
+    group.sample_size(10);
+
+    group.bench_function("stage1", |b| {
+        b.iter(|| black_box(solve_stage1(&dc, &Stage1Options::default()).unwrap().objective))
+    });
+    let s1 = solve_stage1(&dc, &Stage1Options::default()).unwrap();
+    let pstates = thermaware_core::stage2::assign_pstates(&dc, &s1);
+    group.bench_function("stage3", |b| {
+        b.iter(|| black_box(solve_stage3(&dc, &pstates).unwrap().reward_rate))
+    });
+    group.bench_function("three_stage_end_to_end", |b| {
+        b.iter(|| {
+            black_box(
+                solve_three_stage(&dc, &ThreeStageOptions::default())
+                    .unwrap()
+                    .reward_rate(),
+            )
+        })
+    });
+    group.bench_function("baseline_eq21", |b| {
+        b.iter(|| black_box(solve_baseline(&dc, CracSearchOptions::default()).unwrap().reward_rate))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_stages);
+criterion_main!(benches);

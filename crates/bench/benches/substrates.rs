@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the substrates: thermal steady-state
+//! solves, cross-interference generation, scenario construction, and the
+//! dynamic scheduler's dispatch throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use thermaware_core::{solve_three_stage, ThreeStageOptions};
+use thermaware_datacenter::ScenarioParams;
+use thermaware_scheduler::simulate;
+use thermaware_thermal::{interference, Layout, ThermalModel};
+use thermaware_workload::ArrivalTrace;
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal");
+    for &n_nodes in &[20usize, 80, 150] {
+        let layout = Layout::hot_cold_aisle(3.min(1 + n_nodes / 50), n_nodes);
+        let flows = interference::uniform_flows(&layout, 0.07, None);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ci = interference::generate_ipf(&layout, &flows, &mut rng).unwrap();
+        let model = ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0).unwrap();
+        let crac_out = vec![16.0; layout.n_crac];
+        let powers = vec![0.5; n_nodes];
+
+        group.bench_with_input(
+            BenchmarkId::new("steady_state", n_nodes),
+            &n_nodes,
+            |b, _| b.iter(|| black_box(model.steady_state(&crac_out, &powers).max_node_inlet())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coefficients", n_nodes),
+            &n_nodes,
+            |b, _| b.iter(|| black_box(model.coefficients(&crac_out).base_node[0])),
+        );
+    }
+    group.finish();
+}
+
+fn bench_interference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interference");
+    group.sample_size(10);
+    for &n_nodes in &[50usize, 150] {
+        group.bench_with_input(BenchmarkId::new("ipf", n_nodes), &n_nodes, |b, &n| {
+            let layout = Layout::hot_cold_aisle(3, n);
+            let flows = interference::uniform_flows(&layout, 0.07, None);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                black_box(interference::generate_ipf(&layout, &flows, &mut rng).unwrap())
+            })
+        });
+    }
+    group.bench_function("appendix_b_lp_20n", |b| {
+        let layout = Layout::hot_cold_aisle(2, 20);
+        let flows = interference::uniform_flows(&layout, 0.07, None);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(interference::generate_lp(&layout, &flows, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_scenario_and_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("scenario_build_40n", |b| {
+        let params = ScenarioParams {
+            n_nodes: 40,
+            n_crac: 2,
+            ..ScenarioParams::paper(0.2, 0.3)
+        };
+        b.iter(|| black_box(params.build(7).unwrap().budget.p_const_kw))
+    });
+
+    // Dispatch throughput over a pre-built plan and trace.
+    let dc = ScenarioParams {
+        n_nodes: 20,
+        n_crac: 1,
+        ..ScenarioParams::paper(0.2, 0.3)
+    }
+    .build(7)
+    .unwrap();
+    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let trace = ArrivalTrace::generate(&dc.workload, 5.0, &mut rng);
+    group.throughput(criterion::Throughput::Elements(trace.arrivals.len() as u64));
+    group.bench_function("scheduler_dispatch", |b| {
+        b.iter(|| black_box(simulate(&dc, &plan.pstates, &plan.stage3, &trace).reward_collected))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thermal, bench_interference, bench_scenario_and_scheduler);
+criterion_main!(benches);

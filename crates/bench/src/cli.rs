@@ -1,0 +1,84 @@
+//! A tiny `--key value` argument parser for the experiment binaries (the
+//! offline dependency set has no CLI crate, and the binaries only need a
+//! handful of numeric flags).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments. Unknown flags are kept (callers
+    /// decide what they accept); a flag without a value or a positional
+    /// argument aborts with a usage hint.
+    pub fn parse(usage: &str) -> Args {
+        Self::from_iter(std::env::args().skip(1), usage)
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I, usage: &str) -> Args {
+        let mut flags = HashMap::new();
+        let mut it = iter.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            let Some(key) = arg.strip_prefix("--") else {
+                eprintln!("unexpected argument '{arg}'\n{usage}");
+                std::process::exit(2);
+            };
+            let Some(value) = it.next() else {
+                eprintln!("flag --{key} needs a value\n{usage}");
+                std::process::exit(2);
+            };
+            flags.insert(key.to_owned(), value);
+        }
+        Args { flags }
+    }
+
+    /// A `usize` flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// An `f64` flag with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.flags.get(key).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("flag --{key}: cannot parse '{v}'");
+                std::process::exit(2);
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()), "usage")
+    }
+
+    #[test]
+    fn parses_flags_with_defaults() {
+        let a = args(&["--runs", "5", "--seed", "42", "--share", "0.25"]);
+        assert_eq!(a.get_usize("runs", 25), 5);
+        assert_eq!(a.get_u64("seed", 1), 42);
+        assert_eq!(a.get_f64("share", 0.3), 0.25);
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! Scoped fork-join parallelism for embarrassingly parallel experiment
+//! fan-out (the 25 independent scenario seeds of each Figure-6 set).
+//!
+//! Built on `crossbeam::scope` with an `AtomicUsize` work index — the
+//! scoped-threads + atomics pattern of the workspace's concurrency
+//! guides. Each worker claims the next unprocessed index, so uneven
+//! per-item cost (LP solve times vary run to run) balances naturally.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `0..n` on up to `threads` worker threads, collecting
+/// results in index order. `f` must be `Sync` (it is called concurrently).
+///
+/// With `threads <= 1` (or `n <= 1`) runs inline, which keeps call sites
+/// debuggable and deterministic profiles honest.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("work item skipped")
+        })
+        .collect()
+}
+
+/// Default worker count: available parallelism, capped to the work size.
+pub fn default_threads(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = parallel_map(64, 8, |i| i * i);
+        let expected: Vec<usize> = (0..64).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let seq = parallel_map(17, 1, |i| i as f64 * 1.5);
+        let par = parallel_map(17, 4, |i| i as f64 * 1.5);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete.
+        let out = parallel_map(32, 4, |i| {
+            let mut acc = 0u64;
+            for k in 0..(i % 7) * 10_000 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, item) in out.iter().enumerate() {
+            assert_eq!(item.0, i);
+        }
+    }
+}

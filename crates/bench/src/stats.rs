@@ -1,0 +1,97 @@
+//! Small-sample statistics for experiment reporting.
+
+/// Two-sided 97.5% Student-t quantiles for ν = 1..30 degrees of freedom
+/// (the 95% confidence-interval multiplier). ν > 30 uses the normal 1.96.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Mean plus 95% confidence half-width of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% CI (0 for n < 2).
+    pub ci95: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub std_dev: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Compute mean and a Student-t 95% confidence interval — the error bars
+/// of the paper's Figure 6 (25 runs per bar → ν = 24, t = 2.064).
+pub fn mean_ci95(samples: &[f64]) -> Summary {
+    let n = samples.len();
+    if n == 0 {
+        return Summary {
+            mean: f64::NAN,
+            ci95: f64::NAN,
+            std_dev: f64::NAN,
+            n,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Summary {
+            mean,
+            ci95: 0.0,
+            std_dev: 0.0,
+            n,
+        };
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let std_dev = var.sqrt();
+    let t = if n - 1 <= 30 {
+        T_975[n - 2]
+    } else {
+        1.96
+    };
+    Summary {
+        mean,
+        ci95: t * std_dev / (n as f64).sqrt(),
+        std_dev,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_small_sample() {
+        // Mean 2, sd 1, n = 4: CI = 3.182 * 1/2.
+        let s = mean_ci95(&[1.0, 2.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        let sd = (2.0_f64 / 3.0).sqrt();
+        assert!((s.std_dev - sd).abs() < 1e-12);
+        assert!((s.ci95 - 3.182 * sd / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sample_size_uses_t24() {
+        let samples: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let s = mean_ci95(&samples);
+        assert_eq!(s.n, 25);
+        let sd = s.std_dev;
+        assert!((s.ci95 - 2.064 * sd / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(mean_ci95(&[]).mean.is_nan());
+        let one = mean_ci95(&[5.0]);
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width() {
+        let s = mean_ci95(&[3.0; 10]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+}

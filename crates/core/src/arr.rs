@@ -1,0 +1,171 @@
+//! Aggregate reward-rate curves `ARR_j` (paper Section V.B.2, Fig. 5).
+//!
+//! Stage 1 needs one power→reward curve per *core type*, not per task
+//! type. The paper aggregates by averaging the `RR_{i,j}` curves of the
+//! "best" ψ% of task types for that core type — best by mean
+//! reward-per-watt over the active P-states — and then **dropping the
+//! "bad" P-states** (those breaking concavity, like a deadline-infeasible
+//! state) by taking the upper concave envelope. Concavity is what lets
+//! Stage 1 model each core with plain LP segment variables instead of
+//! binaries, and the paper argues the optimum never uses a bad P-state
+//! anyway.
+
+use crate::pwl::PiecewiseLinear;
+use crate::rr::{mean_reward_per_watt, reward_rate_curve};
+use thermaware_power::PStateTable;
+use thermaware_workload::Workload;
+
+/// The aggregate reward-rate curve of one core type.
+#[derive(Debug, Clone)]
+pub struct ArrCurve {
+    /// The concave curve Stage 1 optimizes against (upper envelope of
+    /// `raw`).
+    pub curve: PiecewiseLinear,
+    /// The pre-envelope average of the selected task types' RR curves.
+    pub raw: PiecewiseLinear,
+    /// Task types that were averaged (the best ψ%), best first.
+    pub chosen_types: Vec<usize>,
+}
+
+impl ArrCurve {
+    /// Build `ARR_j` for node type `node_type` with parameter
+    /// `psi_percent` ∈ (0, 100].
+    ///
+    /// Ties in the ranking are broken by task-type index (the paper
+    /// breaks them arbitrarily); at least one task type is always chosen.
+    pub fn build(
+        workload: &Workload,
+        pstates: &PStateTable,
+        node_type: usize,
+        psi_percent: f64,
+    ) -> ArrCurve {
+        assert!(
+            psi_percent > 0.0 && psi_percent <= 100.0,
+            "psi must be in (0, 100], got {psi_percent}"
+        );
+        let t = workload.n_task_types();
+        let mut ranked: Vec<(usize, f64)> = (0..t)
+            .map(|i| (i, mean_reward_per_watt(workload, pstates, i, node_type)))
+            .collect();
+        // Highest mean reward-per-watt first; index breaks ties.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let keep = ((t as f64 * psi_percent / 100.0).round() as usize).clamp(1, t);
+        let chosen_types: Vec<usize> = ranked[..keep].iter().map(|&(i, _)| i).collect();
+
+        let curves: Vec<PiecewiseLinear> = chosen_types
+            .iter()
+            .map(|&i| reward_rate_curve(workload, pstates, i, node_type))
+            .collect();
+        let refs: Vec<&PiecewiseLinear> = curves.iter().collect();
+        let raw = PiecewiseLinear::average(&refs);
+        let curve = raw.concave_hull();
+        ArrCurve {
+            curve,
+            raw,
+            chosen_types,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_workload::{EcsMatrix, TaskType, Workload};
+
+    fn pstates() -> PStateTable {
+        PStateTable::new(
+            vec![0.15, 0.10, 0.05],
+            vec![2500.0, 2000.0, 1500.0],
+            vec![1.3, 1.2, 1.1],
+        )
+    }
+
+    /// Two task types: type 0 is the Section-V.B.2 example; type 1 is a
+    /// much less efficient one.
+    fn workload(deadline0: f64) -> Workload {
+        let ecs = EcsMatrix::from_blocks(vec![vec![
+            vec![1.2, 0.9, 0.5, 0.0],
+            vec![0.6, 0.45, 0.25, 0.0],
+        ]]);
+        Workload {
+            task_types: vec![
+                TaskType {
+                    index: 0,
+                    arrival_rate: 1.0,
+                    reward: 1.0,
+                    deadline_slack: deadline0,
+                },
+                TaskType {
+                    index: 1,
+                    arrival_rate: 1.0,
+                    reward: 1.0,
+                    deadline_slack: 100.0,
+                },
+            ],
+            ecs,
+        }
+    }
+
+    #[test]
+    fn psi_selects_the_efficient_type() {
+        let w = workload(100.0);
+        // ψ = 50% of 2 types -> keep 1, and type 0 (double the speed at
+        // the same power) must win.
+        let arr = ArrCurve::build(&w, &pstates(), 0, 50.0);
+        assert_eq!(arr.chosen_types, vec![0]);
+        // With only type 0 chosen, ARR equals RR_0 (already concave).
+        assert_eq!(arr.curve.points()[3], (0.15, 1.2));
+    }
+
+    #[test]
+    fn psi_100_averages_everything() {
+        let w = workload(100.0);
+        let arr = ArrCurve::build(&w, &pstates(), 0, 100.0);
+        assert_eq!(arr.chosen_types.len(), 2);
+        // Average of 1.2 and 0.6 at P0.
+        assert!((arr.raw.eval(0.15) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_5_bad_pstate_dropped() {
+        // Deadline 1.5 kills type 0's P-state 2 (Fig. 4); choosing only
+        // type 0, the ARR hull must skip the (0.05, 0) breakpoint, giving
+        // the paper's Fig.-5 curve.
+        let w = workload(1.5);
+        let arr = ArrCurve::build(&w, &pstates(), 0, 50.0);
+        assert_eq!(arr.chosen_types, vec![0]);
+        assert_eq!(
+            arr.curve.points(),
+            &[(0.0, 0.0), (0.10, 0.9), (0.15, 1.2)]
+        );
+        assert!(arr.curve.is_concave());
+        assert!(!arr.raw.is_concave());
+    }
+
+    #[test]
+    fn hull_never_below_raw() {
+        for deadline in [0.9, 1.5, 3.0, 100.0] {
+            let w = workload(deadline);
+            let arr = ArrCurve::build(&w, &pstates(), 0, 100.0);
+            for &(x, y) in arr.raw.points() {
+                assert!(arr.curve.eval(x) >= y - 1e-12);
+            }
+            assert!(arr.curve.is_concave());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "psi must be in")]
+    fn zero_psi_rejected() {
+        let w = workload(100.0);
+        ArrCurve::build(&w, &pstates(), 0, 0.0);
+    }
+
+    #[test]
+    fn at_least_one_type_is_kept() {
+        let w = workload(100.0);
+        // ψ = 1% of 2 types rounds to 0 but clamps to 1.
+        let arr = ArrCurve::build(&w, &pstates(), 0, 1.0);
+        assert_eq!(arr.chosen_types.len(), 1);
+    }
+}

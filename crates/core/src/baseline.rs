@@ -1,0 +1,319 @@
+//! The comparison technique of Section VII.A (Eqs. 19–22), adapted from
+//! Parolini et al. \[26\]: each compute node runs a continuous *fraction*
+//! of its cores at P-state 0 per task type — `FRAC(i, j)` — and the rest
+//! are off. No intermediate P-states.
+//!
+//! At fixed CRAC outlets this is an LP in `FRAC`; the outlets are searched
+//! exactly like Stage 1's. After solving, the fractions of each node are
+//! scaled down by a common factor so the number of cores in use (Eq. 22)
+//! is an integer — the paper's rounding rule — and the reward rate is
+//! re-evaluated at the reduced fractions.
+//!
+//! Note on Eq. 19: the printed equation omits the `|cores_j|` factor in
+//! the power term while the reward term (Eq. 21) includes it; we restore
+//! it so a node's power corresponds to the cores its reward presumes (see
+//! DESIGN.md).
+
+use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
+use thermaware_lp::{Problem, RowOp, Sense, VarId};
+use thermaware_thermal::{cop, RHO_CP};
+
+/// The baseline's assignment.
+#[derive(Debug, Clone)]
+pub struct BaselineSolution {
+    /// Chosen CRAC outlet temperatures, °C.
+    pub crac_out_c: Vec<f64>,
+    /// `frac[j][i]`: fraction of node `j`'s cores running task type `i`
+    /// at P-state 0, *after* the Eq.-22 integerization.
+    pub frac: Vec<Vec<f64>>,
+    /// Cores in use per node after integerization (an integer value).
+    pub cores_on: Vec<f64>,
+    /// Total reward rate at the reduced fractions — the number Figure 6
+    /// compares.
+    pub reward_rate: f64,
+    /// Reward rate before integerization (diagnostic upper value).
+    pub reward_rate_continuous: f64,
+}
+
+/// Solve the baseline for a data center.
+pub fn solve_baseline(
+    dc: &DataCenter,
+    search: CracSearchOptions,
+) -> Result<BaselineSolution, String> {
+    let best = optimize_crac_outlets(&dc.cracs, search, |outlets| {
+        solve_fixed_outlets(dc, outlets).map(|(_, obj)| obj)
+    })
+    .ok_or_else(|| "baseline: no feasible CRAC outlet combination".to_owned())?;
+    let (crac_out_c, _) = best;
+    let (frac_cont, reward_rate_continuous) = solve_fixed_outlets(dc, &crac_out_c)
+        .ok_or_else(|| "baseline: best outlet combination became infeasible".to_owned())?;
+
+    // Eq. 22 integerization: per node, shrink all fractions by a common
+    // factor so cores-in-use is an integer.
+    let t = dc.n_task_types();
+    let mut frac = frac_cont;
+    let mut cores_on = vec![0.0; dc.n_nodes()];
+    for j in 0..dc.n_nodes() {
+        let cores = dc.node_type(j).cores_per_node as f64;
+        let used: f64 = frac[j].iter().sum::<f64>() * cores;
+        if used > 1e-9 {
+            let target = used.floor();
+            let scale = target / used;
+            for v in &mut frac[j] {
+                *v *= scale;
+            }
+            cores_on[j] = target;
+        } else {
+            for v in &mut frac[j] {
+                *v = 0.0;
+            }
+        }
+    }
+    let mut reward_rate = 0.0;
+    for j in 0..dc.n_nodes() {
+        let nt = dc.node_type_of[j];
+        let cores = dc.node_type(j).cores_per_node as f64;
+        for i in 0..t {
+            reward_rate +=
+                dc.workload.task_types[i].reward * dc.workload.ecs.ecs(i, nt, 0) * cores * frac[j][i];
+        }
+    }
+
+    Ok(BaselineSolution {
+        crac_out_c,
+        frac,
+        cores_on,
+        reward_rate,
+        reward_rate_continuous,
+    })
+}
+
+/// Node powers implied by a (possibly reduced) fraction matrix.
+pub fn baseline_node_powers(dc: &DataCenter, frac: &[Vec<f64>]) -> Vec<f64> {
+    (0..dc.n_nodes())
+        .map(|j| {
+            let nt = dc.node_type(j);
+            let used: f64 = frac[j].iter().sum();
+            nt.base_power_kw
+                + nt.core.pstates.power_kw(0) * nt.cores_per_node as f64 * used
+        })
+        .collect()
+}
+
+/// The Eq.-21 LP at fixed outlets. Returns per-node fractions and the
+/// objective, or `None` when infeasible.
+fn solve_fixed_outlets(dc: &DataCenter, outlets: &[f64]) -> Option<(Vec<Vec<f64>>, f64)> {
+    let nn = dc.n_nodes();
+    let t = dc.n_task_types();
+    let coeff = dc.thermal.coefficients(outlets);
+
+    let mut p = Problem::new(Sense::Maximize);
+    // vars[j][i], skipping deadline-infeasible pairs (FRAC pinned to 0).
+    let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(nn);
+    for j in 0..nn {
+        let nt = dc.node_type_of[j];
+        let cores = dc.node_type(j).cores_per_node as f64;
+        let mut row = Vec::with_capacity(t);
+        for i in 0..t {
+            let ecs = dc.workload.ecs.ecs(i, nt, 0);
+            let ok = ecs > 0.0 && dc.workload.deadline_feasible(i, nt, 0);
+            row.push(ok.then(|| {
+                p.add_var(
+                    &format!("frac_n{j}_t{i}"),
+                    0.0,
+                    1.0,
+                    dc.workload.task_types[i].reward * ecs * cores,
+                )
+            }));
+        }
+        vars.push(row);
+    }
+
+    // Constraint 1: arrivals.
+    for i in 0..t {
+        let terms: Vec<(VarId, f64)> = (0..nn)
+            .filter_map(|j| {
+                vars[j][i].map(|v| {
+                    let nt = dc.node_type_of[j];
+                    let cores = dc.node_type(j).cores_per_node as f64;
+                    (v, cores * dc.workload.ecs.ecs(i, nt, 0))
+                })
+            })
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(
+                &format!("arrival_t{i}"),
+                &terms,
+                RowOp::Le,
+                dc.workload.task_types[i].arrival_rate,
+            );
+        }
+    }
+    // Constraint 2: fractions sum to at most 1 per node.
+    for j in 0..nn {
+        let terms: Vec<(VarId, f64)> = (0..t)
+            .filter_map(|i| vars[j][i].map(|v| (v, 1.0)))
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(&format!("frac_sum_n{j}"), &terms, RowOp::Le, 1.0);
+        }
+    }
+
+    // Power coefficient of node j per unit of Σ_i FRAC(i,j).
+    let pw: Vec<f64> = (0..nn)
+        .map(|j| {
+            let nt = dc.node_type(j);
+            nt.core.pstates.power_kw(0) * nt.cores_per_node as f64
+        })
+        .collect();
+    let base_power: Vec<f64> = (0..nn).map(|j| dc.node_type(j).base_power_kw).collect();
+    // A thermal/power row Σ_j c_j P_j expands over vars with c_j * pw_j.
+    let expand = |coeffs: &dyn Fn(usize) -> f64| -> Vec<(VarId, f64)> {
+        let mut terms = Vec::with_capacity(nn * t);
+        for j in 0..nn {
+            let c = coeffs(j) * pw[j];
+            if c.abs() < 1e-14 {
+                continue;
+            }
+            for i in 0..t {
+                if let Some(v) = vars[j][i] {
+                    terms.push((v, c));
+                }
+            }
+        }
+        terms
+    };
+
+    // Constraint 4 (thermal rows).
+    for u in 0..nn {
+        let fixed: f64 = (0..nn).map(|j| coeff.g_node[(u, j)] * base_power[j]).sum();
+        let rhs = dc.thermal.node_redline_c - coeff.base_node[u] - fixed;
+        let terms = expand(&|j| coeff.g_node[(u, j)]);
+        p.add_row_nodup(&format!("redline_node{u}"), &terms, RowOp::Le, rhs);
+    }
+    for c in 0..dc.n_crac() {
+        let fixed: f64 = (0..nn).map(|j| coeff.g_crac[(c, j)] * base_power[j]).sum();
+        let rhs = dc.thermal.crac_redline_c - coeff.base_crac[c] - fixed;
+        let terms = expand(&|j| coeff.g_crac[(c, j)]);
+        p.add_row_nodup(&format!("redline_crac{c}"), &terms, RowOp::Le, rhs);
+    }
+    // Constraint 3 (power budget), linearized exactly like Stage 1's.
+    let w: Vec<f64> = (0..dc.n_crac())
+        .map(|c| RHO_CP * dc.cracs[c].flow_m3s / cop::cop(outlets[c]))
+        .collect();
+    let node_coeff: Vec<f64> = (0..nn)
+        .map(|j| 1.0 + (0..dc.n_crac()).map(|c| w[c] * coeff.g_crac[(c, j)]).sum::<f64>())
+        .collect();
+    let fixed_power: f64 = (0..nn).map(|j| node_coeff[j] * base_power[j]).sum::<f64>()
+        + (0..dc.n_crac())
+            .map(|c| w[c] * (coeff.base_crac[c] - outlets[c]))
+            .sum::<f64>();
+    let terms = expand(&|j| node_coeff[j]);
+    p.add_row_nodup(
+        "power_budget",
+        &terms,
+        RowOp::Le,
+        dc.budget.p_const_kw - fixed_power,
+    );
+
+    let sol = p.solve().ok()?;
+    let frac: Vec<Vec<f64>> = (0..nn)
+        .map(|j| {
+            (0..t)
+                .map(|i| vars[j][i].map_or(0.0, |v| sol.value(v).max(0.0)))
+                .collect()
+        })
+        .collect();
+
+    // Exact clamped-power re-check, mirroring Stage 1.
+    let node_powers = baseline_node_powers(dc, &frac);
+    let (it, cooling, state) = dc.total_power_kw(outlets, &node_powers);
+    if it + cooling > dc.budget.p_const_kw * (1.0 + 1e-7) + 1e-7 {
+        return None;
+    }
+    if !dc.redlines_ok(&state) {
+        return None;
+    }
+    Some((frac, sol.objective))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_datacenter::ScenarioParams;
+
+    fn dc(seed: u64) -> DataCenter {
+        ScenarioParams::small_test().build(seed).unwrap()
+    }
+
+    #[test]
+    fn baseline_solves_and_is_feasible() {
+        let dc = dc(1);
+        let sol = solve_baseline(&dc, CracSearchOptions::default()).expect("baseline");
+        assert!(sol.reward_rate > 0.0);
+        assert!(sol.reward_rate <= sol.reward_rate_continuous + 1e-9);
+        assert!(sol.reward_rate <= dc.workload.max_reward_rate() * (1.0 + 1e-9));
+
+        // Exact feasibility of the reduced solution.
+        let node_powers = baseline_node_powers(&dc, &sol.frac);
+        let (it, cooling, state) = dc.total_power_kw(&sol.crac_out_c, &node_powers);
+        assert!(it + cooling <= dc.budget.p_const_kw * (1.0 + 1e-6) + 1e-6);
+        assert!(dc.redlines_ok(&state));
+    }
+
+    #[test]
+    fn integerization_yields_whole_cores() {
+        let dc = dc(2);
+        let sol = solve_baseline(&dc, CracSearchOptions::default()).unwrap();
+        for j in 0..dc.n_nodes() {
+            let cores = dc.node_type(j).cores_per_node as f64;
+            let used: f64 = sol.frac[j].iter().sum::<f64>() * cores;
+            assert!(
+                (used - used.round()).abs() < 1e-6,
+                "node {j}: {used} cores in use"
+            );
+            assert!((used - sol.cores_on[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fractions_respect_node_capacity() {
+        let dc = dc(3);
+        let sol = solve_baseline(&dc, CracSearchOptions::default()).unwrap();
+        for j in 0..dc.n_nodes() {
+            let s: f64 = sol.frac[j].iter().sum();
+            assert!(s <= 1.0 + 1e-7, "node {j}: fraction sum {s}");
+        }
+    }
+
+    #[test]
+    fn arrival_rates_respected() {
+        let dc = dc(4);
+        let sol = solve_baseline(&dc, CracSearchOptions::default()).unwrap();
+        for i in 0..dc.n_task_types() {
+            let total: f64 = (0..dc.n_nodes())
+                .map(|j| {
+                    let nt = dc.node_type_of[j];
+                    let cores = dc.node_type(j).cores_per_node as f64;
+                    cores * dc.workload.ecs.ecs(i, nt, 0) * sol.frac[j][i]
+                })
+                .sum();
+            assert!(
+                total <= dc.workload.task_types[i].arrival_rate * (1.0 + 1e-6),
+                "type {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscription_leaves_cores_off() {
+        let dc = dc(5);
+        let sol = solve_baseline(&dc, CracSearchOptions::default()).unwrap();
+        let total_on: f64 = sol.cores_on.iter().sum();
+        assert!(
+            total_on < dc.n_cores() as f64,
+            "budget should not allow every core at P0"
+        );
+        assert!(total_on > 0.0);
+    }
+}

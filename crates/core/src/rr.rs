@@ -1,0 +1,143 @@
+//! Per-task-type reward-rate curves `RR_{i,j}` (paper Section V.B.2,
+//! Figs. 3–4).
+//!
+//! `RR_{i,j}(p)` is the reward rate a core of type `j` earns running only
+//! tasks of type `i` when it consumes power `p`: a piecewise-linear curve
+//! through the points `(π_{j,k}, r_i · ECS(i, j, k))` for every P-state
+//! (off included at the origin). Between P-state powers, the core is
+//! assumed to time-multiplex the two adjacent P-states — hence linear
+//! interpolation.
+//!
+//! A P-state whose execution time exceeds the task type's deadline slack
+//! contributes **zero** reward rate (no task can finish in time even
+//! starting immediately — Fig. 4's cliff).
+
+use crate::pwl::PiecewiseLinear;
+use thermaware_power::PStateTable;
+use thermaware_workload::Workload;
+
+/// Build `RR_{i,j}` for task type `task_type` on a core with P-state
+/// ladder `pstates` belonging to node type `node_type`.
+///
+/// Breakpoints are ordered by ascending power: off state first at
+/// `(0, 0)`, then the active P-states from deepest to P-state 0.
+pub fn reward_rate_curve(
+    workload: &Workload,
+    pstates: &PStateTable,
+    task_type: usize,
+    node_type: usize,
+) -> PiecewiseLinear {
+    let t = &workload.task_types[task_type];
+    let mut points = Vec::with_capacity(pstates.n_total());
+    // Off state: zero power, zero reward.
+    points.push((0.0, 0.0));
+    for k in (0..pstates.n_active()).rev() {
+        let ecs = workload.ecs.ecs(task_type, node_type, k);
+        // Deadline filter (Constraint 2 of Eq. 7): execution time beyond
+        // the slack means no task of this type ever makes its deadline in
+        // this P-state.
+        let feasible = ecs > 0.0 && 1.0 / ecs <= t.deadline_slack;
+        let reward_rate = if feasible { t.reward * ecs } else { 0.0 };
+        points.push((pstates.power_kw(k), reward_rate));
+    }
+    PiecewiseLinear::new(points)
+}
+
+/// Mean reward-rate-to-power ratio of a task type on a core type over all
+/// *active* P-states — the ranking key for the "best ψ%" selection
+/// (Section V.B.2).
+pub fn mean_reward_per_watt(
+    workload: &Workload,
+    pstates: &PStateTable,
+    task_type: usize,
+    node_type: usize,
+) -> f64 {
+    let curve = reward_rate_curve(workload, pstates, task_type, node_type);
+    // The curve's breakpoints after the origin are exactly the active
+    // P-states (deepest first).
+    let pts = &curve.points()[1..];
+    pts.iter().map(|&(p, r)| r / p).sum::<f64>() / pts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_workload::{EcsMatrix, TaskType, Workload};
+
+    /// The worked example of Section V.B.2: 4 P-states with powers
+    /// 0.15/0.10/0.05/0 kW and ECS 1.2/0.9/0.5/0, reward 1.
+    fn example(deadline_slack: f64) -> (Workload, PStateTable) {
+        let ecs = EcsMatrix::from_blocks(vec![vec![vec![1.2, 0.9, 0.5, 0.0]]]);
+        let workload = Workload {
+            task_types: vec![TaskType {
+                index: 0,
+                arrival_rate: 1.0,
+                reward: 1.0,
+                deadline_slack,
+            }],
+            ecs,
+        };
+        let pstates = PStateTable::new(
+            vec![0.15, 0.10, 0.05],
+            vec![2500.0, 2000.0, 1500.0],
+            vec![1.3, 1.2, 1.1],
+        );
+        (workload, pstates)
+    }
+
+    #[test]
+    fn figure_3_exact_points() {
+        // Generous deadline: every P-state contributes.
+        let (w, p) = example(100.0);
+        let rr = reward_rate_curve(&w, &p, 0, 0);
+        assert_eq!(
+            rr.points(),
+            &[(0.0, 0.0), (0.05, 0.5), (0.10, 0.9), (0.15, 1.2)]
+        );
+        assert!(rr.is_concave());
+    }
+
+    #[test]
+    fn figure_4_deadline_cliff() {
+        // m = 1.5: P-state 2 needs 1/0.5 = 2 s > 1.5 s, so it earns 0.
+        let (w, p) = example(1.5);
+        let rr = reward_rate_curve(&w, &p, 0, 0);
+        assert_eq!(
+            rr.points(),
+            &[(0.0, 0.0), (0.05, 0.0), (0.10, 0.9), (0.15, 1.2)]
+        );
+        assert!(!rr.is_concave());
+    }
+
+    #[test]
+    fn tight_deadline_kills_everything() {
+        // m below even P-state 0's execution time: the whole curve is 0.
+        let (w, p) = example(0.5);
+        let rr = reward_rate_curve(&w, &p, 0, 0);
+        for &(_, y) in rr.points() {
+            assert_eq!(y, 0.0);
+        }
+    }
+
+    #[test]
+    fn reward_scales_linearly() {
+        let (mut w, p) = example(100.0);
+        w.task_types[0].reward = 3.0;
+        let rr = reward_rate_curve(&w, &p, 0, 0);
+        assert!((rr.eval(0.15) - 3.6).abs() < 1e-12);
+        assert!((rr.eval(0.05) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_reward_per_watt_matches_hand_computation() {
+        let (w, p) = example(100.0);
+        // Ratios: 0.5/0.05 = 10, 0.9/0.10 = 9, 1.2/0.15 = 8 -> mean 9.
+        let m = mean_reward_per_watt(&w, &p, 0, 0);
+        assert!((m - 9.0).abs() < 1e-12);
+        // With the deadline cliff, P-state 2's ratio drops to 0: mean
+        // (0 + 9 + 8)/3.
+        let (w2, p2) = example(1.5);
+        let m2 = mean_reward_per_watt(&w2, &p2, 0, 0);
+        assert!((m2 - 17.0 / 3.0).abs() < 1e-12);
+    }
+}

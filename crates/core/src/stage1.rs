@@ -1,0 +1,394 @@
+//! Stage 1: continuous power assignment + CRAC outlet temperatures
+//! (paper Section V.B.2).
+//!
+//! With P-states relaxed to continuous per-core power, each core of type
+//! `j` earns `ARR_j(p)` reward rate at power `p`. `ARR_j` is concave
+//! piecewise-linear (the hull of [`crate::arr::ArrCurve`]), so maximizing
+//! total reward under the power cap and redlines is an **LP** once the
+//! CRAC outlet temperatures are fixed:
+//!
+//! * Cores inside a node are identical, so a node's optimal aggregate is
+//!   `n·ARR(P/n)` — itself concave PWL. One LP variable per *(node,
+//!   hull segment)*, bounded by the segment length, with the segment
+//!   slope as objective coefficient, encodes it exactly (concavity makes
+//!   the greedy segment order self-enforcing).
+//! * Node inlet and CRAC inlet temperatures are affine in node powers at
+//!   fixed outlets (`thermaware_thermal::ThermalCoefficients`), so Eq. 6
+//!   contributes one row per unit.
+//! * CRAC power (Eq. 3) at fixed outlets is linear in the inlet
+//!   temperature, hence in node powers; Eq. 7's Constraint 4 is one row.
+//!   The Eq.-3 clamp (no negative cooling power) is *not* linear, so
+//!   every candidate solution is re-checked against the exact clamped
+//!   model and rejected if the linearization was optimistic.
+//!
+//! The outlet temperatures themselves are found by the paper's
+//! discretized coarse-to-fine search
+//! ([`thermaware_datacenter::optimize_crac_outlets`]).
+
+use crate::arr::ArrCurve;
+use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
+use thermaware_lp::{Problem, RowOp, Sense, VarId};
+use thermaware_thermal::{cop, RHO_CP};
+
+/// Options for Stage 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage1Options {
+    /// The ψ parameter (percent of task types averaged into ARR).
+    pub psi_percent: f64,
+    /// CRAC outlet search strategy.
+    pub search: CracSearchOptions,
+}
+
+impl Default for Stage1Options {
+    fn default() -> Self {
+        Stage1Options {
+            psi_percent: 50.0,
+            search: CracSearchOptions::default(),
+        }
+    }
+}
+
+/// Stage-1 output: outlet temperatures and the continuous power plan.
+#[derive(Debug, Clone)]
+pub struct Stage1Solution {
+    /// Chosen CRAC outlet temperatures, °C.
+    pub crac_out_c: Vec<f64>,
+    /// Total core power (kW, base excluded) assigned to each node.
+    pub node_core_power_kw: Vec<f64>,
+    /// Per-core power assignment (kW), global core order; node sums match
+    /// `node_core_power_kw` and all but at most one core per node sit
+    /// exactly on an ARR hull breakpoint (i.e. a P-state power).
+    pub core_power_kw: Vec<f64>,
+    /// The LP objective: estimated aggregate reward rate.
+    pub objective: f64,
+    /// Per-node-type ARR curves used (indexed by node type).
+    pub arr_curves: Vec<ArrCurve>,
+}
+
+/// Solve Stage 1 for a data center.
+///
+/// Returns an error when no searched CRAC outlet combination admits a
+/// feasible power/thermal assignment (a thermally unbuildable scenario).
+pub fn solve_stage1(dc: &DataCenter, options: &Stage1Options) -> Result<Stage1Solution, String> {
+    // ARR per node type, lifted to node-level aggregate curves.
+    let arr_curves: Vec<ArrCurve> = (0..dc.node_types.len())
+        .map(|j| {
+            ArrCurve::build(
+                &dc.workload,
+                &dc.node_types[j].core.pstates,
+                j,
+                options.psi_percent,
+            )
+        })
+        .collect();
+    let node_curves: Vec<crate::pwl::PiecewiseLinear> = (0..dc.node_types.len())
+        .map(|j| {
+            arr_curves[j]
+                .curve
+                .aggregate_copies(dc.node_types[j].cores_per_node)
+        })
+        .collect();
+
+    let best = optimize_crac_outlets(&dc.cracs, options.search, |outlets| {
+        solve_fixed_outlets(dc, &node_curves, outlets).map(|(_, obj)| obj)
+    })
+    .ok_or_else(|| "Stage 1: no feasible CRAC outlet combination".to_owned())?;
+    let (crac_out_c, _) = best;
+
+    let (node_core_power_kw, objective) = solve_fixed_outlets(dc, &node_curves, &crac_out_c)
+        .ok_or_else(|| "Stage 1: best outlet combination became infeasible".to_owned())?;
+
+    // Distribute each node's power to its cores along the per-core hull.
+    let mut core_power_kw = vec![0.0; dc.n_cores()];
+    for node in 0..dc.n_nodes() {
+        let t = dc.node_type_of[node];
+        let hull = &arr_curves[t].curve;
+        let cores: Vec<usize> = dc.cores_of_node(node).collect();
+        distribute_node_power(
+            node_core_power_kw[node],
+            hull.points(),
+            &cores,
+            &mut core_power_kw,
+        );
+    }
+
+    Ok(Stage1Solution {
+        crac_out_c,
+        node_core_power_kw,
+        core_power_kw,
+        objective,
+        arr_curves,
+    })
+}
+
+/// Solve the fixed-outlet LP. Returns per-node core power and the
+/// objective, or `None` when infeasible (including when the exact clamped
+/// power model rejects the linearized solution).
+fn solve_fixed_outlets(
+    dc: &DataCenter,
+    node_curves: &[crate::pwl::PiecewiseLinear],
+    outlets: &[f64],
+) -> Option<(Vec<f64>, f64)> {
+    let nn = dc.n_nodes();
+    let coeff = dc.thermal.coefficients(outlets);
+
+    let mut p = Problem::new(Sense::Maximize);
+    // Segment variables per node; remember each node's var ids.
+    let mut node_vars: Vec<Vec<VarId>> = Vec::with_capacity(nn);
+    for node in 0..nn {
+        let curve = &node_curves[dc.node_type_of[node]];
+        let pts = curve.points();
+        let slopes = curve.slopes();
+        let vars = (0..slopes.len())
+            .map(|s| {
+                let len = pts[s + 1].0 - pts[s].0;
+                p.add_var(&format!("seg_n{node}_s{s}"), 0.0, len, slopes[s])
+            })
+            .collect();
+        node_vars.push(vars);
+    }
+
+    // Per-node-power coefficient helper: a row Σ_j c_j · P_core_j (op) rhs
+    // expands over each node's segment variables.
+    let row_terms = |coeffs: &dyn Fn(usize) -> f64| -> Vec<(VarId, f64)> {
+        let mut terms = Vec::with_capacity(nn * 4);
+        for (node, vars) in node_vars.iter().enumerate() {
+            let c = coeffs(node);
+            if c.abs() < 1e-14 {
+                continue;
+            }
+            for &v in vars {
+                terms.push((v, c));
+            }
+        }
+        terms
+    };
+
+    // Base node powers are constant; they shift every row's rhs.
+    let base_power: Vec<f64> = (0..nn).map(|j| dc.node_type(j).base_power_kw).collect();
+
+    // Thermal rows: node inlets <= node redline.
+    for i in 0..nn {
+        let fixed: f64 = (0..nn).map(|j| coeff.g_node[(i, j)] * base_power[j]).sum();
+        let rhs = dc.thermal.node_redline_c - coeff.base_node[i] - fixed;
+        let terms = row_terms(&|j| coeff.g_node[(i, j)]);
+        p.add_row_nodup(&format!("redline_node{i}"), &terms, RowOp::Le, rhs);
+    }
+    // Thermal rows: CRAC inlets <= CRAC redline.
+    for c in 0..dc.n_crac() {
+        let fixed: f64 = (0..nn).map(|j| coeff.g_crac[(c, j)] * base_power[j]).sum();
+        let rhs = dc.thermal.crac_redline_c - coeff.base_crac[c] - fixed;
+        let terms = row_terms(&|j| coeff.g_crac[(c, j)]);
+        p.add_row_nodup(&format!("redline_crac{c}"), &terms, RowOp::Le, rhs);
+    }
+
+    // Power row: Σ_j P_j + Σ_c w_c (Tin_c - out_c) <= Pconst, with
+    // w_c = ρ·Cp·F_c / CoP(out_c) and Tin_c affine in node powers.
+    let w: Vec<f64> = (0..dc.n_crac())
+        .map(|c| RHO_CP * dc.cracs[c].flow_m3s / cop::cop(outlets[c]))
+        .collect();
+    let node_coeff: Vec<f64> = (0..nn)
+        .map(|j| 1.0 + (0..dc.n_crac()).map(|c| w[c] * coeff.g_crac[(c, j)]).sum::<f64>())
+        .collect();
+    let fixed_power: f64 = (0..nn).map(|j| node_coeff[j] * base_power[j]).sum::<f64>()
+        + (0..dc.n_crac())
+            .map(|c| w[c] * (coeff.base_crac[c] - outlets[c]))
+            .sum::<f64>();
+    let terms = row_terms(&|j| node_coeff[j]);
+    p.add_row_nodup(
+        "power_budget",
+        &terms,
+        RowOp::Le,
+        dc.budget.p_const_kw - fixed_power,
+    );
+
+    let sol = p.solve().ok()?;
+
+    // Recover per-node core power.
+    let node_core_power: Vec<f64> = node_vars
+        .iter()
+        .map(|vars| vars.iter().map(|&v| sol.value(v).max(0.0)).sum())
+        .collect();
+
+    // Exact re-check: the LP's CRAC power is unclamped; the true (Eq. 3)
+    // power can only be larger, so reject if the budget breaks for real.
+    let node_powers: Vec<f64> = (0..nn)
+        .map(|j| base_power[j] + node_core_power[j])
+        .collect();
+    let (it, cooling, state) = dc.total_power_kw(outlets, &node_powers);
+    if it + cooling > dc.budget.p_const_kw * (1.0 + 1e-7) + 1e-7 {
+        return None;
+    }
+    if !dc.redlines_ok(&state) {
+        return None;
+    }
+    Some((node_core_power, sol.objective))
+}
+
+/// Split a node's total core power across its cores using adjacent hull
+/// breakpoints: if the equal split lands inside hull segment
+/// `[b_s, b_{s+1}]`, put `m` cores at `b_{s+1}`, the rest at `b_s`, and at
+/// most one core in between. Linearity of the hull segment makes this
+/// objective-neutral versus the equal split while leaving nearly every
+/// core exactly on a P-state power — which is what makes Stage 2's
+/// rounding nearly lossless.
+pub(crate) fn distribute_node_power(
+    total: f64,
+    hull: &[(f64, f64)],
+    cores: &[usize],
+    out: &mut [f64],
+) {
+    let n = cores.len();
+    if n == 0 {
+        return;
+    }
+    let per_core = (total / n as f64).max(0.0);
+    let b_max = hull.last().unwrap().0;
+    if per_core >= b_max - 1e-15 {
+        for &c in cores {
+            out[c] = b_max;
+        }
+        return;
+    }
+    // Containing segment.
+    let mut s = 0;
+    while s + 2 < hull.len() && hull[s + 1].0 <= per_core {
+        s += 1;
+    }
+    let lo = hull[s].0;
+    let hi = hull[s + 1].0;
+    debug_assert!(per_core >= lo - 1e-12 && per_core <= hi + 1e-12);
+    // m cores at hi, then one remainder core, the rest at lo.
+    let mut remaining = total;
+    let mut assigned = 0;
+    for &c in cores {
+        let left = n - assigned;
+        // Greedy: give `hi` while the rest can still absorb at `lo`.
+        let give = if remaining - hi >= lo * (left as f64 - 1.0) - 1e-12 {
+            hi
+        } else {
+            // Remainder core: whatever keeps the rest exactly at lo.
+            (remaining - lo * (left as f64 - 1.0)).clamp(0.0, hi)
+        };
+        out[c] = give.min(remaining.max(0.0));
+        remaining -= out[c];
+        assigned += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_datacenter::ScenarioParams;
+
+    fn small_dc(seed: u64) -> DataCenter {
+        ScenarioParams::small_test().build(seed).unwrap()
+    }
+
+    #[test]
+    fn stage1_solves_and_respects_constraints() {
+        let dc = small_dc(1);
+        let sol = solve_stage1(&dc, &Stage1Options::default()).expect("stage 1");
+        assert!(sol.objective > 0.0);
+        assert_eq!(sol.node_core_power_kw.len(), 10);
+        assert_eq!(sol.core_power_kw.len(), dc.n_cores());
+
+        // Exact feasibility at the chosen outlets.
+        let node_powers = dc.node_powers(&sol.node_core_power_kw);
+        let (it, cooling, state) = dc.total_power_kw(&sol.crac_out_c, &node_powers);
+        assert!(it + cooling <= dc.budget.p_const_kw * (1.0 + 1e-6) + 1e-6);
+        assert!(dc.redlines_ok(&state));
+    }
+
+    #[test]
+    fn per_core_distribution_sums_to_node_totals() {
+        let dc = small_dc(2);
+        let sol = solve_stage1(&dc, &Stage1Options::default()).unwrap();
+        for node in 0..dc.n_nodes() {
+            let s: f64 = dc.cores_of_node(node).map(|c| sol.core_power_kw[c]).sum();
+            assert!(
+                (s - sol.node_core_power_kw[node]).abs() < 1e-9,
+                "node {node}: {s} vs {}",
+                sol.node_core_power_kw[node]
+            );
+        }
+    }
+
+    #[test]
+    fn most_cores_sit_on_hull_breakpoints() {
+        let dc = small_dc(3);
+        let sol = solve_stage1(&dc, &Stage1Options::default()).unwrap();
+        let mut off_breakpoint = 0;
+        for node in 0..dc.n_nodes() {
+            let t = dc.node_type_of[node];
+            let hull = &sol.arr_curves[t].curve;
+            for c in dc.cores_of_node(node) {
+                let p = sol.core_power_kw[c];
+                let on = hull
+                    .points()
+                    .iter()
+                    .any(|&(x, _)| (x - p).abs() < 1e-9);
+                if !on {
+                    off_breakpoint += 1;
+                }
+            }
+        }
+        // At most one remainder core per node.
+        assert!(off_breakpoint <= dc.n_nodes(), "{off_breakpoint} stray cores");
+    }
+
+    #[test]
+    fn psi_changes_the_solution() {
+        let dc = small_dc(4);
+        let a = solve_stage1(
+            &dc,
+            &Stage1Options {
+                psi_percent: 25.0,
+                ..Stage1Options::default()
+            },
+        )
+        .unwrap();
+        let b = solve_stage1(
+            &dc,
+            &Stage1Options {
+                psi_percent: 100.0,
+                ..Stage1Options::default()
+            },
+        )
+        .unwrap();
+        // The Stage-1 *estimates* are not comparable as rewards, but both
+        // must be positive and generally different.
+        assert!(a.objective > 0.0 && b.objective > 0.0);
+        assert!((a.objective - b.objective).abs() > 1e-9);
+    }
+
+    #[test]
+    fn distribute_exact_cases() {
+        // Hull (0,0) -> (1,10) -> (2,15); 4 cores, total 6: per-core 1.5
+        // in segment [1,2] -> two cores at 2, two at 1 (or one remainder).
+        let hull = [(0.0, 0.0), (1.0, 10.0), (2.0, 15.0)];
+        let cores = [0, 1, 2, 3];
+        let mut out = [0.0; 4];
+        distribute_node_power(6.0, &hull, &cores, &mut out);
+        let sum: f64 = out.iter().sum();
+        assert!((sum - 6.0).abs() < 1e-12, "{out:?}");
+        for &p in &out {
+            assert!(p >= -1e-12 && p <= 2.0 + 1e-12);
+        }
+        let stray = out
+            .iter()
+            .filter(|&&p| (p - 1.0).abs() > 1e-9 && (p - 2.0).abs() > 1e-9 && p.abs() > 1e-9)
+            .count();
+        assert!(stray <= 1, "{out:?}");
+
+        // Saturated: total = 4 * b_max.
+        let mut out2 = [0.0; 4];
+        distribute_node_power(8.0, &hull, &cores, &mut out2);
+        assert!(out2.iter().all(|&p| (p - 2.0).abs() < 1e-12));
+
+        // Zero.
+        let mut out3 = [9.0; 4];
+        distribute_node_power(0.0, &hull, &cores, &mut out3);
+        assert!(out3.iter().all(|&p| p.abs() < 1e-12));
+    }
+}

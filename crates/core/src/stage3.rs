@@ -1,0 +1,238 @@
+//! Stage 3: optimal desired execution rates `TC(i, k)` for fixed P-states
+//! and CRAC outlets (paper Section V.B.4).
+//!
+//! With the other two decision groups fixed, Eq. 7 collapses to an LP.
+//! Cores with the same `(node type, P-state)` are statistically identical
+//! — same speeds, same deadline feasibility — so the LP is solved over
+//! *groups* with the per-core capacity constraint scaled by the group
+//! size, then split evenly back to cores. The grouping is lossless: any
+//! per-core optimum can be symmetrized into a per-group one with the same
+//! objective, and vice versa.
+
+use thermaware_datacenter::DataCenter;
+use thermaware_lp::{Problem, RowOp, Sense, VarId};
+
+/// The Stage-3 result: desired execution rates.
+#[derive(Debug, Clone)]
+pub struct Stage3Solution {
+    /// The optimal total reward rate (Eq. 7's objective).
+    pub reward_rate: f64,
+    /// Desired rate of task type `i` on *each individual core* of group
+    /// `g`: `rate_per_core[g][i]`.
+    pub rate_per_core: Vec<Vec<f64>>,
+    /// Group key of every core: `group_of_core[k]` indexes
+    /// `rate_per_core`.
+    pub group_of_core: Vec<usize>,
+    /// `(node_type, pstate)` of each group.
+    pub groups: Vec<(usize, usize)>,
+}
+
+impl Stage3Solution {
+    /// Desired execution rate `TC(i, k)` of task type `i` on core `k`.
+    pub fn tc(&self, task_type: usize, core: usize) -> f64 {
+        self.rate_per_core[self.group_of_core[core]][task_type]
+    }
+
+    /// Total desired rate of task type `i` over all cores.
+    pub fn total_rate(&self, dc: &DataCenter, task_type: usize) -> f64 {
+        (0..dc.n_cores()).map(|k| self.tc(task_type, k)).sum()
+    }
+}
+
+/// Solve Stage 3 for a concrete P-state assignment (global core order).
+pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution, String> {
+    assert_eq!(pstates.len(), dc.n_cores());
+    let t = dc.n_task_types();
+
+    // ---- Group cores by (node type, P-state) -----------------------------
+    let mut group_index: Vec<Vec<Option<usize>>> = dc
+        .node_types
+        .iter()
+        .map(|nt| vec![None; nt.core.pstates.n_total()])
+        .collect();
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut group_of_core = vec![usize::MAX; dc.n_cores()];
+    for k in 0..dc.n_cores() {
+        let nt = dc.core_type(k);
+        let ps = pstates[k];
+        let slot = &mut group_index[nt][ps];
+        let g = match *slot {
+            Some(g) => g,
+            None => {
+                groups.push((nt, ps));
+                counts.push(0);
+                *slot = Some(groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        counts[g] += 1;
+        group_of_core[k] = g;
+    }
+
+    // ---- Grouped LP --------------------------------------------------------
+    let mut p = Problem::new(Sense::Maximize);
+    // vars[g][i]: total desired rate of type i across group g's cores
+    // (None when the type can't run there: off state, zero speed, or
+    // deadline-infeasible — Constraint 2 of Eq. 7 fixes those to 0).
+    let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(groups.len());
+    for (g, &(nt, ps)) in groups.iter().enumerate() {
+        let mut row = Vec::with_capacity(t);
+        for i in 0..t {
+            let ecs = dc.workload.ecs.ecs(i, nt, ps);
+            let feasible = ecs > 0.0 && dc.workload.deadline_feasible(i, nt, ps);
+            row.push(feasible.then(|| {
+                p.add_var(
+                    &format!("tc_g{g}_t{i}"),
+                    0.0,
+                    f64::INFINITY,
+                    dc.workload.task_types[i].reward,
+                )
+            }));
+        }
+        vars.push(row);
+    }
+    // Constraint 1 (capacity), grouped: Σ_i TC(i,g)/ECS <= count(g).
+    for (g, &(nt, ps)) in groups.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = (0..t)
+            .filter_map(|i| {
+                vars[g][i].map(|v| (v, 1.0 / dc.workload.ecs.ecs(i, nt, ps)))
+            })
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(
+                &format!("cap_g{g}"),
+                &terms,
+                RowOp::Le,
+                counts[g] as f64,
+            );
+        }
+    }
+    // Constraint 3 (arrivals): Σ_g TC(i,g) <= λ_i.
+    for i in 0..t {
+        let terms: Vec<(VarId, f64)> = (0..groups.len())
+            .filter_map(|g| vars[g][i].map(|v| (v, 1.0)))
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(
+                &format!("arrival_t{i}"),
+                &terms,
+                RowOp::Le,
+                dc.workload.task_types[i].arrival_rate,
+            );
+        }
+    }
+
+    let sol = p.solve().map_err(|e| format!("Stage 3 LP: {e}"))?;
+
+    let rate_per_core: Vec<Vec<f64>> = (0..groups.len())
+        .map(|g| {
+            (0..t)
+                .map(|i| match vars[g][i] {
+                    Some(v) => sol.value(v).max(0.0) / counts[g] as f64,
+                    None => 0.0,
+                })
+                .collect()
+        })
+        .collect();
+
+    Ok(Stage3Solution {
+        reward_rate: sol.objective,
+        rate_per_core,
+        group_of_core,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_datacenter::ScenarioParams;
+
+    fn dc() -> DataCenter {
+        ScenarioParams::small_test().build(1).unwrap()
+    }
+
+    #[test]
+    fn all_p0_reward_is_positive_and_bounded() {
+        let dc = dc();
+        let pstates = vec![0usize; dc.n_cores()];
+        let s = solve_stage3(&dc, &pstates).unwrap();
+        assert!(s.reward_rate > 0.0);
+        assert!(s.reward_rate <= dc.workload.max_reward_rate() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn all_off_earns_nothing() {
+        let dc = dc();
+        let pstates: Vec<usize> = (0..dc.n_cores())
+            .map(|k| dc.node_type(dc.node_of_core(k)).core.pstates.off_index())
+            .collect();
+        let s = solve_stage3(&dc, &pstates).unwrap();
+        assert_eq!(s.reward_rate, 0.0);
+        for i in 0..dc.n_task_types() {
+            assert_eq!(s.total_rate(&dc, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn capacity_constraint_holds_per_core() {
+        let dc = dc();
+        let pstates = vec![0usize; dc.n_cores()];
+        let s = solve_stage3(&dc, &pstates).unwrap();
+        for k in 0..dc.n_cores() {
+            let nt = dc.core_type(k);
+            let load: f64 = (0..dc.n_task_types())
+                .map(|i| {
+                    let ecs = dc.workload.ecs.ecs(i, nt, 0);
+                    if ecs > 0.0 {
+                        s.tc(i, k) / ecs
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            assert!(load <= 1.0 + 1e-7, "core {k} utilization {load}");
+        }
+    }
+
+    #[test]
+    fn arrival_constraint_holds() {
+        let dc = dc();
+        let pstates = vec![0usize; dc.n_cores()];
+        let s = solve_stage3(&dc, &pstates).unwrap();
+        for i in 0..dc.n_task_types() {
+            let total = s.total_rate(&dc, i);
+            assert!(
+                total <= dc.workload.task_types[i].arrival_rate * (1.0 + 1e-7),
+                "type {i}: {total} > λ"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_pstates_earn_less() {
+        let dc = dc();
+        let p0 = vec![0usize; dc.n_cores()];
+        let p2: Vec<usize> = (0..dc.n_cores()).map(|_| 2).collect();
+        let r0 = solve_stage3(&dc, &p0).unwrap().reward_rate;
+        let r2 = solve_stage3(&dc, &p2).unwrap().reward_rate;
+        assert!(r2 < r0, "P2 reward {r2} !< P0 reward {r0}");
+        assert!(r2 > 0.0);
+    }
+
+    #[test]
+    fn mixed_assignment_groups_correctly() {
+        let dc = dc();
+        let pstates: Vec<usize> = (0..dc.n_cores()).map(|k| k % 3).collect();
+        let s = solve_stage3(&dc, &pstates).unwrap();
+        // Group count bounded by node types x P-states actually used.
+        assert!(s.groups.len() <= dc.node_types.len() * 3);
+        // Every core has a valid group.
+        for k in 0..dc.n_cores() {
+            let g = s.group_of_core[k];
+            assert_eq!(s.groups[g].0, dc.core_type(k));
+            assert_eq!(s.groups[g].1, pstates[k]);
+        }
+    }
+}

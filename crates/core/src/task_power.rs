@@ -1,0 +1,603 @@
+//! Task-type-dependent core power — the model extension the paper
+//! sketches in Section III.C: *"it is possible to extend our model to
+//! capture the effect of a task type (I/O or compute intensive task
+//! types) on core power consumption. A third index would have to be added
+//! to π."*
+//!
+//! Here π gains that third index multiplicatively on the **dynamic**
+//! component: a core of type `j` in P-state `s` spending utilization
+//! share `u_i` on task type `i` draws
+//!
+//! ```text
+//! static(j,s) + dynamic(j,s) · ( idle·(1 − Σ_i u_i) + Σ_i factor_i · u_i )
+//! ```
+//!
+//! with `u_i = TC(i,k)/ECS(i,j,s)` — I/O-heavy types (factor < 1) burn
+//! less than the nameplate P-state power, exactly as the measurement
+//! study the paper cites (\[23\]) reports. Since `u_i` is linear in the
+//! decision variables, the first-step Stage-3 LP extends cleanly: the
+//! power budget and the thermal redlines become rows **in TC** rather
+//! than facts fixed by Stage 2.
+
+use crate::stage3::Stage3Solution;
+use thermaware_datacenter::DataCenter;
+use thermaware_lp::{Problem, RowOp, Sense, VarId};
+use thermaware_thermal::{cop, RHO_CP};
+
+/// Per-task-type power behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskPowerModel {
+    /// Multiplier on the dynamic power while executing each task type
+    /// (1.0 = the paper's base model; < 1 for I/O-bound types).
+    pub factors: Vec<f64>,
+    /// Multiplier on the dynamic power while idle in the P-state
+    /// (clock-gated idling burns less than full-tilt execution).
+    pub idle_factor: f64,
+}
+
+impl TaskPowerModel {
+    /// The paper's base model: every factor 1 (task type irrelevant).
+    pub fn uniform(n_task_types: usize) -> TaskPowerModel {
+        TaskPowerModel {
+            factors: vec![1.0; n_task_types],
+            idle_factor: 1.0,
+        }
+    }
+
+    /// Validate against a workload size.
+    fn check(&self, n_task_types: usize) {
+        assert_eq!(self.factors.len(), n_task_types, "one factor per task type");
+        assert!(
+            self.factors.iter().all(|&f| (0.0..=2.0).contains(&f)),
+            "factors outside [0, 2]"
+        );
+        assert!((0.0..=1.0).contains(&self.idle_factor), "idle factor outside [0, 1]");
+    }
+}
+
+/// A task-power-aware Stage-3 result.
+#[derive(Debug, Clone)]
+pub struct TaskAwareSolution {
+    /// The optimal reward rate under the extended model.
+    pub reward_rate: f64,
+    /// The Stage-3-compatible rates (same indexing contract).
+    pub stage3: Stage3Solution,
+    /// Exact total power (IT + cooling) the mix draws, kW.
+    pub total_power_kw: f64,
+    /// Dual value of each group's capacity row — the marginal reward per
+    /// extra unit of that group's capacity. Drives the reclamation loop.
+    pub capacity_duals: Vec<f64>,
+    /// `(node, pstate, count)` of each group, aligned with
+    /// `capacity_duals`.
+    pub group_info: Vec<(usize, usize, usize)>,
+}
+
+/// Solve the Stage-3 assignment under task-dependent power: maximize
+/// reward subject to capacity, arrivals, **and** the power budget and
+/// redlines evaluated at the utilization-dependent node powers.
+///
+/// With [`TaskPowerModel::uniform`] this reduces to the paper's base
+/// model (the power rows become exactly Stage 2's constant powers, which
+/// Stage 1 already certified feasible), so the plain
+/// [`crate::stage3::solve_stage3`] objective is recovered — asserted in
+/// the tests.
+pub fn solve_stage3_task_aware(
+    dc: &DataCenter,
+    pstates: &[usize],
+    crac_out_c: &[f64],
+    model: &TaskPowerModel,
+) -> Result<TaskAwareSolution, String> {
+    assert_eq!(pstates.len(), dc.n_cores());
+    let t = dc.n_task_types();
+    model.check(t);
+    let nn = dc.n_nodes();
+    let coeff = dc.thermal.coefficients(crac_out_c);
+
+    // ---- Group cores by (node, P-state): cores of one node share a type,
+    // so within a node the P-state fully determines behaviour. ----------
+    struct Group {
+        node: usize,
+        pstate: usize,
+        count: usize,
+        first_core: usize,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for node in 0..nn {
+        let mut by_ps: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
+        for k in dc.cores_of_node(node) {
+            let e = by_ps.entry(pstates[k]).or_insert((0, k));
+            e.0 += 1;
+        }
+        for (ps, (count, first_core)) in by_ps {
+            groups.push(Group {
+                node,
+                pstate: ps,
+                count,
+                first_core,
+            });
+        }
+    }
+
+    // Static/dynamic split per group (from the node type's calibrated
+    // ladder: static scales with voltage, dynamic is the remainder).
+    let split: Vec<(f64, f64)> = groups
+        .iter()
+        .map(|g| {
+            let nt = dc.node_type(g.node);
+            let ps = &nt.core.pstates;
+            if ps.is_off(g.pstate) {
+                (0.0, 0.0)
+            } else {
+                // Reconstruct the static share from the P-state-0
+                // calibration: static(s) = beta·V_s; beta = static0/V0.
+                // We recover it through the table's voltage column.
+                let total = ps.power_kw(g.pstate);
+                let v = ps.voltage(g.pstate);
+                let v0 = ps.voltage(0);
+                // static0 is not stored; derive from the P0 split implied
+                // by the deepest state's excess over pure dynamic scaling.
+                // Simpler and exact: solve the 2x2 system from two states'
+                // totals: total_s = sc·f_s·V_s² + beta·V_s.
+                let f0 = ps.freq_mhz(0);
+                let t0 = ps.power_kw(0);
+                let fs = ps.freq_mhz(g.pstate);
+                // [f0·V0², V0; fs·Vs², Vs] [sc, beta]^T = [t0, total]
+                let a11 = f0 * v0 * v0;
+                let a12 = v0;
+                let a21 = fs * v * v;
+                let a22 = v;
+                let det = a11 * a22 - a12 * a21;
+                let (sc, beta) = if det.abs() < 1e-18 {
+                    (t0 / a11, 0.0)
+                } else {
+                    (
+                        (t0 * a22 - a12 * total) / det,
+                        (a11 * total - t0 * a21) / det,
+                    )
+                };
+                let stat = (beta * v).max(0.0);
+                let dyn_ = (sc * fs * v * v).max(0.0);
+                // Guard numerical drift: the split must resum to total.
+                let sum = stat + dyn_;
+                if sum > 0.0 {
+                    (stat * total / sum, dyn_ * total / sum)
+                } else {
+                    (0.0, total)
+                }
+            }
+        })
+        .collect();
+
+    // ---- LP ----------------------------------------------------------------
+    let mut p = Problem::new(Sense::Maximize);
+    // vars[g][i]: total rate of type i over group g's cores.
+    let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(groups.len());
+    for (gi, g) in groups.iter().enumerate() {
+        let nt_idx = dc.node_type_of[g.node];
+        let mut row = Vec::with_capacity(t);
+        for i in 0..t {
+            let ecs = dc.workload.ecs.ecs(i, nt_idx, g.pstate);
+            let ok = ecs > 0.0 && dc.workload.deadline_feasible(i, nt_idx, g.pstate);
+            row.push(ok.then(|| {
+                p.add_var(
+                    &format!("tc_g{gi}_t{i}"),
+                    0.0,
+                    f64::INFINITY,
+                    dc.workload.task_types[i].reward,
+                )
+            }));
+        }
+        vars.push(row);
+    }
+    // Capacity per group (row ids kept so the reclamation loop can read
+    // the duals).
+    let mut cap_rows: Vec<Option<thermaware_lp::ConstraintId>> = Vec::with_capacity(groups.len());
+    for (gi, g) in groups.iter().enumerate() {
+        let nt_idx = dc.node_type_of[g.node];
+        let terms: Vec<(VarId, f64)> = (0..t)
+            .filter_map(|i| {
+                vars[gi][i].map(|v| (v, 1.0 / dc.workload.ecs.ecs(i, nt_idx, g.pstate)))
+            })
+            .collect();
+        if !terms.is_empty() {
+            cap_rows.push(Some(p.add_row_nodup(
+                &format!("cap_g{gi}"),
+                &terms,
+                RowOp::Le,
+                g.count as f64,
+            )));
+        } else {
+            cap_rows.push(None);
+        }
+    }
+    // Arrivals.
+    for i in 0..t {
+        let terms: Vec<(VarId, f64)> = (0..groups.len())
+            .filter_map(|g| vars[g][i].map(|v| (v, 1.0)))
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(
+                &format!("arr_t{i}"),
+                &terms,
+                RowOp::Le,
+                dc.workload.task_types[i].arrival_rate,
+            );
+        }
+    }
+
+    // Node power as an affine function of the TC variables:
+    //   P_j = base_j + Σ_{g∈j} [count·(static + dyn·idle)
+    //          + Σ_i dyn·(factor_i − idle)/ECS(i) · TC(i,g)]
+    let fixed_node_power: Vec<f64> = {
+        let mut fixed: Vec<f64> = (0..nn).map(|j| dc.node_type(j).base_power_kw).collect();
+        for (gi, g) in groups.iter().enumerate() {
+            let (stat, dyn_) = split[gi];
+            fixed[g.node] += g.count as f64 * (stat + dyn_ * model.idle_factor);
+        }
+        fixed
+    };
+    // TC coefficient of node power, per (group, type).
+    let power_coeff = |gi: usize, i: usize| -> f64 {
+        let g = &groups[gi];
+        let nt_idx = dc.node_type_of[g.node];
+        let ecs = dc.workload.ecs.ecs(i, nt_idx, g.pstate);
+        if ecs <= 0.0 {
+            return 0.0;
+        }
+        split[gi].1 * (model.factors[i] - model.idle_factor) / ecs
+    };
+
+    // Thermal rows: Tin_u = base + Σ_j G[u][j]·P_j(TC) <= redline.
+    let add_affine_row = |name: &str,
+                              p: &mut Problem,
+                              g_of_node: &dyn Fn(usize) -> f64,
+                              rhs_minus_base: f64| {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut fixed = 0.0;
+        for (gi, g) in groups.iter().enumerate() {
+            let gn = g_of_node(g.node);
+            if gn.abs() < 1e-14 {
+                continue;
+            }
+            for i in 0..t {
+                if let Some(v) = vars[gi][i] {
+                    let c = gn * power_coeff(gi, i);
+                    if c != 0.0 {
+                        terms.push((v, c));
+                    }
+                }
+            }
+        }
+        for j in 0..nn {
+            fixed += g_of_node(j) * fixed_node_power[j];
+        }
+        p.add_row_nodup(name, &terms, RowOp::Le, rhs_minus_base - fixed);
+    };
+    for u in 0..nn {
+        add_affine_row(
+            &format!("redline_node{u}"),
+            &mut p,
+            &|j| coeff.g_node[(u, j)],
+            dc.thermal.node_redline_c - coeff.base_node[u],
+        );
+    }
+    for c in 0..dc.n_crac() {
+        add_affine_row(
+            &format!("redline_crac{c}"),
+            &mut p,
+            &|j| coeff.g_crac[(c, j)],
+            dc.thermal.crac_redline_c - coeff.base_crac[c],
+        );
+    }
+    // Power budget with the linearized CRAC power (as in Stage 1).
+    let w: Vec<f64> = (0..dc.n_crac())
+        .map(|c| RHO_CP * dc.cracs[c].flow_m3s / cop::cop(crac_out_c[c]))
+        .collect();
+    let node_coeff: Vec<f64> = (0..nn)
+        .map(|j| 1.0 + (0..dc.n_crac()).map(|c| w[c] * coeff.g_crac[(c, j)]).sum::<f64>())
+        .collect();
+    let crac_fixed: f64 = (0..dc.n_crac())
+        .map(|c| w[c] * (coeff.base_crac[c] - crac_out_c[c]))
+        .sum();
+    add_affine_row(
+        "power_budget",
+        &mut p,
+        &|j| node_coeff[j],
+        dc.budget.p_const_kw - crac_fixed,
+    );
+
+    let sol = p.solve().map_err(|e| format!("task-aware Stage 3 LP: {e}"))?;
+
+    // ---- Re-package as a Stage3Solution --------------------------------
+    let mut group_of_core = vec![usize::MAX; dc.n_cores()];
+    for (gi, g) in groups.iter().enumerate() {
+        for k in dc.cores_of_node(g.node) {
+            if pstates[k] == g.pstate {
+                group_of_core[k] = gi;
+            }
+        }
+        debug_assert!(g.first_core < dc.n_cores());
+    }
+    let rate_per_core: Vec<Vec<f64>> = (0..groups.len())
+        .map(|gi| {
+            (0..t)
+                .map(|i| match vars[gi][i] {
+                    Some(v) => sol.value(v).max(0.0) / groups[gi].count as f64,
+                    None => 0.0,
+                })
+                .collect()
+        })
+        .collect();
+    let stage3 = Stage3Solution {
+        reward_rate: sol.objective,
+        rate_per_core,
+        group_of_core,
+        groups: groups
+            .iter()
+            .map(|g| (dc.node_type_of[g.node], g.pstate))
+            .collect(),
+    };
+
+    // Exact power at the mix.
+    let mut node_powers = fixed_node_power;
+    for (gi, _) in groups.iter().enumerate() {
+        for i in 0..t {
+            if let Some(v) = vars[gi][i] {
+                node_powers[groups[gi].node] += power_coeff(gi, i) * sol.value(v).max(0.0);
+            }
+        }
+    }
+    let (it, cooling, _) = dc.total_power_kw(crac_out_c, &node_powers);
+
+    let capacity_duals: Vec<f64> = cap_rows
+        .iter()
+        .map(|row| row.map_or(0.0, |r| sol.dual(r)))
+        .collect();
+    let group_info: Vec<(usize, usize, usize)> = groups
+        .iter()
+        .map(|g| (g.node, g.pstate, g.count))
+        .collect();
+    Ok(TaskAwareSolution {
+        reward_rate: sol.objective,
+        stage3,
+        total_power_kw: it + cooling,
+        capacity_duals,
+        group_info,
+    })
+}
+
+/// Greedy **power reclamation**: when the task mix draws less than the
+/// nameplate P-state powers (I/O-bound types), the budget gains headroom
+/// the fixed P-state plan cannot spend. This loop upgrades one core at a
+/// time — from the group whose capacity dual (marginal reward per unit
+/// capacity) times its speedup pays the most per reclaimed watt — and
+/// re-solves, keeping every iterate feasible under the exact models.
+///
+/// Returns the upgraded P-state assignment and its solution. Stops when
+/// no affordable upgrade improves the reward, or after `max_upgrades`.
+pub fn reclaim_power(
+    dc: &DataCenter,
+    pstates: &[usize],
+    crac_out_c: &[f64],
+    model: &TaskPowerModel,
+    max_upgrades: usize,
+) -> Result<(Vec<usize>, TaskAwareSolution), String> {
+    let mut current = pstates.to_vec();
+    let mut best = solve_stage3_task_aware(dc, &current, crac_out_c, model)?;
+    for _ in 0..max_upgrades {
+        let headroom = dc.budget.p_const_kw - best.total_power_kw;
+        if headroom <= 1e-6 {
+            break;
+        }
+        // Candidate upgrades: one core of a binding group moves one
+        // P-state shallower. Score = dual * (speed ratio - 1) per
+        // nameplate watt.
+        let mut candidates: Vec<(f64, usize)> = Vec::new(); // (score, core)
+        for (gi, &(node, ps, _count)) in best.group_info.iter().enumerate() {
+            if ps == 0 {
+                continue; // already shallowest
+            }
+            let dual = best.capacity_duals[gi];
+            if dual <= 1e-9 {
+                continue; // capacity not binding; speed buys nothing
+            }
+            let nt = dc.node_type(node);
+            let table = &nt.core.pstates;
+            let delta_power = table.power_kw(ps - 1) - table.power_kw(ps);
+            if delta_power > headroom * 0.95 {
+                continue; // cannot afford (with safety margin for the mix)
+            }
+            // Mean speedup over task types from ps to ps-1 (off -> use the
+            // deepest active state's speeds as "from zero" gain 1.0).
+            let nt_idx = dc.node_type_of[node];
+            let speedup: f64 = if table.is_off(ps) {
+                1.0
+            } else {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for i in 0..dc.n_task_types() {
+                    num += dc.workload.ecs.ecs(i, nt_idx, ps - 1);
+                    den += dc.workload.ecs.ecs(i, nt_idx, ps);
+                }
+                if den > 0.0 {
+                    (num / den - 1.0).max(0.0)
+                } else {
+                    1.0
+                }
+            };
+            let score = dual * speedup / delta_power.max(1e-12);
+            if score <= 0.0 {
+                continue;
+            }
+            // Any core of this group will do; take the first.
+            if let Some(core) = dc
+                .cores_of_node(node)
+                .find(|&k| current[k] == ps)
+            {
+                candidates.push((score, core));
+            }
+        }
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut improved = false;
+        for &(_, core) in candidates.iter().take(4) {
+            let mut trial = current.clone();
+            trial[core] -= 1;
+            match solve_stage3_task_aware(dc, &trial, crac_out_c, model) {
+                Ok(sol)
+                    if sol.total_power_kw <= dc.budget.p_const_kw * (1.0 + 1e-7) + 1e-7
+                        && sol.reward_rate > best.reward_rate + 1e-9 =>
+                {
+                    current = trial;
+                    best = sol;
+                    improved = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok((current, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::three_stage::{solve_three_stage, ThreeStageOptions};
+    use thermaware_datacenter::ScenarioParams;
+
+    fn setup() -> (DataCenter, crate::three_stage::ThreeStageSolution) {
+        let dc = ScenarioParams::small_test().build(1).unwrap();
+        let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).unwrap();
+        (dc, plan)
+    }
+
+    #[test]
+    fn uniform_factors_recover_the_base_model() {
+        let (dc, plan) = setup();
+        let model = TaskPowerModel::uniform(dc.n_task_types());
+        let aware =
+            solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &model).unwrap();
+        let diff = (aware.reward_rate - plan.reward_rate()).abs();
+        assert!(
+            diff <= 1e-5 * (1.0 + plan.reward_rate()),
+            "task-aware {} vs base {}",
+            aware.reward_rate,
+            plan.reward_rate()
+        );
+    }
+
+    #[test]
+    fn cheaper_tasks_never_reduce_reward() {
+        // Factors <= 1 only relax the power/thermal rows relative to the
+        // uniform model, so the optimum cannot drop.
+        let (dc, plan) = setup();
+        let uniform = TaskPowerModel::uniform(dc.n_task_types());
+        let io_ish = TaskPowerModel {
+            factors: vec![0.6; dc.n_task_types()],
+            idle_factor: 0.5,
+        };
+        let base =
+            solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &uniform).unwrap();
+        let relaxed =
+            solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &io_ish).unwrap();
+        assert!(relaxed.reward_rate >= base.reward_rate - 1e-9);
+        assert!(relaxed.total_power_kw <= dc.budget.p_const_kw * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn hungry_tasks_bind_the_budget() {
+        // Factors > 1 make execution *more* expensive than the nameplate
+        // P-state power; the power row must bind and the reward drop
+        // below the base model's.
+        let (dc, plan) = setup();
+        let hungry = TaskPowerModel {
+            factors: vec![2.0; dc.n_task_types()],
+            idle_factor: 1.0,
+        };
+        let aware =
+            solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &hungry).unwrap();
+        assert!(
+            aware.reward_rate < plan.reward_rate(),
+            "hungry {} !< base {}",
+            aware.reward_rate,
+            plan.reward_rate()
+        );
+        assert!(aware.total_power_kw <= dc.budget.p_const_kw * (1.0 + 1e-5) + 1e-5);
+    }
+
+    #[test]
+    fn mixed_factors_respect_power_exactly() {
+        let (dc, plan) = setup();
+        let mixed = TaskPowerModel {
+            factors: (0..dc.n_task_types())
+                .map(|i| 0.5 + 0.2 * (i % 4) as f64)
+                .collect(),
+            idle_factor: 0.4,
+        };
+        let aware =
+            solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &mixed).unwrap();
+        assert!(aware.reward_rate > 0.0);
+        assert!(aware.total_power_kw <= dc.budget.p_const_kw * (1.0 + 1e-5) + 1e-5);
+    }
+
+    #[test]
+    fn reclamation_uses_freed_headroom() {
+        // With an I/O-light mix the fixed plan leaves power on the table;
+        // the reclamation loop must convert some of it into reward while
+        // staying inside the exact budget.
+        let (dc, plan) = setup();
+        let io_ish = TaskPowerModel {
+            factors: vec![0.5; dc.n_task_types()],
+            idle_factor: 0.4,
+        };
+        let fixed =
+            solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &io_ish).unwrap();
+        let (upgraded, reclaimed) =
+            reclaim_power(&dc, &plan.pstates, plan.crac_out_c(), &io_ish, 32).unwrap();
+        assert!(
+            reclaimed.reward_rate >= fixed.reward_rate,
+            "reclamation lost reward: {} -> {}",
+            fixed.reward_rate,
+            reclaimed.reward_rate
+        );
+        assert!(reclaimed.total_power_kw <= dc.budget.p_const_kw * (1.0 + 1e-6) + 1e-6);
+        // Some upgrade actually happened (the plan had headroom).
+        let changed = upgraded
+            .iter()
+            .zip(&plan.pstates)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            changed > 0 || reclaimed.reward_rate == fixed.reward_rate,
+            "no upgrades despite headroom"
+        );
+    }
+
+    #[test]
+    fn reclamation_is_a_noop_without_headroom() {
+        // Uniform factors: the plan already saturates the budget, so the
+        // loop must terminate immediately at the base reward.
+        let (dc, plan) = setup();
+        let uniform = TaskPowerModel::uniform(dc.n_task_types());
+        let (upgraded, sol) =
+            reclaim_power(&dc, &plan.pstates, plan.crac_out_c(), &uniform, 8).unwrap();
+        let diff = (sol.reward_rate - plan.reward_rate()).abs();
+        assert!(diff <= 1e-4 * (1.0 + plan.reward_rate()) + 1e-6,
+            "noop reclamation changed reward: {} vs {}", sol.reward_rate, plan.reward_rate());
+        let _ = upgraded;
+    }
+
+    #[test]
+    #[should_panic(expected = "one factor per task type")]
+    fn wrong_factor_count_panics() {
+        let (dc, plan) = setup();
+        let bad = TaskPowerModel {
+            factors: vec![1.0; 3],
+            idle_factor: 1.0,
+        };
+        let _ = solve_stage3_task_aware(&dc, &plan.pstates, plan.crac_out_c(), &bad);
+    }
+}

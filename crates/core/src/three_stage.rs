@@ -1,0 +1,170 @@
+//! The end-to-end three-stage assignment (paper Section V.B).
+
+use crate::stage1::{solve_stage1, Stage1Options, Stage1Solution};
+use crate::stage2::assign_pstates;
+use crate::stage3::{solve_stage3, Stage3Solution};
+use thermaware_datacenter::{CracSearchOptions, DataCenter};
+
+/// Options for the full three-stage solve.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeStageOptions {
+    /// The ψ parameter (percent of task types in the ARR average).
+    pub psi_percent: f64,
+    /// CRAC outlet search strategy for Stage 1.
+    pub search: CracSearchOptions,
+}
+
+impl Default for ThreeStageOptions {
+    fn default() -> Self {
+        ThreeStageOptions {
+            psi_percent: 50.0,
+            search: CracSearchOptions::default(),
+        }
+    }
+}
+
+/// The complete first-step assignment the paper's technique produces: CRAC
+/// outlets, per-core P-states, and desired execution rates.
+#[derive(Debug, Clone)]
+pub struct ThreeStageSolution {
+    /// ψ used.
+    pub psi_percent: f64,
+    /// Stage-1 plan (continuous relaxation).
+    pub stage1: Stage1Solution,
+    /// Per-core P-state assignment (global core order).
+    pub pstates: Vec<usize>,
+    /// Stage-3 desired execution rates.
+    pub stage3: Stage3Solution,
+}
+
+impl ThreeStageSolution {
+    /// The achieved total reward rate (Stage 3's exact LP objective — the
+    /// number Figure 6 compares).
+    pub fn reward_rate(&self) -> f64 {
+        self.stage3.reward_rate
+    }
+
+    /// Chosen CRAC outlet temperatures.
+    pub fn crac_out_c(&self) -> &[f64] {
+        &self.stage1.crac_out_c
+    }
+}
+
+/// Run Stages 1–3 for one ψ.
+pub fn solve_three_stage(
+    dc: &DataCenter,
+    options: &ThreeStageOptions,
+) -> Result<ThreeStageSolution, String> {
+    let stage1 = solve_stage1(
+        dc,
+        &Stage1Options {
+            psi_percent: options.psi_percent,
+            search: options.search,
+        },
+    )?;
+    let pstates = assign_pstates(dc, &stage1);
+    let stage3 = solve_stage3(dc, &pstates)?;
+    Ok(ThreeStageSolution {
+        psi_percent: options.psi_percent,
+        stage1,
+        pstates,
+        stage3,
+    })
+}
+
+/// Run the three-stage technique for several ψ values and keep the best
+/// (by Stage-3 reward rate) — the paper's "best of the two" series in
+/// Figure 6.
+pub fn solve_three_stage_best_of(
+    dc: &DataCenter,
+    psis: &[f64],
+    search: CracSearchOptions,
+) -> Result<ThreeStageSolution, String> {
+    assert!(!psis.is_empty());
+    let mut best: Option<ThreeStageSolution> = None;
+    let mut last_err = String::new();
+    for &psi in psis {
+        match solve_three_stage(
+            dc,
+            &ThreeStageOptions {
+                psi_percent: psi,
+                search,
+            },
+        ) {
+            Ok(sol) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| sol.reward_rate() > b.reward_rate())
+                {
+                    best = Some(sol);
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    best.ok_or(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_assignment;
+    use thermaware_datacenter::ScenarioParams;
+
+    #[test]
+    fn end_to_end_solves_and_verifies() {
+        let dc = ScenarioParams::small_test().build(1).unwrap();
+        let sol = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("solve");
+        assert!(sol.reward_rate() > 0.0);
+        assert!(sol.reward_rate() <= dc.workload.max_reward_rate() * (1.0 + 1e-9));
+        let report = verify_assignment(&dc, sol.crac_out_c(), &sol.pstates, Some(&sol.stage3));
+        assert!(report.is_feasible(), "{report:?}");
+    }
+
+    #[test]
+    fn stage3_reward_no_higher_than_stage1_estimate_bound() {
+        // Stage 1's objective is an optimistic estimate built from the
+        // best-ψ% task mix; Stage 3's exact reward can be lower (the
+        // paper explains this for ψ=25) but not absurdly higher than the
+        // theoretical max.
+        let dc = ScenarioParams::small_test().build(2).unwrap();
+        let sol = solve_three_stage(&dc, &ThreeStageOptions::default()).unwrap();
+        assert!(sol.reward_rate() <= dc.workload.max_reward_rate() * (1.0 + 1e-9));
+        assert!(sol.stage1.objective > 0.0);
+    }
+
+    #[test]
+    fn best_of_psi_picks_the_better_one() {
+        let dc = ScenarioParams::small_test().build(3).unwrap();
+        let s25 = solve_three_stage(
+            &dc,
+            &ThreeStageOptions {
+                psi_percent: 25.0,
+                ..ThreeStageOptions::default()
+            },
+        )
+        .unwrap();
+        let s50 = solve_three_stage(
+            &dc,
+            &ThreeStageOptions {
+                psi_percent: 50.0,
+                ..ThreeStageOptions::default()
+            },
+        )
+        .unwrap();
+        let best =
+            solve_three_stage_best_of(&dc, &[25.0, 50.0], CracSearchOptions::default()).unwrap();
+        let expected = s25.reward_rate().max(s50.reward_rate());
+        assert!((best.reward_rate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_forces_some_cores_off_or_deep() {
+        // Pconst = (Pmin+Pmax)/2 cannot power every core at P0: the
+        // assignment must park some cores in deeper states or off.
+        let dc = ScenarioParams::small_test().build(4).unwrap();
+        let sol = solve_three_stage(&dc, &ThreeStageOptions::default()).unwrap();
+        let non_p0 = sol.pstates.iter().filter(|&&p| p != 0).count();
+        assert!(non_p0 > 0, "all cores at P0 under an oversubscribed budget");
+    }
+}

@@ -1,0 +1,132 @@
+//! Equivalence of the grouped Stage-3 LP against a direct per-core
+//! formulation of Eq. 7's continuous sub-problem.
+//!
+//! `thermaware-core` groups cores by `(node type, P-state)` — a claimed
+//! lossless reduction. This test solves the *ungrouped* LP (one `TC(i,k)`
+//! variable per task type per individual core, per-core capacity rows)
+//! and checks the optima coincide, on several scenarios and P-state
+//! assignments, including asymmetric ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thermaware_core::stage3::solve_stage3;
+use thermaware_datacenter::{DataCenter, ScenarioParams};
+
+/// 6 nodes keep the *ungrouped* LP (thousands of per-core variables)
+/// fast enough for the debug-profile test suite.
+fn small_dc(seed: u64) -> DataCenter {
+    ScenarioParams {
+        n_nodes: 6,
+        ..ScenarioParams::small_test()
+    }
+    .build(seed)
+    .unwrap()
+}
+use thermaware_lp::{Problem, RowOp, Sense, VarId};
+
+/// The per-core Stage-3 LP, straight from Eq. 7 with P-states and CRAC
+/// outlets fixed.
+fn solve_stage3_per_core(dc: &DataCenter, pstates: &[usize]) -> f64 {
+    let t = dc.n_task_types();
+    let mut p = Problem::new(Sense::Maximize);
+    let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(dc.n_cores());
+    for k in 0..dc.n_cores() {
+        let nt = dc.core_type(k);
+        let ps = pstates[k];
+        let mut row = Vec::with_capacity(t);
+        for i in 0..t {
+            let ecs = dc.workload.ecs.ecs(i, nt, ps);
+            let ok = ecs > 0.0 && dc.workload.deadline_feasible(i, nt, ps);
+            row.push(ok.then(|| {
+                p.add_var(
+                    &format!("tc_{i}_{k}"),
+                    0.0,
+                    f64::INFINITY,
+                    dc.workload.task_types[i].reward,
+                )
+            }));
+        }
+        vars.push(row);
+    }
+    // Constraint 1: per-core capacity.
+    for k in 0..dc.n_cores() {
+        let nt = dc.core_type(k);
+        let ps = pstates[k];
+        let terms: Vec<(VarId, f64)> = (0..t)
+            .filter_map(|i| vars[k][i].map(|v| (v, 1.0 / dc.workload.ecs.ecs(i, nt, ps))))
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(&format!("cap_{k}"), &terms, RowOp::Le, 1.0);
+        }
+    }
+    // Constraint 3: arrivals.
+    for i in 0..t {
+        let terms: Vec<(VarId, f64)> = (0..dc.n_cores())
+            .filter_map(|k| vars[k][i].map(|v| (v, 1.0)))
+            .collect();
+        if !terms.is_empty() {
+            p.add_row_nodup(
+                &format!("arr_{i}"),
+                &terms,
+                RowOp::Le,
+                dc.workload.task_types[i].arrival_rate,
+            );
+        }
+    }
+    p.solve().expect("per-core LP").objective
+}
+
+fn check(dc: &DataCenter, pstates: &[usize]) {
+    let grouped = solve_stage3(dc, pstates).expect("grouped").reward_rate;
+    let per_core = solve_stage3_per_core(dc, pstates);
+    let diff = (grouped - per_core).abs();
+    assert!(
+        diff <= 1e-6 * (1.0 + grouped.abs()),
+        "grouped {grouped} vs per-core {per_core}"
+    );
+}
+
+#[test]
+fn uniform_pstate_assignments_match() {
+    let dc = small_dc(1);
+    for ps in 0..3 {
+        let pstates = vec![ps; dc.n_cores()];
+        check(&dc, &pstates);
+    }
+}
+
+#[test]
+fn striped_assignment_matches() {
+    let dc = small_dc(2);
+    let pstates: Vec<usize> = (0..dc.n_cores()).map(|k| k % 5).collect();
+    check(&dc, &pstates);
+}
+
+#[test]
+fn random_assignments_match() {
+    let dc = small_dc(3);
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..3 {
+        let pstates: Vec<usize> = (0..dc.n_cores())
+            .map(|k| {
+                let n = dc.node_type(dc.node_of_core(k)).core.pstates.n_total();
+                rng.gen_range(0..n)
+            })
+            .collect();
+        check(&dc, &pstates);
+    }
+}
+
+#[test]
+fn mostly_off_assignment_matches() {
+    let dc = small_dc(4);
+    let off = dc.node_type(0).core.pstates.off_index();
+    let mut pstates = vec![off; dc.n_cores()];
+    // A handful of active cores with different P-states.
+    for (idx, ps) in [(0usize, 0usize), (33, 1), (77, 2), (200, 3), (301, 0)] {
+        if idx < pstates.len() {
+            pstates[idx] = ps;
+        }
+    }
+    check(&dc, &pstates);
+}

@@ -1,0 +1,86 @@
+//! The data center's power bounds and budget (paper Section VI.F,
+//! Eqs. 17–18).
+//!
+//! `Pmin` is the total power (IT + cooling) with every core off; `Pmax`
+//! with every core in P-state 0 — each minimized over the CRAC outlet
+//! temperatures subject to the redlines, exactly the Eq.-17 problem. The
+//! inner problem at fixed outlets is a closed-form evaluation (node powers
+//! are fixed), so the paper's NLP reduces to the coarse-to-fine outlet
+//! search; as the paper notes, the result is an *upper bound* on the true
+//! minimum because the search is local/discretized.
+//!
+//! The simulation budget is `Pconst = (Pmin + Pmax)/2` (Eq. 18), which is
+//! what makes the data center oversubscribed: there is not enough power to
+//! run every core at P-state 0.
+
+use crate::crac_search::{optimize_crac_outlets, CracSearchOptions};
+use serde::{Deserialize, Serialize};
+use thermaware_power::NodeType;
+use thermaware_thermal::{CracUnit, ThermalModel};
+
+/// Power bounds and the Eq.-18 budget, kW.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    /// Upper bound on the minimum total power (all cores off), Eq. 17.
+    pub p_min_kw: f64,
+    /// Upper bound on the maximum total power (all cores at P-state 0),
+    /// Eq. 17.
+    pub p_max_kw: f64,
+    /// The budget `Pconst = (Pmin + Pmax)/2`, Eq. 18.
+    pub p_const_kw: f64,
+    /// CRAC outlets minimizing the all-off total (diagnostic).
+    pub min_outlets_c: Vec<f64>,
+    /// CRAC outlets minimizing the all-P0 total (diagnostic).
+    pub max_outlets_c: Vec<f64>,
+}
+
+impl PowerBudget {
+    /// Solve the two Eq.-17 bound problems and form the Eq.-18 budget.
+    ///
+    /// Errors when the all-P0 extreme cannot be cooled within redlines at
+    /// any searched outlet combination (the scenario is thermally
+    /// unbuildable, not merely oversubscribed).
+    pub fn compute(
+        thermal: &ThermalModel,
+        cracs: &[CracUnit],
+        node_types: &[NodeType],
+        node_type_of: &[usize],
+    ) -> Result<PowerBudget, String> {
+        let min_powers: Vec<f64> = node_type_of
+            .iter()
+            .map(|&t| node_types[t].min_power_kw())
+            .collect();
+        let max_powers: Vec<f64> = node_type_of
+            .iter()
+            .map(|&t| node_types[t].max_power_kw())
+            .collect();
+
+        let solve = |node_powers: &[f64]| -> Option<(Vec<f64>, f64)> {
+            optimize_crac_outlets(cracs, CracSearchOptions::default(), |outlets| {
+                let state = thermal.steady_state(outlets, node_powers);
+                if state.redline_violation(thermal.node_redline_c, thermal.crac_redline_c) > 1e-9
+                {
+                    return None;
+                }
+                let it: f64 = node_powers.iter().sum();
+                let cooling = thermal.total_crac_power_kw(&state);
+                // The search maximizes; we minimize power.
+                Some(-(it + cooling))
+            })
+        };
+
+        let (min_outlets, neg_pmin) = solve(&min_powers)
+            .ok_or_else(|| "all-off extreme violates redlines at every outlet".to_owned())?;
+        let (max_outlets, neg_pmax) = solve(&max_powers)
+            .ok_or_else(|| "all-P0 extreme violates redlines at every outlet".to_owned())?;
+        let p_min_kw = -neg_pmin;
+        let p_max_kw = -neg_pmax;
+        Ok(PowerBudget {
+            p_min_kw,
+            p_max_kw,
+            p_const_kw: 0.5 * (p_min_kw + p_max_kw),
+            min_outlets_c: min_outlets,
+            max_outlets_c: max_outlets,
+        })
+    }
+}

@@ -1,0 +1,191 @@
+//! The assembled [`DataCenter`] value and its power/thermal helpers.
+
+use crate::budget::PowerBudget;
+use thermaware_power::NodeType;
+use thermaware_thermal::{CracUnit, CrossInterference, Layout, ThermalModel, ThermalState};
+use thermaware_workload::Workload;
+
+/// One concrete data center: topology, hardware, cooling, workload, and
+/// power budget. Node ordering everywhere matches `layout.nodes`; cores
+/// use a global index grouped by node (`core = node * cores_per_node +
+/// within`, with per-node sizes from the node's type).
+#[derive(Debug, Clone)]
+pub struct DataCenter {
+    /// The hot-aisle/cold-aisle floor plan.
+    pub layout: Layout,
+    /// Catalog of node types (the paper's two Table-I servers).
+    pub node_types: Vec<NodeType>,
+    /// Node-type index of each node.
+    pub node_type_of: Vec<usize>,
+    /// CRAC units, one per hot aisle.
+    pub cracs: Vec<CracUnit>,
+    /// Steady-state thermal model (owns the factored heat-flow matrices).
+    pub thermal: ThermalModel,
+    /// The validated cross-interference coefficients the model was built
+    /// from (kept for inspection and re-derivation).
+    pub interference: CrossInterference,
+    /// The workload: task types and the ECS matrix.
+    pub workload: Workload,
+    /// Power bounds and the Eq.-18 budget.
+    pub budget: PowerBudget,
+    /// First global core index of each node (prefix sums), plus the total
+    /// at the end.
+    core_offsets: Vec<usize>,
+}
+
+impl DataCenter {
+    /// Assemble a data center from parts (used by the scenario generator;
+    /// prefer [`crate::ScenarioParams::build`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        layout: Layout,
+        node_types: Vec<NodeType>,
+        node_type_of: Vec<usize>,
+        cracs: Vec<CracUnit>,
+        thermal: ThermalModel,
+        interference: CrossInterference,
+        workload: Workload,
+        budget: PowerBudget,
+    ) -> DataCenter {
+        assert_eq!(node_type_of.len(), layout.n_nodes());
+        assert_eq!(cracs.len(), layout.n_crac);
+        let mut core_offsets = Vec::with_capacity(layout.n_nodes() + 1);
+        let mut acc = 0;
+        for &t in &node_type_of {
+            core_offsets.push(acc);
+            acc += node_types[t].cores_per_node;
+        }
+        core_offsets.push(acc);
+        DataCenter {
+            layout,
+            node_types,
+            node_type_of,
+            cracs,
+            thermal,
+            interference,
+            workload,
+            budget,
+            core_offsets,
+        }
+    }
+
+    /// Number of compute nodes `NCN`.
+    pub fn n_nodes(&self) -> usize {
+        self.layout.n_nodes()
+    }
+
+    /// Number of CRAC units `NCRAC`.
+    pub fn n_crac(&self) -> usize {
+        self.layout.n_crac
+    }
+
+    /// Total number of cores `NCORES`.
+    pub fn n_cores(&self) -> usize {
+        *self.core_offsets.last().unwrap()
+    }
+
+    /// Number of task types `T`.
+    pub fn n_task_types(&self) -> usize {
+        self.workload.n_task_types()
+    }
+
+    /// The node type of node `j`.
+    pub fn node_type(&self, node: usize) -> &NodeType {
+        &self.node_types[self.node_type_of[node]]
+    }
+
+    /// Global core-index range of node `j`.
+    pub fn cores_of_node(&self, node: usize) -> std::ops::Range<usize> {
+        self.core_offsets[node]..self.core_offsets[node + 1]
+    }
+
+    /// The node owning global core `k` (`CT_k`'s node), by binary search
+    /// over the offset table.
+    pub fn node_of_core(&self, core: usize) -> usize {
+        debug_assert!(core < self.n_cores());
+        match self.core_offsets.binary_search(&core) {
+            Ok(node) if node < self.n_nodes() => node,
+            Ok(node) => node - 1,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Node-type index of the node owning global core `k` (the paper's
+    /// `CT_k`).
+    pub fn core_type(&self, core: usize) -> usize {
+        self.node_type_of[self.node_of_core(core)]
+    }
+
+    /// Total cores of each node type (used by the Eq.-15 arrival sizing).
+    pub fn cores_of_type(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.node_types.len()];
+        for (node, &t) in self.node_type_of.iter().enumerate() {
+            counts[t] += self.node_types[t].cores_per_node;
+            debug_assert_eq!(
+                self.core_offsets[node + 1] - self.core_offsets[node],
+                self.node_types[t].cores_per_node
+            );
+        }
+        counts
+    }
+
+    /// Node powers (kW, Eq. 1) for per-node *core* power totals: base plus
+    /// the given total core draw of each node.
+    pub fn node_powers(&self, core_power_per_node: &[f64]) -> Vec<f64> {
+        assert_eq!(core_power_per_node.len(), self.n_nodes());
+        core_power_per_node
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| self.node_type(j).base_power_kw + p)
+            .collect()
+    }
+
+    /// Node powers for a full per-core P-state assignment (global core
+    /// index order).
+    pub fn node_powers_from_pstates(&self, pstates: &[usize]) -> Vec<f64> {
+        assert_eq!(pstates.len(), self.n_cores());
+        (0..self.n_nodes())
+            .map(|j| {
+                let nt = self.node_type(j);
+                nt.base_power_kw
+                    + self.cores_of_node(j)
+                        .map(|k| nt.core.pstates.power_kw(pstates[k]))
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Minimum node powers: every core off (nodes stay on — the paper's
+    /// oversubscribed setting never powers nodes down).
+    pub fn min_node_powers(&self) -> Vec<f64> {
+        (0..self.n_nodes())
+            .map(|j| self.node_type(j).min_power_kw())
+            .collect()
+    }
+
+    /// Maximum node powers: every core in P-state 0.
+    pub fn max_node_powers(&self) -> Vec<f64> {
+        (0..self.n_nodes())
+            .map(|j| self.node_type(j).max_power_kw())
+            .collect()
+    }
+
+    /// Total data-center power (IT + cooling, kW) at given CRAC outlets
+    /// and node powers, together with the thermal state it was computed
+    /// at: `(it_kw, cooling_kw, state)`.
+    pub fn total_power_kw(
+        &self,
+        crac_out_c: &[f64],
+        node_powers_kw: &[f64],
+    ) -> (f64, f64, ThermalState) {
+        let state = self.thermal.steady_state(crac_out_c, node_powers_kw);
+        let it: f64 = node_powers_kw.iter().sum();
+        let cooling = self.thermal.total_crac_power_kw(&state);
+        (it, cooling, state)
+    }
+
+    /// Convenience: does this state respect both redlines (Eq. 6)?
+    pub fn redlines_ok(&self, state: &ThermalState) -> bool {
+        state.redline_violation(self.thermal.node_redline_c, self.thermal.crac_redline_c) <= 1e-9
+    }
+}

@@ -1,0 +1,264 @@
+//! The Section-VI scenario generator: one seed → one reproducible data
+//! center.
+
+use crate::budget::PowerBudget;
+use crate::datacenter::DataCenter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use thermaware_power::NodeType;
+use thermaware_thermal::{interference, CracUnit, Layout, ThermalModel};
+use thermaware_workload::WorkloadGenParams;
+
+/// Which cross-interference generator to use (see
+/// `thermaware_thermal::interference`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterferenceMethod {
+    /// Iterative proportional fitting — milliseconds at 153 units; the
+    /// default for the Figure-6 replication.
+    Ipf,
+    /// The Appendix-B LP feasibility problem — exact, slower; used at
+    /// small scale and in cross-validation tests.
+    Lp,
+}
+
+/// Everything that defines a simulated data center except the seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Number of compute nodes (150 in the paper's runs).
+    pub n_nodes: usize,
+    /// Number of CRAC units (3 in the paper's runs).
+    pub n_crac: usize,
+    /// Static share of P-state-0 core power used to calibrate the CMOS
+    /// model (0.3 for simulation sets 1–2, 0.2 for set 3).
+    pub static_share: f64,
+    /// Workload generation parameters (Section VI.C–D).
+    pub workload: WorkloadGenParams,
+    /// Node inlet redline, °C (25 in the paper).
+    pub node_redline_c: f64,
+    /// CRAC inlet redline, °C (40 in the paper).
+    pub crac_redline_c: f64,
+    /// Searchable CRAC outlet range, °C.
+    pub crac_outlet_range: (f64, f64),
+    /// CRAC air-flow oversizing relative to the paper's Section-VI.G
+    /// rule (flows summing exactly to the node total). 1.0 = the paper;
+    /// values above 1 buy N−1 failure margin (see the `crac_failure`
+    /// experiment).
+    pub crac_flow_margin: f64,
+    /// Cross-interference generator.
+    pub interference: InterferenceMethod,
+}
+
+impl ScenarioParams {
+    /// The paper's simulation configuration: 150 nodes, 3 CRACs, 8 task
+    /// types, with the given static power share and `V_prop` (the two
+    /// knobs Figure 6 varies).
+    pub fn paper(static_share: f64, v_prop: f64) -> ScenarioParams {
+        let mut workload = WorkloadGenParams::default();
+        workload.ecs.v_prop = v_prop;
+        ScenarioParams {
+            n_nodes: 150,
+            n_crac: 3,
+            static_share,
+            workload,
+            node_redline_c: 25.0,
+            crac_redline_c: 40.0,
+            crac_outlet_range: (10.0, 25.0),
+            crac_flow_margin: 1.0,
+            interference: InterferenceMethod::Ipf,
+        }
+    }
+
+    /// A small configuration for fast tests: 1 CRAC, 10 nodes.
+    pub fn small_test() -> ScenarioParams {
+        ScenarioParams {
+            n_nodes: 10,
+            n_crac: 1,
+            ..ScenarioParams::paper(0.3, 0.1)
+        }
+    }
+
+    /// Build the scenario for a seed. Every random draw (node types,
+    /// interference, workload) comes from one `StdRng`, so a
+    /// `(params, seed)` pair is fully reproducible.
+    ///
+    /// Rarely — mostly at small node counts — a drawn node-type placement
+    /// makes Table II's EC/RC ranges unsatisfiable (see
+    /// `thermaware_thermal::interference`); such draws are rejected and
+    /// redrawn deterministically, up to 20 attempts.
+    pub fn build(&self, seed: u64) -> Result<DataCenter, String> {
+        let mut last_err = String::new();
+        for attempt in 0..20u64 {
+            match self.build_attempt(seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))) {
+                Ok(dc) => return Ok(dc),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(format!("scenario build failed after 20 attempts: {last_err}"))
+    }
+
+    fn build_attempt(&self, seed: u64) -> Result<DataCenter, String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = Layout::hot_cold_aisle(self.n_crac, self.n_nodes);
+
+        // Node types: uniform random assignment (Section VI.B).
+        let node_types = NodeType::paper_node_types(self.static_share);
+        let node_type_of: Vec<usize> = (0..self.n_nodes)
+            .map(|_| rng.gen_range(0..node_types.len()))
+            .collect();
+
+        // Flows and cross-interference.
+        let node_flows: Vec<f64> = node_type_of
+            .iter()
+            .map(|&t| node_types[t].air_flow_m3s)
+            .collect();
+        let flows =
+            interference::flows_with_margin(&layout, &node_flows, self.crac_flow_margin);
+        let ci = match self.interference {
+            InterferenceMethod::Ipf => interference::generate_ipf(&layout, &flows, &mut rng)?,
+            InterferenceMethod::Lp => interference::generate_lp(&layout, &flows, &mut rng)?,
+        };
+        let thermal = ThermalModel::new(
+            &layout,
+            &flows,
+            &ci,
+            self.node_redline_c,
+            self.crac_redline_c,
+        )?;
+
+        // CRAC units: flow per Section VI.G, outlet range per DESIGN.md.
+        let cracs: Vec<CracUnit> = (0..self.n_crac)
+            .map(|i| CracUnit {
+                flow_m3s: flows[i],
+                min_outlet_c: self.crac_outlet_range.0,
+                max_outlet_c: self.crac_outlet_range.1,
+            })
+            .collect();
+
+        // Workload sized to this floor's core counts (Eq. 15).
+        let freqs: Vec<Vec<f64>> = node_types
+            .iter()
+            .map(|nt| {
+                (0..nt.core.pstates.n_active())
+                    .map(|k| nt.core.pstates.freq_mhz(k))
+                    .collect()
+            })
+            .collect();
+        let mut cores_of_type = vec![0usize; node_types.len()];
+        for &t in &node_type_of {
+            cores_of_type[t] += node_types[t].cores_per_node;
+        }
+        let workload = self.workload.generate(&freqs, &cores_of_type, &mut rng);
+
+        // Power bounds and budget (Eqs. 17-18).
+        let budget = PowerBudget::compute(&thermal, &cracs, &node_types, &node_type_of)?;
+
+        Ok(DataCenter::new(
+            layout,
+            node_types,
+            node_type_of,
+            cracs,
+            thermal,
+            ci,
+            workload,
+            budget,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_builds() {
+        let dc = ScenarioParams::small_test().build(1).expect("build");
+        assert_eq!(dc.n_nodes(), 10);
+        assert_eq!(dc.n_crac(), 1);
+        assert_eq!(dc.n_cores(), 10 * 32);
+        assert_eq!(dc.n_task_types(), 8);
+    }
+
+    #[test]
+    fn budget_orders_and_oversubscription() {
+        let dc = ScenarioParams::small_test().build(2).expect("build");
+        let b = &dc.budget;
+        assert!(b.p_min_kw > 0.0);
+        assert!(b.p_min_kw < b.p_const_kw);
+        assert!(b.p_const_kw < b.p_max_kw);
+        assert!((b.p_const_kw - 0.5 * (b.p_min_kw + b.p_max_kw)).abs() < 1e-12);
+        // Oversubscribed: the budget cannot cover all-P0 operation.
+        let (it, cooling, _) = dc.total_power_kw(&b.max_outlets_c, &dc.max_node_powers());
+        assert!(it + cooling > b.p_const_kw);
+    }
+
+    #[test]
+    fn core_indexing_round_trips() {
+        let dc = ScenarioParams::small_test().build(3).expect("build");
+        for node in 0..dc.n_nodes() {
+            for core in dc.cores_of_node(node) {
+                assert_eq!(dc.node_of_core(core), node, "core {core}");
+                assert_eq!(dc.core_type(core), dc.node_type_of[node]);
+            }
+        }
+        let counts = dc.cores_of_type();
+        assert_eq!(counts.iter().sum::<usize>(), dc.n_cores());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = ScenarioParams::small_test().build(7).unwrap();
+        let b = ScenarioParams::small_test().build(7).unwrap();
+        assert_eq!(a.node_type_of, b.node_type_of);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.budget.p_const_kw, b.budget.p_const_kw);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ScenarioParams::small_test().build(10).unwrap();
+        let b = ScenarioParams::small_test().build(11).unwrap();
+        assert!(a.workload != b.workload || a.node_type_of != b.node_type_of);
+    }
+
+    #[test]
+    fn node_powers_track_pstates() {
+        let dc = ScenarioParams::small_test().build(4).unwrap();
+        // All cores at P0 equals the advertised maximum.
+        let close = |a: &[f64], b: &[f64]| {
+            a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-12)
+        };
+        let p0 = vec![0usize; dc.n_cores()];
+        let max = dc.node_powers_from_pstates(&p0);
+        // Summation order differs (per-core loop vs count * power), so
+        // compare within float tolerance.
+        assert!(close(&max, &dc.max_node_powers()));
+        // All off equals the minimum.
+        let off: Vec<usize> = (0..dc.n_cores())
+            .map(|k| dc.node_type(dc.node_of_core(k)).core.pstates.off_index())
+            .collect();
+        let min = dc.node_powers_from_pstates(&off);
+        assert!(close(&min, &dc.min_node_powers()));
+    }
+
+    #[test]
+    fn lp_interference_scenario_builds() {
+        let params = ScenarioParams {
+            interference: InterferenceMethod::Lp,
+            ..ScenarioParams::small_test()
+        };
+        let dc = params.build(5).expect("LP interference build");
+        assert_eq!(dc.n_nodes(), 10);
+    }
+
+    #[test]
+    fn params_serde_round_trip() {
+        let p = ScenarioParams::paper(0.2, 0.3);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ScenarioParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_nodes, 150);
+        assert_eq!(back.static_share, 0.2);
+        assert_eq!(back.workload.ecs.v_prop, 0.3);
+        assert_eq!(back.interference, InterferenceMethod::Ipf);
+    }
+}

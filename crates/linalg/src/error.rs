@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) at the given pivot column.
+    Singular {
+        /// Column index at which no acceptable pivot was found.
+        column: usize,
+    },
+    /// The matrix is not square where a square matrix is required.
+    NotSquare {
+        /// Actual shape of the offending matrix.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular: no pivot in column {column}")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is {}x{}, expected square", shape.0, shape.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,236 @@
+use crate::{LinalgError, Matrix};
+
+/// LU factorization with partial (row) pivoting: `P A = L U`.
+///
+/// The factors are stored packed in a single matrix (`U` on and above the
+/// diagonal, the unit-lower `L` strictly below it) together with the row
+/// permutation. This is the classic LAPACK `getrf` layout.
+///
+/// The thermal steady-state solver factors `(I - A_nn)` once per scenario
+/// and then back-substitutes for every candidate power vector, so the
+/// factor/solve split matters.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (strictly lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// `perm[i]` is the row of the original matrix that ended up at row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this (relative to the matrix scale) are treated as
+/// zero, i.e. the matrix is reported singular.
+const PIVOT_EPS: f64 = 1e-12;
+
+impl Lu {
+    /// Factor a square matrix. Returns [`LinalgError::Singular`] when a
+    /// pivot column has no usable entry and [`LinalgError::NotSquare`] for
+    /// non-square input.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        // Scale-aware singularity threshold: a pivot is "zero" relative to
+        // the largest entry of the original matrix.
+        let scale = a.max_abs().max(1.0);
+        let tol = PIVOT_EPS * scale;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest entry in column k at or
+            // below the diagonal.
+            let mut piv_row = k;
+            let mut piv_val = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = i;
+                }
+            }
+            if piv_val <= tol {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if piv_row != k {
+                lu.swap_rows(piv_row, k);
+                perm.swap(piv_row, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                // Row update on the contiguous tail of row i.
+                let (rk, ri) = lu.two_rows_mut(k, i);
+                for j in k + 1..n {
+                    ri[j] -= m * rk[j];
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // L y = P b (unit lower triangular).
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut s = x[i];
+            for j in 0..i {
+                s -= row[j] * x[j];
+            }
+            x[i] = s;
+        }
+        // U x = y.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_matrix",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let sol = self.solve(&col)?;
+            for i in 0..n {
+                x[(i, j)] = sol[i];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Compute the explicit inverse. Prefer [`Lu::solve`] when only products
+    /// with the inverse are needed; the explicit inverse is used where the
+    /// same small matrix multiplies many vectors (the thermal constraint
+    /// coefficient extraction).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        // Known solution of this textbook system: x = (2, 3, -1).
+        let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert_close(&x, &[2.0, 3.0, -1.0], 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert_close(&x, &[7.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn not_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_matches_known_values() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((Lu::factor(&a).unwrap().determinant() - 12.0).abs() < 1e-12);
+        // A permutation flips the sign.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((Lu::factor(&p).unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.5], &[2.0, 5.0, 1.0], &[0.5, 1.0, 3.0]]);
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        let err = prod.sub(&Matrix::identity(3)).unwrap().max_abs();
+        assert!(err < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        let c0 = lu.solve(&[1.0, 0.0]).unwrap();
+        let c1 = lu.solve(&[0.0, 1.0]).unwrap();
+        assert_close(&x.col(0), &c0, 0.0);
+        assert_close(&x.col(1), &c1, 0.0);
+    }
+
+    #[test]
+    fn rhs_length_mismatch_errors() {
+        let a = Matrix::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! A dense linear-programming solver for the `thermaware` workspace.
+//!
+//! The paper's optimization problems — Stage 1 with fixed CRAC outlet
+//! temperatures, Stage 3, the Eq.-21 baseline, the Eq.-17 power-bounds
+//! problem, and the Appendix-B cross-interference feasibility problem — are
+//! all linear programs once the (few, 1 °C-granular) CRAC outlet
+//! temperatures are fixed, exactly as the paper observes in Section V.B.2.
+//! This crate provides the LP solver those problems run on.
+//!
+//! The solver is a **two-phase primal simplex on a dense tableau with
+//! implicit variable bounds**: variables may be nonbasic at either their
+//! lower or upper bound, so box constraints (e.g. the piecewise-linear
+//! segment lengths of the Stage-1 aggregate-reward-rate curves, or the
+//! `FRAC(i,j) ∈ [0,1]` fractions of the baseline) never become tableau
+//! rows. Anti-cycling falls back to Bland's rule after a run of degenerate
+//! steps.
+//!
+//! Problem sizes in this workspace top out around ~300 rows × ~2000 columns
+//! (the Eq.-21 baseline on a 150-node data center), where a dense tableau
+//! is both fast and simple to reason about.
+//!
+//! # Example
+//!
+//! ```
+//! use thermaware_lp::{Problem, Sense, RowOp, Status};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x, y >= 0
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x", 0.0, 2.0, 3.0);
+//! let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! p.add_row("cap", &[(x, 1.0), (y, 1.0)], RowOp::Le, 4.0);
+//! let sol = p.solve().unwrap();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - 10.0).abs() < 1e-9); // x = 2, y = 2
+//! ```
+
+mod model;
+pub mod mps;
+mod presolve;
+mod simplex;
+mod solution;
+
+pub use model::{ConstraintId, Problem, RowOp, Sense, VarId};
+pub use mps::to_mps;
+pub use solution::{LpError, Solution, Status};

@@ -1,0 +1,306 @@
+use crate::simplex;
+use crate::solution::{LpError, Solution};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relational operator of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOp {
+    /// `a · x <= rhs`
+    Le,
+    /// `a · x >= rhs`
+    Ge,
+    /// `a · x == rhs`
+    Eq,
+}
+
+/// Handle to a decision variable of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Handle to a constraint row of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub name: String,
+    /// Sparse row: `(column, coefficient)` pairs, deduplicated on build.
+    pub terms: Vec<(usize, f64)>,
+    pub op: RowOp,
+    pub rhs: f64,
+}
+
+/// An LP model under construction.
+///
+/// Variables carry box bounds `[lower, upper]` (either side may be
+/// infinite) and an objective coefficient; constraints are sparse rows.
+/// Call [`Problem::solve`] for an optimum or [`Problem::solve_feasibility`]
+/// for any feasible point (used by the Appendix-B coefficient generator).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Create an empty problem with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
+    }
+
+    /// Add a decision variable.
+    ///
+    /// `lower`/`upper` are the box bounds (use `f64::NEG_INFINITY` /
+    /// `f64::INFINITY` for free sides); `objective` is the coefficient in
+    /// the objective function.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or any argument is NaN — these are
+    /// modeling bugs, not runtime conditions.
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan() && !objective.is_nan(),
+            "NaN in variable '{name}'");
+        assert!(lower <= upper, "variable '{name}': lower {lower} > upper {upper}");
+        self.vars.push(Variable {
+            name: name.to_owned(),
+            lower,
+            upper,
+            objective,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add a constraint row `Σ coeff·var (op) rhs`.
+    ///
+    /// Repeated `VarId`s in `terms` are summed. Zero coefficients are kept
+    /// (they are harmless and preserve the caller's row structure).
+    ///
+    /// # Panics
+    /// Panics on NaN coefficients/rhs or out-of-range variable ids.
+    pub fn add_row(&mut self, name: &str, terms: &[(VarId, f64)], op: RowOp, rhs: f64) -> ConstraintId {
+        assert!(!rhs.is_nan(), "NaN rhs in row '{name}'");
+        let mut dense: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(VarId(j), c) in terms {
+            assert!(j < self.vars.len(), "row '{name}' references unknown variable");
+            assert!(!c.is_nan(), "NaN coefficient in row '{name}'");
+            match dense.iter_mut().find(|(jj, _)| *jj == j) {
+                Some((_, acc)) => *acc += c,
+                None => dense.push((j, c)),
+            }
+        }
+        self.cons.push(Constraint {
+            name: name.to_owned(),
+            terms: dense,
+            op,
+            rhs,
+        });
+        ConstraintId(self.cons.len() - 1)
+    }
+
+    /// Like [`Problem::add_row`] but without duplicate-term merging — the
+    /// caller guarantees each `VarId` appears at most once. Use for large
+    /// machine-generated rows (e.g. the thermal constraint rows, whose
+    /// hundreds of terms would make the quadratic dedup scan the
+    /// bottleneck).
+    pub fn add_row_nodup(
+        &mut self,
+        name: &str,
+        terms: &[(VarId, f64)],
+        op: RowOp,
+        rhs: f64,
+    ) -> ConstraintId {
+        assert!(!rhs.is_nan(), "NaN rhs in row '{name}'");
+        let dense: Vec<(usize, f64)> = terms
+            .iter()
+            .map(|&(VarId(j), c)| {
+                debug_assert!(j < self.vars.len(), "row '{name}' references unknown variable");
+                debug_assert!(!c.is_nan(), "NaN coefficient in row '{name}'");
+                (j, c)
+            })
+            .collect();
+        debug_assert!(
+            {
+                let mut seen: Vec<usize> = dense.iter().map(|&(j, _)| j).collect();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate variable in add_row_nodup row '{name}'"
+        );
+        self.cons.push(Constraint {
+            name: name.to_owned(),
+            terms: dense,
+            op,
+            rhs,
+        });
+        ConstraintId(self.cons.len() - 1)
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_rows(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Name of a constraint row (for diagnostics).
+    pub fn row_name(&self, c: ConstraintId) -> &str {
+        &self.cons[c.0].name
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn var_objective(&self, v: VarId) -> f64 {
+        self.vars[v.0].objective
+    }
+
+    /// Change a variable's objective coefficient in place (used when the
+    /// same constraint structure is re-solved with a different objective).
+    pub fn set_var_objective(&mut self, v: VarId, objective: f64) {
+        assert!(!objective.is_nan());
+        self.vars[v.0].objective = objective;
+    }
+
+    /// Change a variable's bounds in place.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper` or either is NaN.
+    pub fn set_var_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        assert!(!lower.is_nan() && !upper.is_nan());
+        assert!(lower <= upper, "set_var_bounds: lower {lower} > upper {upper}");
+        self.vars[v.0].lower = lower;
+        self.vars[v.0].upper = upper;
+    }
+
+    /// Solve the LP to optimality.
+    ///
+    /// Returns a [`Solution`] whose `status` is [`crate::Status::Optimal`],
+    /// or an [`LpError`] describing infeasibility / unboundedness /
+    /// numerical failure.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        simplex::solve(self, false)
+    }
+
+    /// Solve after a presolve pass (fixed-variable substitution, empty-row
+    /// elimination, unconstrained-column pinning); the postsolve maps
+    /// primal values and row duals back exactly. Opt-in — see the
+    /// `presolve` module docs for when it pays.
+    pub fn solve_presolved(&self) -> Result<Solution, LpError> {
+        crate::presolve::solve_presolved(self)
+    }
+
+    /// Find *any* feasible point (phase 1 only); the objective is ignored.
+    ///
+    /// Used by the Appendix-B cross-interference LP, which is a pure
+    /// feasibility problem ("Find α subject to …").
+    pub fn solve_feasibility(&self) -> Result<Solution, LpError> {
+        simplex::solve(self, true)
+    }
+
+    /// Evaluate the objective at a given point (no feasibility check).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Maximum constraint violation of a point (0 when feasible).
+    ///
+    /// Checks rows and variable bounds; useful for verifying solutions in
+    /// tests and for the assignment-solution verifier in `thermaware-core`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        let mut worst = 0.0_f64;
+        for v in self.vars.iter().zip(x.iter()) {
+            let (var, &xi) = v;
+            if var.lower.is_finite() {
+                worst = worst.max(var.lower - xi);
+            }
+            if var.upper.is_finite() {
+                worst = worst.max(xi - var.upper);
+            }
+        }
+        for c in &self.cons {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * x[j]).sum();
+            let viol = match c.op {
+                RowOp::Le => lhs - c.rhs,
+                RowOp::Ge => c.rhs - lhs,
+                RowOp::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        p.add_row("r", &[(x, 1.0), (x, 2.0)], RowOp::Le, 6.0);
+        // 3x <= 6 -> x = 2 at optimum.
+        let sol = p.solve().unwrap();
+        assert!((sol.values[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower")]
+    fn inverted_bounds_panic() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var("x", 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn max_violation_reports_worst() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0, 1.0);
+        p.add_row("r", &[(x, 1.0), (y, 1.0)], RowOp::Le, 1.0);
+        assert_eq!(p.max_violation(&[0.5, 0.5]), 0.0);
+        assert!((p.max_violation(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((p.max_violation(&[-0.5, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_value_is_linear() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_var("x", 0.0, 1.0, 2.0);
+        let _y = p.add_var("y", 0.0, 1.0, -3.0);
+        assert_eq!(p.objective_value(&[1.0, 1.0]), -1.0);
+        assert_eq!(p.objective_value(&[0.0, 2.0]), -6.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! MPS export: dump a [`Problem`] in the (free-form) MPS interchange
+//! format, so any model this workspace builds can be inspected with — or
+//! cross-checked against — an external solver (GLPK, HiGHS, CPLEX…).
+//!
+//! Free-form MPS is emitted (whitespace-separated fields, names beyond 8
+//! characters allowed); all mainstream solvers accept it. Conventions:
+//!
+//! * the objective row is named `COST` and tagged `N`;
+//! * maximization is encoded by negating the objective coefficients and
+//!   noting the flip in a comment (classic MPS has no sense marker);
+//! * variable bounds map to `LO`/`UP`/`FX`/`MI`/`FR` entries; the default
+//!   MPS bound (`[0, +inf)`) is emitted explicitly anyway for clarity.
+
+use crate::model::{Problem, RowOp, Sense};
+use std::fmt::Write as _;
+
+/// Render the problem as a free-form MPS document.
+pub fn to_mps(problem: &Problem, name: &str) -> String {
+    let mut out = String::new();
+    let flip = match problem.sense {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    if problem.sense == Sense::Maximize {
+        out.push_str("* Maximization problem: objective negated for MPS (minimize COST).\n");
+    }
+    let _ = writeln!(out, "NAME {}", sanitize(name));
+
+    // ROWS.
+    out.push_str("ROWS\n N COST\n");
+    for (i, c) in problem.cons.iter().enumerate() {
+        let tag = match c.op {
+            RowOp::Le => 'L',
+            RowOp::Ge => 'G',
+            RowOp::Eq => 'E',
+        };
+        let _ = writeln!(out, " {tag} {}", row_name(problem, i));
+    }
+
+    // COLUMNS: objective entry plus every row coefficient, grouped per
+    // variable (column-major, as MPS expects).
+    out.push_str("COLUMNS\n");
+    // Build per-variable row lists once (the Problem stores rows sparsely
+    // by row, MPS wants them by column).
+    let nvars = problem.vars.len();
+    let mut per_var: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nvars];
+    for (i, c) in problem.cons.iter().enumerate() {
+        for &(j, a) in &c.terms {
+            if a != 0.0 {
+                per_var[j].push((i, a));
+            }
+        }
+    }
+    for (j, v) in problem.vars.iter().enumerate() {
+        let vn = var_name(problem, j);
+        if v.objective != 0.0 {
+            let _ = writeln!(out, " {vn} COST {}", fmt_num(flip * v.objective));
+        }
+        for &(i, a) in &per_var[j] {
+            let _ = writeln!(out, " {vn} {} {}", row_name(problem, i), fmt_num(a));
+        }
+        if v.objective == 0.0 && per_var[j].is_empty() {
+            // MPS requires every column to appear; emit a zero objective
+            // entry for columns no row touches.
+            let _ = writeln!(out, " {vn} COST 0");
+        }
+    }
+
+    // RHS.
+    out.push_str("RHS\n");
+    for (i, c) in problem.cons.iter().enumerate() {
+        if c.rhs != 0.0 {
+            let _ = writeln!(out, " RHS {} {}", row_name(problem, i), fmt_num(c.rhs));
+        }
+    }
+
+    // BOUNDS.
+    out.push_str("BOUNDS\n");
+    for (j, v) in problem.vars.iter().enumerate() {
+        let vn = var_name(problem, j);
+        match (v.lower.is_finite(), v.upper.is_finite()) {
+            (true, true) if v.lower == v.upper => {
+                let _ = writeln!(out, " FX BND {vn} {}", fmt_num(v.lower));
+            }
+            (true, true) => {
+                let _ = writeln!(out, " LO BND {vn} {}", fmt_num(v.lower));
+                let _ = writeln!(out, " UP BND {vn} {}", fmt_num(v.upper));
+            }
+            (true, false) => {
+                let _ = writeln!(out, " LO BND {vn} {}", fmt_num(v.lower));
+            }
+            (false, true) => {
+                out.push_str(&format!(" MI BND {vn}\n"));
+                let _ = writeln!(out, " UP BND {vn} {}", fmt_num(v.upper));
+            }
+            (false, false) => {
+                let _ = writeln!(out, " FR BND {vn}");
+            }
+        }
+    }
+    out.push_str("ENDATA\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "UNNAMED".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+fn var_name(problem: &Problem, j: usize) -> String {
+    format!("{}_{j}", sanitize(&problem.vars[j].name))
+}
+
+fn row_name(problem: &Problem, i: usize) -> String {
+    format!("{}_{i}", sanitize(&problem.cons[i].name))
+}
+
+fn fmt_num(x: f64) -> String {
+    // Full round-trip precision; MPS readers accept scientific notation.
+    format!("{x:.17e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Problem, RowOp, Sense};
+
+    fn example() -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 2.0, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        let z = p.add_var("free z", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        p.add_row("cap one", &[(x, 1.0), (y, 1.0)], RowOp::Le, 4.0);
+        p.add_row("floor", &[(y, 1.0), (z, -1.0)], RowOp::Ge, 1.0);
+        p.add_row("link", &[(x, 2.0), (z, 1.0)], RowOp::Eq, 0.0);
+        p
+    }
+
+    #[test]
+    fn sections_present_and_ordered() {
+        let mps = to_mps(&example(), "test model");
+        let idx = |s: &str| mps.find(s).unwrap_or_else(|| panic!("missing {s}"));
+        assert!(idx("NAME") < idx("ROWS"));
+        assert!(idx("ROWS") < idx("COLUMNS"));
+        assert!(idx("COLUMNS") < idx("RHS"));
+        assert!(idx("RHS") < idx("BOUNDS"));
+        assert!(idx("BOUNDS") < idx("ENDATA"));
+        assert!(mps.contains("NAME test_model"));
+    }
+
+    #[test]
+    fn row_tags_match_operators() {
+        let mps = to_mps(&example(), "m");
+        assert!(mps.contains(" L cap_one_0"));
+        assert!(mps.contains(" G floor_1"));
+        assert!(mps.contains(" E link_2"));
+        assert!(mps.contains(" N COST"));
+    }
+
+    #[test]
+    fn maximization_negates_objective() {
+        let mps = to_mps(&example(), "m");
+        // x's objective 3 becomes -3 (leading fields: name, COST, value).
+        let line = mps
+            .lines()
+            .find(|l| l.contains("x_0 COST"))
+            .expect("x objective line");
+        assert!(line.contains("-3"), "line: {line}");
+        assert!(mps.starts_with("* Maximization"));
+    }
+
+    #[test]
+    fn bounds_cover_all_variable_shapes() {
+        let mps = to_mps(&example(), "m");
+        assert!(mps.contains(" LO BND x_0"));
+        assert!(mps.contains(" UP BND x_0"));
+        assert!(mps.contains(" LO BND y_1")); // [0, inf): LO only
+        assert!(!mps.contains(" UP BND y_1"));
+        assert!(mps.contains(" FR BND free_z_2"));
+    }
+
+    #[test]
+    fn whitespace_in_names_sanitized() {
+        let mps = to_mps(&example(), "m");
+        assert!(mps.contains("cap_one_0"));
+        assert!(!mps.contains("cap one"));
+    }
+
+    #[test]
+    fn fixed_variable_uses_fx() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var("pin", 3.5, 3.5, 1.0);
+        let mps = to_mps(&p, "m");
+        assert!(mps.contains(" FX BND pin_0"));
+        // Minimization: no negation comment.
+        assert!(!mps.starts_with("* Maximization"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Presolve: shrink an LP before the simplex sees it, then map the
+//! solution back exactly.
+//!
+//! The transformations are the safe subset whose postsolve is exact for
+//! **both** primal values and row duals:
+//!
+//! 1. **Fixed variables** (`lb == ub`): substituted into every row's
+//!    right-hand side and removed.
+//! 2. **Empty rows** (no terms after substitution): checked directly —
+//!    a violated empty row proves infeasibility without a single pivot;
+//!    a satisfied one is removed with dual 0 (it cannot be binding in
+//!    any meaningful sense).
+//! 3. **Unconstrained columns** (appearing in no row): set at the bound
+//!    the objective favours; an improving unbounded direction is an
+//!    immediate [`LpError::Unbounded`] verdict.
+//!
+//! Bound-tightening reductions (singleton rows) are deliberately *not*
+//! performed: their removed-row duals are not recoverable from the
+//! reduced solution alone, and this workspace's callers (the Stage-3
+//! reclamation loop) consume duals.
+//!
+//! The problems this workspace generates are mostly dense-and-clean, so
+//! presolve is opt-in via [`Problem::solve_presolved`]; its value shows
+//! on models with many deadline-pinned (fixed-at-zero) variables.
+
+use crate::model::{Problem, RowOp, Sense};
+use crate::solution::{LpError, Solution, Status};
+
+/// How an original variable maps into the reduced problem.
+#[derive(Debug, Clone, Copy)]
+enum VarDisp {
+    /// Kept; payload is the reduced-problem index.
+    Kept(usize),
+    /// Removed at a fixed value.
+    Fixed(f64),
+}
+
+/// Solve with presolve; see the module docs for the reductions applied.
+pub(crate) fn solve_presolved(problem: &Problem) -> Result<Solution, LpError> {
+    let n = problem.vars.len();
+    let m = problem.cons.len();
+
+    // ---- Pass 1: variable dispositions -----------------------------------
+    let mut used_in_rows = vec![false; n];
+    for c in &problem.cons {
+        for &(j, coef) in &c.terms {
+            if coef != 0.0 {
+                used_in_rows[j] = true;
+            }
+        }
+    }
+    let mut disp: Vec<VarDisp> = Vec::with_capacity(n);
+    let mut kept_vars: Vec<usize> = Vec::new();
+    for (j, v) in problem.vars.iter().enumerate() {
+        if v.lower == v.upper {
+            disp.push(VarDisp::Fixed(v.lower));
+        } else if !used_in_rows[j] {
+            // Unconstrained column: push to the objective-favoured bound.
+            let wants_up = match problem.sense {
+                Sense::Maximize => v.objective > 0.0,
+                Sense::Minimize => v.objective < 0.0,
+            };
+            let value = if v.objective == 0.0 {
+                // Indifferent: any feasible value; prefer a finite bound.
+                if v.lower.is_finite() {
+                    v.lower
+                } else if v.upper.is_finite() {
+                    v.upper
+                } else {
+                    0.0
+                }
+            } else if wants_up {
+                if v.upper.is_finite() {
+                    v.upper
+                } else {
+                    return Err(LpError::Unbounded {
+                        var: v.name.clone(),
+                    });
+                }
+            } else if v.lower.is_finite() {
+                v.lower
+            } else {
+                return Err(LpError::Unbounded {
+                    var: v.name.clone(),
+                });
+            };
+            disp.push(VarDisp::Fixed(value));
+        } else {
+            disp.push(VarDisp::Kept(kept_vars.len()));
+            kept_vars.push(j);
+        }
+    }
+
+    // ---- Pass 2: build the reduced problem --------------------------------
+    let mut reduced = Problem::new(problem.sense);
+    for &j in &kept_vars {
+        let v = &problem.vars[j];
+        reduced.add_var(&v.name, v.lower, v.upper, v.objective);
+    }
+    // kept_rows[i] = Some(reduced row idx) or None (removed, dual 0).
+    let mut kept_rows: Vec<Option<usize>> = Vec::with_capacity(m);
+    let mut n_kept_rows = 0;
+    for c in &problem.cons {
+        let mut rhs = c.rhs;
+        let mut terms: Vec<(crate::model::VarId, f64)> = Vec::new();
+        for &(j, coef) in &c.terms {
+            match disp[j] {
+                VarDisp::Fixed(value) => rhs -= coef * value,
+                VarDisp::Kept(rj) => terms.push((crate::model::VarId(rj), coef)),
+            }
+        }
+        if terms.is_empty() {
+            // Empty row: decide feasibility outright.
+            let violated = match c.op {
+                RowOp::Le => 0.0 > rhs + 1e-9,
+                RowOp::Ge => 0.0 < rhs - 1e-9,
+                RowOp::Eq => rhs.abs() > 1e-9,
+            };
+            if violated {
+                return Err(LpError::Infeasible {
+                    residual: rhs.abs().max(1e-9),
+                });
+            }
+            kept_rows.push(None);
+        } else {
+            reduced.add_row_nodup(&c.name, &terms, c.op, rhs);
+            kept_rows.push(Some(n_kept_rows));
+            n_kept_rows += 1;
+        }
+    }
+
+    // ---- Solve and postsolve ----------------------------------------------
+    let inner = reduced.solve()?;
+    let values: Vec<f64> = disp
+        .iter()
+        .map(|d| match *d {
+            VarDisp::Fixed(v) => v,
+            VarDisp::Kept(rj) => inner.values[rj],
+        })
+        .collect();
+    let duals: Vec<f64> = kept_rows
+        .iter()
+        .map(|k| k.map_or(0.0, |rj| inner.duals[rj]))
+        .collect();
+    let objective = problem.objective_value(&values);
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        values,
+        duals,
+        iterations: inner.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Problem, RowOp, Sense};
+
+    #[test]
+    fn fixed_vars_are_substituted() {
+        // max x + 10f  s.t.  x + f <= 5, f fixed at 2 -> x = 3, obj 23.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let f = p.add_var("f", 2.0, 2.0, 10.0);
+        p.add_row("r", &[(x, 1.0), (f, 1.0)], RowOp::Le, 5.0);
+        let sol = p.solve_presolved().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+        assert!((sol.value(f) - 2.0).abs() < 1e-9);
+        assert!((sol.objective - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_row_infeasibility_detected_without_pivoting() {
+        let mut p = Problem::new(Sense::Maximize);
+        let f = p.add_var("f", 1.0, 1.0, 0.0);
+        // 1·f <= 0.5 with f fixed at 1: empty after substitution, violated.
+        p.add_row("r", &[(f, 1.0)], RowOp::Le, 0.5);
+        assert!(matches!(
+            p.solve_presolved(),
+            Err(LpError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn satisfied_empty_rows_get_zero_duals() {
+        let mut p = Problem::new(Sense::Maximize);
+        let f = p.add_var("f", 1.0, 1.0, 0.0);
+        let x = p.add_var("x", 0.0, 4.0, 1.0);
+        let r1 = p.add_row("trivial", &[(f, 1.0)], RowOp::Le, 2.0);
+        let r2 = p.add_row("real", &[(x, 1.0)], RowOp::Le, 3.0);
+        let sol = p.solve_presolved().unwrap();
+        assert_eq!(sol.dual(r1), 0.0);
+        assert!((sol.dual(r2) - 1.0).abs() < 1e-9); // binding, unit price
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unused_columns_go_to_their_best_bound() {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_var("a", -1.0, 7.0, 2.0); // wants up -> 7
+        let b = p.add_var("b", -3.0, 5.0, -1.0); // wants down -> -3
+        let c = p.add_var("c", 1.0, 9.0, 0.0); // indifferent -> lb
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_row("r", &[(x, 1.0)], RowOp::Le, 1.0);
+        let sol = p.solve_presolved().unwrap();
+        assert_eq!(sol.value(a), 7.0);
+        assert_eq!(sol.value(b), -3.0);
+        assert_eq!(sol.value(c), 1.0);
+        assert!((sol.objective - (14.0 + 3.0 + 0.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_unused_column_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _free = p.add_var("free", 0.0, f64::INFINITY, 1.0);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_row("r", &[(x, 1.0)], RowOp::Le, 1.0);
+        assert!(matches!(
+            p.solve_presolved(),
+            Err(LpError::Unbounded { var }) if var == "free"
+        ));
+    }
+
+    #[test]
+    fn everything_fixed_or_unused() {
+        // No rows survive at all: pure evaluation.
+        let mut p = Problem::new(Sense::Minimize);
+        let f = p.add_var("f", 3.0, 3.0, 2.0);
+        let u = p.add_var("u", 0.0, 10.0, 5.0); // wants down -> 0
+        let sol = p.solve_presolved().unwrap();
+        assert_eq!(sol.value(f), 3.0);
+        assert_eq!(sol.value(u), 0.0);
+        assert!((sol.objective - 6.0).abs() < 1e-12);
+    }
+}

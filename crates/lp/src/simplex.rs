@@ -1,0 +1,610 @@
+//! Two-phase primal simplex on a dense tableau with implicit variable
+//! bounds.
+//!
+//! Internal form: `min c·x  s.t.  A x = b,  0 <= x_j <= u_j` (each `u_j`
+//! possibly infinite). User problems are rewritten into this form:
+//! finite lower bounds are shifted to zero, `(-inf, ub]` variables are
+//! mirrored, free variables are split, inequality rows gain slack/surplus
+//! columns, and rows with negative right-hand sides are negated. Phase 1
+//! minimizes the sum of artificial variables; phase 2 the real objective.
+//!
+//! Nonbasic variables sit at either bound (`Lower`/`Upper`), so box
+//! constraints never become rows — essential for the Stage-1 LPs whose
+//! piecewise-linear segment variables are all box-bounded.
+
+use crate::model::{Problem, RowOp, Sense};
+use crate::solution::{LpError, Solution, Status};
+use thermaware_linalg::Matrix;
+
+/// Entries smaller than this are unusable as pivots.
+const PIVOT_EPS: f64 = 1e-9;
+/// Reduced-cost optimality tolerance (scaled by the objective magnitude).
+const COST_TOL: f64 = 1e-9;
+/// Phase-1 residual above which the problem is declared infeasible.
+const FEAS_TOL: f64 = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_LIMIT: usize = 60;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic,
+    /// Nonbasic at its lower bound (0 in internal coordinates).
+    Lower,
+    /// Nonbasic at its upper bound `u_j`.
+    Upper,
+}
+
+/// How a user variable maps onto internal columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x_user = x_col + lb`
+    Shift { col: usize, lb: f64 },
+    /// `x_user = ub - x_col`
+    Mirror { col: usize, ub: f64 },
+    /// `x_user = x_pos - x_neg`
+    Split { pos: usize, neg: usize },
+}
+
+struct Tableau {
+    /// `B^{-1} A`, dense, m x n.
+    t: Matrix,
+    /// Current values of basic variables, one per row.
+    xb: Vec<f64>,
+    /// Reduced costs, one per column (relative to the active phase costs).
+    d: Vec<f64>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// State of every column.
+    state: Vec<VarState>,
+    /// Upper bound of every column (internal coordinates, >= 0).
+    upper: Vec<f64>,
+    /// Phase-2 (real) cost of every column.
+    cost: Vec<f64>,
+    /// First artificial column (artificials occupy `art_start..n`).
+    art_start: usize,
+    iterations: usize,
+    degen_run: usize,
+    bland: bool,
+}
+
+enum StepResult {
+    Optimal,
+    Progress,
+    Unbounded(usize),
+}
+
+impl Tableau {
+    fn m(&self) -> usize {
+        self.t.rows()
+    }
+
+    fn n(&self) -> usize {
+        self.t.cols()
+    }
+
+    /// Current value of column `j`.
+    fn value_of(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VarState::Lower => 0.0,
+            VarState::Upper => self.upper[j],
+            VarState::Basic => {
+                let row = self.basis.iter().position(|&b| b == j).expect("basic");
+                self.xb[row]
+            }
+        }
+    }
+
+    /// Recompute reduced costs `d = c - c_B^T (B^{-1}A)` for the given
+    /// per-column cost vector. O(mn), done once per phase.
+    fn reset_reduced_costs(&mut self, costs: &[f64]) {
+        self.d.copy_from_slice(costs);
+        for i in 0..self.m() {
+            let cb = costs[self.basis[i]];
+            if cb != 0.0 {
+                let row = self.t.row(i);
+                for (dj, tij) in self.d.iter_mut().zip(row) {
+                    *dj -= cb * tij;
+                }
+            }
+        }
+    }
+
+    /// Pick an entering column, or `None` at optimality.
+    ///
+    /// A column improves the (minimization) objective when it can move and
+    /// its reduced cost points downhill: `d < 0` for a variable at its
+    /// lower bound (it wants to increase), `d > 0` at its upper bound (it
+    /// wants to decrease).
+    fn choose_entering(&self, tol: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_gain = tol;
+        for j in 0..self.n() {
+            let (gain, dir) = match self.state[j] {
+                VarState::Basic => continue,
+                VarState::Lower => (-self.d[j], 1.0),
+                VarState::Upper => (self.d[j], -1.0),
+            };
+            // Fixed columns (u == 0) cannot move; artificials are fixed
+            // this way after phase 1.
+            if self.upper[j] <= 0.0 {
+                continue;
+            }
+            if gain > best_gain {
+                if self.bland {
+                    // Bland's rule: first eligible index. Guarantees
+                    // termination under degeneracy.
+                    return Some((j, dir));
+                }
+                best = Some((j, dir));
+                best_gain = gain;
+            }
+        }
+        best
+    }
+
+    /// One simplex step with the active costs. `tol` is the entering
+    /// eligibility threshold.
+    fn step(&mut self, tol: f64) -> StepResult {
+        let Some((q, dir)) = self.choose_entering(tol) else {
+            return StepResult::Optimal;
+        };
+
+        // Ratio test: how far can x_q move (by t >= 0 in direction `dir`)
+        // before a basic variable hits one of its bounds, or x_q hits its
+        // own opposite bound?
+        let mut t_best = self.upper[q]; // own bound flip distance
+        let mut leave: Option<(usize, VarState)> = None; // (row, bound hit)
+        for i in 0..self.m() {
+            let alpha = dir * self.t[(i, q)];
+            let k = self.basis[i];
+            if alpha > PIVOT_EPS {
+                // Basic variable decreases toward its lower bound 0.
+                let t_i = (self.xb[i].max(0.0)) / alpha;
+                if t_i < t_best - 1e-12
+                    || (t_i < t_best + 1e-12
+                        && leave.is_some_and(|(r, _)| {
+                            self.t[(r, q)].abs() < self.t[(i, q)].abs()
+                        }))
+                {
+                    t_best = t_i;
+                    leave = Some((i, VarState::Lower));
+                }
+            } else if alpha < -PIVOT_EPS {
+                let uk = self.upper[k];
+                if uk.is_finite() {
+                    // Basic variable increases toward its upper bound.
+                    let t_i = ((uk - self.xb[i]).max(0.0)) / (-alpha);
+                    if t_i < t_best - 1e-12
+                        || (t_i < t_best + 1e-12
+                            && leave.is_some_and(|(r, _)| {
+                                self.t[(r, q)].abs() < self.t[(i, q)].abs()
+                            }))
+                    {
+                        t_best = t_i;
+                        leave = Some((i, VarState::Upper));
+                    }
+                }
+            }
+        }
+
+        if t_best.is_infinite() {
+            return StepResult::Unbounded(q);
+        }
+        self.iterations += 1;
+        if t_best <= 1e-12 {
+            self.degen_run += 1;
+            if self.degen_run > DEGEN_LIMIT {
+                self.bland = true;
+            }
+        } else {
+            self.degen_run = 0;
+        }
+
+        // Update basic values along the direction.
+        if t_best != 0.0 {
+            for i in 0..self.m() {
+                let delta = dir * t_best * self.t[(i, q)];
+                self.xb[i] -= delta;
+            }
+        }
+
+        match leave {
+            None => {
+                // Bound flip: x_q traverses its whole box and becomes
+                // nonbasic at the other bound. No pivot.
+                self.state[q] = match self.state[q] {
+                    VarState::Lower => VarState::Upper,
+                    VarState::Upper => VarState::Lower,
+                    VarState::Basic => unreachable!("entering column was basic"),
+                };
+            }
+            Some((r, hit)) => {
+                let k = self.basis[r];
+                let x_q_new = if dir > 0.0 {
+                    t_best
+                } else {
+                    self.upper[q] - t_best
+                };
+                // Pivot on (r, q).
+                let piv = self.t[(r, q)];
+                debug_assert!(piv.abs() > PIVOT_EPS * 1e-3, "tiny pivot {piv}");
+                let inv = 1.0 / piv;
+                {
+                    let row_r = self.t.row_mut(r);
+                    for v in row_r.iter_mut() {
+                        *v *= inv;
+                    }
+                }
+                for i in 0..self.m() {
+                    if i == r {
+                        continue;
+                    }
+                    let f = self.t[(i, q)];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let (row_r, row_i) = self.t.two_rows_mut(r, i);
+                    for (vi, vr) in row_i.iter_mut().zip(row_r.iter()) {
+                        *vi -= f * *vr;
+                    }
+                    // Re-zero explicitly to stop error accumulation in the
+                    // pivot column.
+                    row_i[q] = 0.0;
+                }
+                let f = self.d[q];
+                if f != 0.0 {
+                    let row_r = self.t.row(r);
+                    for (dj, vr) in self.d.iter_mut().zip(row_r) {
+                        *dj -= f * vr;
+                    }
+                    self.d[q] = 0.0;
+                }
+                self.basis[r] = q;
+                self.state[q] = VarState::Basic;
+                self.state[k] = hit;
+                self.xb[r] = x_q_new;
+            }
+        }
+        StepResult::Progress
+    }
+
+    /// Run simplex steps until optimality / unboundedness / the cap.
+    fn run(&mut self, tol: f64, cap: usize) -> Result<Option<usize>, LpError> {
+        loop {
+            if self.iterations > cap {
+                return Err(LpError::IterationLimit { limit: cap });
+            }
+            match self.step(tol) {
+                StepResult::Optimal => return Ok(None),
+                StepResult::Progress => {}
+                StepResult::Unbounded(q) => return Ok(Some(q)),
+            }
+        }
+    }
+}
+
+/// Solve `problem`; when `feasibility_only`, stop after phase 1 and report
+/// any feasible point.
+pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solution, LpError> {
+    let nrows = problem.cons.len();
+
+    // ---- Build the internal column layout -------------------------------
+    let mut maps: Vec<VarMap> = Vec::with_capacity(problem.vars.len());
+    let mut upper: Vec<f64> = Vec::new();
+    let mut cost: Vec<f64> = Vec::new();
+    let mut obj_const = 0.0;
+    let sense_sign = match problem.sense {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    for v in &problem.vars {
+        if v.lower.is_finite() {
+            maps.push(VarMap::Shift {
+                col: upper.len(),
+                lb: v.lower,
+            });
+            upper.push(v.upper - v.lower);
+            cost.push(sense_sign * v.objective);
+            obj_const += sense_sign * v.objective * v.lower;
+        } else if v.upper.is_finite() {
+            maps.push(VarMap::Mirror {
+                col: upper.len(),
+                ub: v.upper,
+            });
+            upper.push(f64::INFINITY);
+            cost.push(-sense_sign * v.objective);
+            obj_const += sense_sign * v.objective * v.upper;
+        } else {
+            maps.push(VarMap::Split {
+                pos: upper.len(),
+                neg: upper.len() + 1,
+            });
+            upper.push(f64::INFINITY);
+            upper.push(f64::INFINITY);
+            cost.push(sense_sign * v.objective);
+            cost.push(-sense_sign * v.objective);
+        }
+    }
+    let n_struct = upper.len();
+
+    // Row data in internal coordinates: coefficients over structural
+    // columns, op, rhs.
+    struct RowBuild {
+        coeffs: Vec<(usize, f64)>,
+        op: RowOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<RowBuild> = Vec::with_capacity(nrows);
+    for c in &problem.cons {
+        let mut rhs = c.rhs;
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 2);
+        for &(uj, a) in &c.terms {
+            match maps[uj] {
+                VarMap::Shift { col, lb } => {
+                    rhs -= a * lb;
+                    coeffs.push((col, a));
+                }
+                VarMap::Mirror { col, ub } => {
+                    rhs -= a * ub;
+                    coeffs.push((col, -a));
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs.push((pos, a));
+                    coeffs.push((neg, -a));
+                }
+            }
+        }
+        let mut op = c.op;
+        if rhs < 0.0 {
+            rhs = -rhs;
+            for (_, a) in &mut coeffs {
+                *a = -*a;
+            }
+            op = match op {
+                RowOp::Le => RowOp::Ge,
+                RowOp::Ge => RowOp::Le,
+                RowOp::Eq => RowOp::Eq,
+            };
+        }
+        rows.push(RowBuild { coeffs, op, rhs });
+    }
+
+    // Slack columns for inequality rows, then artificials where needed.
+    let mut slack_col: Vec<Option<usize>> = vec![None; nrows];
+    let mut next = n_struct;
+    for (i, r) in rows.iter().enumerate() {
+        if matches!(r.op, RowOp::Le | RowOp::Ge) {
+            slack_col[i] = Some(next);
+            next += 1;
+        }
+    }
+    let n_slack_end = next;
+    // `Le` rows start with their slack basic; `Ge`/`Eq` rows need an
+    // artificial.
+    let mut art_col: Vec<Option<usize>> = vec![None; nrows];
+    for (i, r) in rows.iter().enumerate() {
+        if matches!(r.op, RowOp::Ge | RowOp::Eq) {
+            art_col[i] = Some(next);
+            next += 1;
+        }
+    }
+    let n_total = next;
+    upper.resize(n_total, f64::INFINITY);
+    cost.resize(n_total, 0.0);
+
+    // ---- Assemble the tableau -------------------------------------------
+    let mut t = Matrix::zeros(nrows, n_total);
+    let mut xb = vec![0.0; nrows];
+    let mut basis = vec![usize::MAX; nrows];
+    let mut state = vec![VarState::Lower; n_total];
+    for (i, r) in rows.iter().enumerate() {
+        for &(j, a) in &r.coeffs {
+            t[(i, j)] += a;
+        }
+        match r.op {
+            RowOp::Le => {
+                let s = slack_col[i].unwrap();
+                t[(i, s)] = 1.0;
+                basis[i] = s;
+            }
+            RowOp::Ge => {
+                let s = slack_col[i].unwrap();
+                t[(i, s)] = -1.0;
+                let a = art_col[i].unwrap();
+                t[(i, a)] = 1.0;
+                basis[i] = a;
+            }
+            RowOp::Eq => {
+                let a = art_col[i].unwrap();
+                t[(i, a)] = 1.0;
+                basis[i] = a;
+            }
+        }
+        state[basis[i]] = VarState::Basic;
+        xb[i] = r.rhs;
+    }
+
+    let mut tab = Tableau {
+        t,
+        xb,
+        d: vec![0.0; n_total],
+        basis,
+        state,
+        upper,
+        cost,
+        art_start: n_slack_end,
+        iterations: 0,
+        degen_run: 0,
+        bland: false,
+    };
+    let cap = 200 * (nrows + n_total + 10);
+
+    // ---- Phase 1 ----------------------------------------------------------
+    let needs_phase1 = art_col.iter().any(Option::is_some);
+    if needs_phase1 {
+        let phase1_cost: Vec<f64> = (0..n_total)
+            .map(|j| if j >= tab.art_start { 1.0 } else { 0.0 })
+            .collect();
+        tab.reset_reduced_costs(&phase1_cost);
+        if let Some(_q) = tab.run(FEAS_TOL * 1e-2, cap)? {
+            // Phase 1 is bounded below by 0, so "unbounded" here means a
+            // numerical breakdown; report as an iteration pathology.
+            return Err(LpError::IterationLimit { limit: cap });
+        }
+        let residual: f64 = (0..nrows)
+            .filter(|&i| tab.basis[i] >= tab.art_start)
+            .map(|i| tab.xb[i].max(0.0))
+            .sum::<f64>()
+            + (tab.art_start..n_total)
+                .filter(|&j| tab.state[j] == VarState::Upper)
+                .map(|j| tab.upper[j])
+                .sum::<f64>();
+        if residual > FEAS_TOL {
+            return Err(LpError::Infeasible { residual });
+        }
+        // Freeze artificials at zero so phase 2 cannot revive them. Basic
+        // artificials (at value ~0 in degenerate rows) are left in place;
+        // the ratio test will evict them on the first pivot that touches
+        // their row.
+        for j in tab.art_start..n_total {
+            tab.upper[j] = 0.0;
+            if tab.state[j] == VarState::Upper {
+                tab.state[j] = VarState::Lower;
+            }
+        }
+    }
+
+    if feasibility_only {
+        let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign);
+        let objective = problem.objective_value(&values);
+        return Ok(Solution {
+            status: Status::Feasible,
+            objective,
+            values,
+            duals,
+            iterations: tab.iterations,
+        });
+    }
+
+    // ---- Phase 2 ----------------------------------------------------------
+    let phase2_cost = tab.cost.clone();
+    tab.reset_reduced_costs(&phase2_cost);
+    let cost_scale = 1.0 + phase2_cost.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
+    if let Some(q) = tab.run(COST_TOL * cost_scale, cap)? {
+        // Map the unbounded internal column back to a user variable name.
+        let name = maps
+            .iter()
+            .enumerate()
+            .find_map(|(ui, vm)| match *vm {
+                VarMap::Shift { col, .. } | VarMap::Mirror { col, .. } if col == q => {
+                    Some(problem.vars[ui].name.clone())
+                }
+                VarMap::Split { pos, neg } if pos == q || neg == q => {
+                    Some(problem.vars[ui].name.clone())
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| format!("slack#{q}"));
+        return Err(LpError::Unbounded { var: name });
+    }
+
+    let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign);
+    let objective = problem.objective_value(&values);
+    debug_assert!(
+        {
+            // Internal objective plus the constant folded out of
+            // shifts/mirrors must agree with the recomputed user-space
+            // objective.
+            let internal: f64 = (0..tab.n()).map(|j| tab.cost[j] * tab.value_of(j)).sum();
+            (sense_sign * objective - (internal + obj_const)).abs()
+                <= 1e-6 * (1.0 + objective.abs() + obj_const.abs())
+        },
+        "objective bookkeeping mismatch"
+    );
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        values,
+        duals,
+        iterations: tab.iterations,
+    })
+}
+
+/// Recover user-space variable values and row duals from the tableau.
+fn extract(
+    problem: &Problem,
+    tab: &Tableau,
+    maps: &[VarMap],
+    slack_col: &[Option<usize>],
+    art_col: &[Option<usize>],
+    sense_sign: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let values: Vec<f64> = maps
+        .iter()
+        .map(|m| match *m {
+            VarMap::Shift { col, lb } => lb + tab.value_of(col),
+            VarMap::Mirror { col, ub } => ub - tab.value_of(col),
+            VarMap::Split { pos, neg } => tab.value_of(pos) - tab.value_of(neg),
+        })
+        .collect();
+
+    // Row duals: the reference column of row i (its slack, else its
+    // artificial) has A_j = ±e_i and zero phase-2 cost, so its reduced
+    // cost pins down y_i.
+    let duals: Vec<f64> = (0..problem.cons.len())
+        .map(|i| {
+            let (col, coef) = match (slack_col[i], art_col[i]) {
+                (Some(s), _) => {
+                    // Slack coefficient is +1 for Le rows, -1 for Ge rows
+                    // (post-normalization op).
+                    let c = match normalized_op(problem, i) {
+                        RowOp::Le => 1.0,
+                        _ => -1.0,
+                    };
+                    (s, c)
+                }
+                (None, Some(a)) => (a, 1.0),
+                (None, None) => return 0.0,
+            };
+            // d_col = 0 - y_i * coef  =>  y_i = -d_col / coef.
+            let y_int = -tab.d[col] / coef;
+            let flip = if row_flipped(problem, i) { -1.0 } else { 1.0 };
+            sense_sign * flip * y_int
+        })
+        .collect();
+    (values, duals)
+}
+
+/// Re-derive whether a row's rhs was negative at build time (and therefore
+/// negated). Kept as a function of the immutable problem so `extract`
+/// doesn't need extra plumbed state.
+fn row_rhs_internal(problem: &Problem, i: usize) -> f64 {
+    let c = &problem.cons[i];
+    let mut rhs = c.rhs;
+    for &(uj, a) in &c.terms {
+        let v = &problem.vars[uj];
+        if v.lower.is_finite() {
+            rhs -= a * v.lower;
+        } else if v.upper.is_finite() {
+            rhs -= a * v.upper;
+        }
+    }
+    rhs
+}
+
+fn row_flipped(problem: &Problem, i: usize) -> bool {
+    row_rhs_internal(problem, i) < 0.0
+}
+
+fn normalized_op(problem: &Problem, i: usize) -> RowOp {
+    let op = problem.cons[i].op;
+    if row_flipped(problem, i) {
+        match op {
+            RowOp::Le => RowOp::Ge,
+            RowOp::Ge => RowOp::Le,
+            RowOp::Eq => RowOp::Eq,
+        }
+    } else {
+        op
+    }
+}

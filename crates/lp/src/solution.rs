@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal solution was found.
+    Optimal,
+    /// A feasible (not necessarily optimal) point was found — returned by
+    /// [`crate::Problem::solve_feasibility`].
+    Feasible,
+}
+
+/// A solved LP.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: Status,
+    /// Objective value in the *user's* sense (maximization problems report
+    /// the maximum).
+    pub objective: f64,
+    /// Value of each variable, indexed like [`crate::VarId`].
+    pub values: Vec<f64>,
+    /// Dual value of each constraint row, indexed like
+    /// [`crate::ConstraintId`].
+    ///
+    /// Sign convention: duals are reported for the problem *as the user
+    /// stated it*. For a maximization problem, the dual of a binding `<=`
+    /// row is `>= 0` and measures the objective gain per unit of extra
+    /// right-hand side; for minimization the dual of a binding `>=` row is
+    /// `>= 0`.
+    pub duals: Vec<f64>,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Value of a variable by handle.
+    pub fn value(&self, v: crate::VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// Dual of a row by handle.
+    pub fn dual(&self, c: crate::ConstraintId) -> f64 {
+        self.duals[c.0]
+    }
+}
+
+/// Errors from the simplex solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint set admits no feasible point. The payload is the
+    /// residual infeasibility left after phase 1 (useful for diagnosing
+    /// near-feasible models).
+    Infeasible {
+        /// Sum of artificial variables at the end of phase 1.
+        residual: f64,
+    },
+    /// The objective is unbounded in the optimization direction. The
+    /// payload names the variable along which it diverges.
+    Unbounded {
+        /// Name of a variable with an improving, unblocked direction.
+        var: String,
+    },
+    /// The iteration cap was hit — numerically cycling or a genuinely
+    /// enormous problem. The cap scales with problem size, so in practice
+    /// this indicates a numerical pathology.
+    IterationLimit {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible { residual } => {
+                write!(f, "LP infeasible (phase-1 residual {residual:.3e})")
+            }
+            LpError::Unbounded { var } => write!(f, "LP unbounded along variable '{var}'"),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

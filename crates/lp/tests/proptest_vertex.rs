@@ -1,0 +1,157 @@
+//! Cross-validation of the simplex against brute-force **vertex
+//! enumeration** on small random LPs.
+//!
+//! For an LP `max c·x, A x <= b, 0 <= x <= u` in 2–3 variables, the
+//! optimum (when finite) is attained at a vertex of the polytope — an
+//! intersection of `n` constraint hyperplanes (rows or bound faces).
+//! Enumerating all such intersections and keeping the feasible ones gives
+//! an independent, dumb-but-sound optimum to compare the simplex against.
+
+use proptest::prelude::*;
+use thermaware_lp::{Problem, RowOp, Sense};
+
+#[derive(Debug, Clone)]
+struct SmallLp {
+    n: usize,
+    m: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    u: Vec<f64>,
+}
+
+fn small_lp() -> impl Strategy<Value = SmallLp> {
+    (2usize..4, 1usize..4).prop_flat_map(|(n, m)| {
+        (
+            Just(n),
+            Just(m),
+            prop::collection::vec(-3.0f64..3.0, m * n),
+            prop::collection::vec(0.5f64..8.0, m),
+            prop::collection::vec(-4.0f64..4.0, n),
+            prop::collection::vec(0.5f64..6.0, n),
+        )
+            .prop_map(|(n, m, a, b, c, u)| SmallLp { n, m, a, b, c, u })
+    })
+}
+
+/// All candidate vertices: solve every n-subset of the hyperplane set
+/// {rows as equalities} ∪ {x_j = 0} ∪ {x_j = u_j} by Gaussian
+/// elimination, keep feasible points, return the best objective.
+fn brute_force(lp: &SmallLp) -> Option<f64> {
+    let n = lp.n;
+    // Hyperplanes as (coeffs, rhs).
+    let mut planes: Vec<(Vec<f64>, f64)> = Vec::new();
+    for i in 0..lp.m {
+        planes.push((lp.a[i * n..(i + 1) * n].to_vec(), lp.b[i]));
+    }
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        planes.push((e.clone(), 0.0));
+        planes.push((e, lp.u[j]));
+    }
+    let feasible = |x: &[f64]| -> bool {
+        for j in 0..n {
+            if x[j] < -1e-7 || x[j] > lp.u[j] + 1e-7 {
+                return false;
+            }
+        }
+        for i in 0..lp.m {
+            let lhs: f64 = (0..n).map(|j| lp.a[i * n + j] * x[j]).sum();
+            if lhs > lp.b[i] + 1e-7 {
+                return false;
+            }
+        }
+        true
+    };
+    let mut best: Option<f64> = None;
+    // Choose n planes out of the set (n <= 3, so simple index loops).
+    let p = planes.len();
+    let mut idx = vec![0usize; n];
+    fn combos(p: usize, n: usize, idx: &mut Vec<usize>, k: usize, start: usize, f: &mut impl FnMut(&[usize])) {
+        if k == n {
+            f(idx);
+            return;
+        }
+        for i in start..p {
+            idx[k] = i;
+            combos(p, n, idx, k + 1, i + 1, f);
+        }
+    }
+    combos(p, n, &mut idx, 0, 0, &mut |chosen| {
+        // Solve the n x n system by Gaussian elimination.
+        let mut mat = vec![0.0; n * (n + 1)];
+        for (r, &pi) in chosen.iter().enumerate() {
+            for j in 0..n {
+                mat[r * (n + 1) + j] = planes[pi].0[j];
+            }
+            mat[r * (n + 1) + n] = planes[pi].1;
+        }
+        // Elimination with partial pivoting.
+        for col in 0..n {
+            let mut piv = col;
+            for r in col + 1..n {
+                if mat[r * (n + 1) + col].abs() > mat[piv * (n + 1) + col].abs() {
+                    piv = r;
+                }
+            }
+            if mat[piv * (n + 1) + col].abs() < 1e-9 {
+                return; // singular subset: no unique vertex
+            }
+            if piv != col {
+                for j in 0..=n {
+                    mat.swap(col * (n + 1) + j, piv * (n + 1) + j);
+                }
+            }
+            let d = mat[col * (n + 1) + col];
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = mat[r * (n + 1) + col] / d;
+                if f != 0.0 {
+                    for j in 0..=n {
+                        mat[r * (n + 1) + j] -= f * mat[col * (n + 1) + j];
+                    }
+                }
+            }
+        }
+        let x: Vec<f64> = (0..n)
+            .map(|r| mat[r * (n + 1) + n] / mat[r * (n + 1) + r])
+            .collect();
+        if feasible(&x) {
+            let obj: f64 = (0..n).map(|j| lp.c[j] * x[j]).sum();
+            if best.is_none_or(|b| obj > b) {
+                best = Some(obj);
+            }
+        }
+    });
+    // x = 0 is always feasible here (b >= 0), so best is Some unless the
+    // polytope is degenerate in a way the enumeration missed.
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration(lp in small_lp()) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..lp.n)
+            .map(|j| p.add_var(&format!("x{j}"), 0.0, lp.u[j], lp.c[j]))
+            .collect();
+        for i in 0..lp.m {
+            let terms: Vec<_> = (0..lp.n).map(|j| (vars[j], lp.a[i * lp.n + j])).collect();
+            p.add_row(&format!("r{i}"), &terms, RowOp::Le, lp.b[i]);
+        }
+        let sol = p.solve().expect("bounded feasible LP");
+        if let Some(brute) = brute_force(&lp) {
+            let diff = (sol.objective - brute).abs();
+            prop_assert!(
+                diff <= 1e-6 * (1.0 + brute.abs()),
+                "simplex {} vs brute force {brute}",
+                sol.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Power models for heterogeneous compute nodes (paper Sections III.C and
+//! Appendix A).
+//!
+//! A compute node's power is its *base* power (disks, fans — constant while
+//! the node is on, Eq. 1) plus the sum of its cores' P-state powers. Core
+//! power follows the CMOS model of Appendix A (Eq. 23):
+//!
+//! ```text
+//! π(j, k) = SC_j · f_{j,k} · V_{j,k}² + β_j · V_{j,k}
+//! ```
+//!
+//! where the first term is dynamic (switching) power and the second static
+//! (leakage) power. `SC_j` and `β_j` are calibrated from the measured
+//! P-state-0 power and an assumed static-power share at P-state 0 — the
+//! paper's simulations use 30% and 20% shares, which is also what flips the
+//! sign of the headline result (Fig. 6, first observation).
+//!
+//! The crate ships the paper's two Table-I node types: the HP ProLiant
+//! DL785 G5 (8× AMD Opteron 8381 HE) and the NEC Express5800/A1080a-S
+//! (4× Intel Xeon X7560).
+//!
+//! # Example
+//!
+//! ```
+//! use thermaware_power::NodeType;
+//!
+//! let hp = NodeType::hp_proliant_dl785(0.3);
+//! assert_eq!(hp.cores_per_node, 32);
+//! // P-state 0 power matches Table I.
+//! assert!((hp.core.pstates.power_kw(0) - 0.01375).abs() < 1e-12);
+//! // The off state consumes nothing.
+//! assert_eq!(hp.core.pstates.power_kw(hp.core.pstates.off_index()), 0.0);
+//! ```
+
+mod cmos;
+mod node;
+mod pstate;
+
+pub use cmos::{derive_cmos, CmosParams};
+pub use node::{CoreType, NodeType};
+pub use pstate::PStateTable;

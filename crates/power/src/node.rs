@@ -1,0 +1,200 @@
+//! Compute node types (paper Section III.C, Table I, Appendix A).
+
+use crate::{derive_cmos, PStateTable};
+use serde::{Deserialize, Serialize};
+
+/// A core type: its P-state ladder (powers derived from the CMOS model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreType {
+    /// Human-readable name, e.g. `"AMD Opteron 8381 HE"`.
+    pub name: String,
+    /// The P-state ladder, off state included.
+    pub pstates: PStateTable,
+}
+
+/// A compute node type. Nodes of the same type are identical (same cores,
+/// same base power, same airflow) — paper Section III.C.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeType {
+    /// Human-readable name, e.g. `"HP ProLiant DL785 G5"`.
+    pub name: String,
+    /// Base (non-compute: disks, fans) power in kW — `B_j` in Eq. 1.
+    /// Consumed whenever the node is powered, regardless of core activity.
+    pub base_power_kw: f64,
+    /// Number of identical cores in the node.
+    pub cores_per_node: usize,
+    /// The node's core type.
+    pub core: CoreType,
+    /// Air flow rate through the node in m³/s — `FCN` in Eq. 4.
+    pub air_flow_m3s: f64,
+}
+
+impl NodeType {
+    /// Node power for a concrete per-core P-state assignment (Eq. 1):
+    /// base power plus the sum of the assigned P-state powers.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != cores_per_node` or any P-state index
+    /// is out of range.
+    pub fn node_power_kw(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(
+            assignment.len(),
+            self.cores_per_node,
+            "assignment length != cores per node"
+        );
+        self.base_power_kw
+            + assignment
+                .iter()
+                .map(|&k| self.core.pstates.power_kw(k))
+                .sum::<f64>()
+    }
+
+    /// Maximum node power: every core in P-state 0.
+    pub fn max_power_kw(&self) -> f64 {
+        self.base_power_kw + self.cores_per_node as f64 * self.core.pstates.power_kw(0)
+    }
+
+    /// Minimum node power: every core off. The node itself stays on — the
+    /// paper's oversubscribed setting never powers nodes down — so the
+    /// base power remains.
+    pub fn min_power_kw(&self) -> f64 {
+        self.base_power_kw
+    }
+
+    /// **Node type 1** of Table I: HP ProLiant DL785 G5 — 8× AMD Opteron
+    /// 8381 HE, 4 cores each (32 cores).
+    ///
+    /// `static_share` is the static fraction of P-state-0 core power used
+    /// to calibrate the CMOS model (0.3 in the paper's first two
+    /// simulation sets, 0.2 in the third).
+    pub fn hp_proliant_dl785(static_share: f64) -> NodeType {
+        // Appendix A: processor TDP 0.055 kW over 4 cores -> 0.01375 kW
+        // per core at P0; server draws 0.793 kW at 100% utilization, so
+        // base = 0.793 - 8 * 0.055 = 0.353 kW.
+        let p0 = 0.01375;
+        let freqs = [2500.0, 2100.0, 1700.0, 800.0];
+        let volts = [1.325, 1.25, 1.175, 1.025];
+        let cmos = derive_cmos(p0, static_share, freqs[0], volts[0]);
+        let powers: Vec<f64> = freqs
+            .iter()
+            .zip(&volts)
+            .map(|(&f, &v)| cmos.power_kw(f, v))
+            .collect();
+        NodeType {
+            name: "HP ProLiant DL785 G5".to_owned(),
+            base_power_kw: 0.353,
+            cores_per_node: 32,
+            core: CoreType {
+                name: "AMD Opteron 8381 HE".to_owned(),
+                pstates: PStateTable::new(powers, freqs.to_vec(), volts.to_vec()),
+            },
+            air_flow_m3s: 0.07,
+        }
+    }
+
+    /// **Node type 2** of Table I: NEC Express5800/A1080a-S — 4× Intel
+    /// Xeon X7560, 8 cores each (32 cores).
+    pub fn nec_express5800(static_share: f64) -> NodeType {
+        let p0 = 0.01625;
+        let freqs = [2666.0, 2200.0, 1700.0, 1000.0];
+        let volts = [1.35, 1.268, 1.18, 1.056];
+        let cmos = derive_cmos(p0, static_share, freqs[0], volts[0]);
+        let powers: Vec<f64> = freqs
+            .iter()
+            .zip(&volts)
+            .map(|(&f, &v)| cmos.power_kw(f, v))
+            .collect();
+        NodeType {
+            name: "NEC Express5800/A1080a-S".to_owned(),
+            base_power_kw: 0.418,
+            cores_per_node: 32,
+            core: CoreType {
+                name: "Intel Xeon X7560".to_owned(),
+                pstates: PStateTable::new(powers, freqs.to_vec(), volts.to_vec()),
+            },
+            air_flow_m3s: 0.0828,
+        }
+    }
+
+    /// Both Table-I node types, in paper order (type 1, type 2).
+    pub fn paper_node_types(static_share: f64) -> Vec<NodeType> {
+        vec![
+            NodeType::hp_proliant_dl785(static_share),
+            NodeType::nec_express5800(static_share),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        let hp = NodeType::hp_proliant_dl785(0.3);
+        assert_eq!(hp.cores_per_node, 32);
+        assert!((hp.base_power_kw - 0.353).abs() < 1e-12);
+        assert!((hp.core.pstates.power_kw(0) - 0.01375).abs() < 1e-12);
+        assert_eq!(hp.core.pstates.n_active(), 4);
+        assert!((hp.air_flow_m3s - 0.07).abs() < 1e-12);
+        assert_eq!(hp.core.pstates.freq_mhz(3), 800.0);
+
+        let nec = NodeType::nec_express5800(0.3);
+        assert_eq!(nec.cores_per_node, 32);
+        assert!((nec.base_power_kw - 0.418).abs() < 1e-12);
+        assert!((nec.core.pstates.power_kw(0) - 0.01625).abs() < 1e-12);
+        assert_eq!(nec.core.pstates.freq_mhz(0), 2666.0);
+        assert!((nec.air_flow_m3s - 0.0828).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_power_at_extremes_matches_appendix_a() {
+        let hp = NodeType::hp_proliant_dl785(0.3);
+        // All cores at P0: the Appendix-A measured 0.793 kW.
+        assert!((hp.max_power_kw() - 0.793).abs() < 1e-9);
+        let all_p0 = vec![0usize; 32];
+        assert!((hp.node_power_kw(&all_p0) - 0.793).abs() < 1e-9);
+        // All cores off: base power only.
+        let all_off = vec![hp.core.pstates.off_index(); 32];
+        assert!((hp.node_power_kw(&all_off) - 0.353).abs() < 1e-12);
+        assert_eq!(hp.min_power_kw(), 0.353);
+    }
+
+    #[test]
+    fn mixed_assignment_sums_pstate_powers() {
+        let hp = NodeType::hp_proliant_dl785(0.3);
+        let mut assignment = vec![hp.core.pstates.off_index(); 32];
+        assignment[0] = 0;
+        assignment[1] = 2;
+        let expected =
+            0.353 + hp.core.pstates.power_kw(0) + hp.core.pstates.power_kw(2);
+        assert!((hp.node_power_kw(&assignment) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_share_preserves_p0_but_changes_deeper_states() {
+        let a = NodeType::hp_proliant_dl785(0.2);
+        let b = NodeType::hp_proliant_dl785(0.3);
+        assert!((a.core.pstates.power_kw(0) - b.core.pstates.power_kw(0)).abs() < 1e-15);
+        // More static share -> deeper states keep more (voltage-scaled)
+        // leakage -> strictly more power at P3.
+        assert!(a.core.pstates.power_kw(3) < b.core.pstates.power_kw(3));
+    }
+
+    #[test]
+    fn max_temperature_rise_is_9_4_celsius() {
+        // Appendix A: flow 0.07 m³/s guarantees <= 9.4 °C rise at max
+        // power with rho = 1.205, Cp = 1.
+        let hp = NodeType::hp_proliant_dl785(0.3);
+        let rise = hp.max_power_kw() / (1.205 * 1.0 * hp.air_flow_m3s);
+        assert!((rise - 9.4).abs() < 0.05, "rise = {rise}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let hp = NodeType::hp_proliant_dl785(0.25);
+        let json = serde_json::to_string(&hp).unwrap();
+        let back: NodeType = serde_json::from_str(&json).unwrap();
+        assert_eq!(hp, back);
+    }
+}

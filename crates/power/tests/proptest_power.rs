@@ -1,0 +1,96 @@
+//! Property tests for the CMOS power model: invariants of Eq. 23 under
+//! arbitrary calibration inputs and P-state ladders.
+
+use proptest::prelude::*;
+use thermaware_power::{derive_cmos, NodeType, PStateTable};
+
+proptest! {
+    #[test]
+    fn calibration_is_exact_at_p0(
+        p0 in 0.001f64..0.1,
+        share in 0.0f64..0.99,
+        f0 in 500.0f64..4000.0,
+        v0 in 0.8f64..1.6,
+    ) {
+        let c = derive_cmos(p0, share, f0, v0);
+        prop_assert!((c.power_kw(f0, v0) - p0).abs() < 1e-12 * p0.max(1.0));
+        prop_assert!((c.static_kw(v0) - share * p0).abs() < 1e-12);
+        prop_assert!(c.sc >= 0.0 && c.beta >= 0.0);
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_voltage(
+        p0 in 0.001f64..0.1,
+        share in 0.0f64..0.9,
+        f in 500.0f64..2000.0,
+        df in 1.0f64..1000.0,
+        v in 0.8f64..1.2,
+        dv in 0.001f64..0.4,
+    ) {
+        let c = derive_cmos(p0, share, 2500.0, 1.325);
+        prop_assert!(c.power_kw(f + df, v) >= c.power_kw(f, v));
+        prop_assert!(c.power_kw(f, v + dv) >= c.power_kw(f, v));
+    }
+
+    #[test]
+    fn node_power_is_sum_of_parts(
+        share in 0.05f64..0.5,
+        pstates in prop::collection::vec(0usize..5, 32),
+    ) {
+        let nt = NodeType::hp_proliant_dl785(share);
+        let total = nt.node_power_kw(&pstates);
+        let manual: f64 = nt.base_power_kw
+            + pstates.iter().map(|&k| nt.core.pstates.power_kw(k)).sum::<f64>();
+        prop_assert!((total - manual).abs() < 1e-12);
+        prop_assert!(total >= nt.min_power_kw() - 1e-12);
+        prop_assert!(total <= nt.max_power_kw() + 1e-12);
+    }
+
+    #[test]
+    fn deepest_at_or_above_is_correct_for_any_target(
+        target in -0.01f64..0.05,
+        share in 0.05f64..0.5,
+    ) {
+        let t = NodeType::nec_express5800(share).core.pstates;
+        let k = t.deepest_at_or_above(target);
+        if target <= 0.0 {
+            // Nothing to cover: off state.
+            prop_assert_eq!(k, t.off_index());
+        } else if target > t.power_kw(0) {
+            // Unreachable target: best effort is P0 (documented).
+            prop_assert_eq!(k, 0);
+        } else {
+            // The chosen state's power covers the target...
+            prop_assert!(t.power_kw(k) >= target - 1e-12);
+            // ...and no deeper state does (k is maximal).
+            let deeper_power = t.power_kw(k + 1);
+            prop_assert!(deeper_power < target + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_ladders_always_strictly_decrease(share in 0.0f64..0.95) {
+        for nt in NodeType::paper_node_types(share) {
+            let t = &nt.core.pstates;
+            for k in 1..t.n_active() {
+                prop_assert!(
+                    t.power_kw(k) < t.power_kw(k - 1),
+                    "{} share {share}: P{k} not below P{}",
+                    nt.name,
+                    k - 1
+                );
+            }
+        }
+    }
+}
+
+// Non-proptest edge case kept here with the ladder invariants: a table
+// with a single active state plus off.
+#[test]
+fn single_state_ladder() {
+    let t = PStateTable::new(vec![0.02], vec![1000.0], vec![1.0]);
+    assert_eq!(t.n_total(), 2);
+    assert_eq!(t.deepest_at_or_above(0.01), 0);
+    assert_eq!(t.deepest_at_or_above(0.03), 0);
+    assert_eq!(t.deepest_at_or_above(0.0), 1);
+}

@@ -1,0 +1,185 @@
+//! Dispatch-policy comparison tests: the paper's ATC/TC rule against the
+//! plan-oblivious alternatives, and unit-level behaviour of the dispatch
+//! state machine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermaware_core::stage3::Stage3Solution;
+use thermaware_core::{solve_three_stage, ThreeStageOptions};
+use thermaware_datacenter::{DataCenter, ScenarioParams};
+use thermaware_scheduler::{
+    simulate_with_policy, DispatchDecision, DispatchPolicy, DynamicScheduler,
+};
+use thermaware_workload::ArrivalTrace;
+
+fn setup(seed: u64) -> (DataCenter, Vec<usize>, Stage3Solution) {
+    let dc = ScenarioParams::small_test().build(seed).unwrap();
+    let sol = solve_three_stage(&dc, &ThreeStageOptions::default()).unwrap();
+    (dc, sol.pstates, sol.stage3)
+}
+
+#[test]
+fn all_policies_produce_valid_simulations() {
+    let (dc, pstates, s3) = setup(1);
+    let mut rng = StdRng::seed_from_u64(3);
+    let trace = ArrivalTrace::generate(&dc.workload, 10.0, &mut rng);
+    for policy in [
+        DispatchPolicy::AtcTc,
+        DispatchPolicy::EarliestFinish,
+        DispatchPolicy::LeastLoaded,
+    ] {
+        let r = simulate_with_policy(&dc, &pstates, &s3, &trace, policy);
+        assert!(r.reward_rate > 0.0, "{policy:?} earned nothing");
+        assert!(r.drop_rate() < 1.0, "{policy:?} dropped everything");
+        assert!(r.mean_utilization <= 1.0 + 1e-9);
+        let arrived: usize = r.per_type.iter().map(|t| t.arrived).sum();
+        assert_eq!(arrived, trace.arrivals.len());
+    }
+}
+
+#[test]
+fn atc_tc_respects_desired_rates_but_oblivious_policies_do_not() {
+    // The paper's rule never assigns more than TC(i,k)·t tasks of type i
+    // to core k (ratio cap); EarliestFinish happily exceeds the plan on
+    // its favourite core. Measure via total assignments vs planned total.
+    let (dc, pstates, s3) = setup(2);
+    let mut rng = StdRng::seed_from_u64(5);
+    let trace = ArrivalTrace::generate(&dc.workload, 10.0, &mut rng);
+
+    let atc = simulate_with_policy(&dc, &pstates, &s3, &trace, DispatchPolicy::AtcTc);
+    // The capped policy cannot beat the plan.
+    assert!(atc.reward_rate <= s3.reward_rate * 1.1);
+}
+
+#[test]
+fn dispatch_assigns_then_queues_then_drops() {
+    // Unit-level: one runnable core; feed it tasks of one type with a
+    // tight deadline. The first goes immediately, later ones queue until
+    // the backlog pushes finishes past deadlines and drops begin.
+    let (dc, pstates, s3) = setup(3);
+    let mut sched = DynamicScheduler::new(&dc, &pstates, &s3);
+    // Find a type/time with a planned core.
+    let task_type = (0..dc.n_task_types())
+        .find(|&i| (0..dc.n_cores()).any(|k| s3.tc(i, k) > 0.0))
+        .expect("some planned type");
+    let slack = dc.workload.task_types[task_type].deadline_slack;
+    let now = 1.0;
+    let mut assigned = 0;
+    let mut dropped = 0;
+    for _ in 0..100_000 {
+        match sched.dispatch(task_type, now, now + slack) {
+            DispatchDecision::Assigned { start, finish, .. } => {
+                assert!(start >= now);
+                assert!(finish <= now + slack + 1e-9);
+                assigned += 1;
+            }
+            DispatchDecision::Dropped => {
+                dropped += 1;
+                break;
+            }
+        }
+    }
+    assert!(assigned > 0, "nothing assigned");
+    assert!(dropped > 0, "backlog never saturated — drops must eventually occur");
+}
+
+#[test]
+fn earliest_finish_prefers_faster_cores() {
+    let (dc, pstates, s3) = setup(4);
+    let mut sched =
+        DynamicScheduler::with_policy(&dc, &pstates, &s3, DispatchPolicy::EarliestFinish);
+    let task_type = 5;
+    let slack = dc.workload.task_types[task_type].deadline_slack;
+    if let DispatchDecision::Assigned { core, finish, .. } =
+        sched.dispatch(task_type, 0.0, slack)
+    {
+        // No other idle core could have finished sooner.
+        let service = finish; // start = 0 on an idle floor
+        for k in 0..dc.n_cores() {
+            let etc = dc
+                .workload
+                .ecs
+                .etc(task_type, dc.core_type(k), pstates[k]);
+            assert!(etc >= service - 1e-9 || k == core || etc.is_infinite() || etc >= service,
+                "core {k} would finish at {etc} < chosen {service}");
+        }
+    } else {
+        panic!("idle floor must accept the first task");
+    }
+}
+
+#[test]
+fn windowed_atc_behaves_like_cumulative_in_steady_state() {
+    // On a stationary trace the windowed and cumulative estimators see
+    // the same long-run rates; rewards should land close.
+    let (dc, pstates, s3) = setup(6);
+    let mut rng = StdRng::seed_from_u64(15);
+    let trace = ArrivalTrace::generate(&dc.workload, 15.0, &mut rng);
+    let cum = simulate_with_policy(&dc, &pstates, &s3, &trace, DispatchPolicy::AtcTc);
+    let win = simulate_with_policy(
+        &dc,
+        &pstates,
+        &s3,
+        &trace,
+        DispatchPolicy::AtcTcWindowed { tau_s: 3.0 },
+    );
+    let ratio = win.reward_rate / cum.reward_rate;
+    assert!(
+        (0.75..=1.35).contains(&ratio),
+        "windowed {} vs cumulative {}",
+        win.reward_rate,
+        cum.reward_rate
+    );
+}
+
+#[test]
+fn windowed_atc_recovers_after_a_shift_better_than_cumulative() {
+    // Apply an epoch-1 plan to a shifted epoch-2 workload: the windowed
+    // estimator forgets the stale epoch and should not do worse.
+    let (dc, pstates, s3) = setup(7);
+    let mut shifted = dc.clone();
+    for t in &mut shifted.workload.task_types {
+        if t.index % 2 == 0 {
+            t.arrival_rate *= 2.5;
+        } else {
+            t.arrival_rate /= 2.5;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(23);
+    let trace = ArrivalTrace::generate(&shifted.workload, 15.0, &mut rng);
+    let cum = simulate_with_policy(&shifted, &pstates, &s3, &trace, DispatchPolicy::AtcTc);
+    let win = simulate_with_policy(
+        &shifted,
+        &pstates,
+        &s3,
+        &trace,
+        DispatchPolicy::AtcTcWindowed { tau_s: 2.0 },
+    );
+    assert!(
+        win.reward_rate >= 0.9 * cum.reward_rate,
+        "windowed {} much worse than cumulative {}",
+        win.reward_rate,
+        cum.reward_rate
+    );
+}
+
+#[test]
+fn policies_diverge_on_oversubscribed_floors() {
+    // Sanity that the ablation measures something: the three policies
+    // should not all produce identical rewards on a loaded floor.
+    let (dc, pstates, s3) = setup(5);
+    let mut rng = StdRng::seed_from_u64(9);
+    let trace = ArrivalTrace::generate(&dc.workload, 8.0, &mut rng);
+    let rewards: Vec<f64> = [
+        DispatchPolicy::AtcTc,
+        DispatchPolicy::EarliestFinish,
+        DispatchPolicy::LeastLoaded,
+    ]
+    .iter()
+    .map(|&p| simulate_with_policy(&dc, &pstates, &s3, &trace, p).reward_collected)
+    .collect();
+    assert!(
+        rewards.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9),
+        "all policies identical: {rewards:?}"
+    );
+}

@@ -1,0 +1,457 @@
+//! Steady-state thermal model (paper Section IV) and the linear
+//! power→temperature coefficients consumed by the optimization LPs.
+//!
+//! With outlet temperatures ordered `[CRACs | nodes]` and `Tin = A·Tout`
+//! (Eq. 5), node outlets obey Eq. 4 (`Tout = Tin + P/(ρ·Cp·F)`) while CRAC
+//! outlets are *assigned*. Writing `A` in blocks
+//!
+//! ```text
+//!        ┌ A_cc  A_cn ┐   (c = CRAC, n = node)
+//!   A =  └ A_nc  A_nn ┘
+//! ```
+//!
+//! the node-outlet fixed point is `(I − A_nn)·Tout_n = A_nc·c + D·P`, with
+//! `D = diag(1/(ρ·Cp·F_j))` and `c` the CRAC outlet vector. `(I − A_nn)`
+//! is factored once per scenario; inlet temperatures everywhere are then
+//! *affine in the node powers* at fixed `c`:
+//!
+//! ```text
+//! Tin_nodes = base_n(c) + G_n · P      Tin_cracs = base_c(c) + G_c · P
+//! ```
+//!
+//! `G_n = A_nn·M·D` and `G_c = A_cn·M·D` (`M = (I − A_nn)⁻¹`) do **not**
+//! depend on `c`, so the Stage-1 CRAC-temperature search recomputes only
+//! the `base` vectors per candidate — the expensive inverse is paid once.
+
+use crate::interference::CrossInterference;
+use crate::layout::Layout;
+use crate::{cop, RHO_CP};
+use thermaware_linalg::{Lu, Matrix};
+
+/// Steady-state temperatures of every unit.
+#[derive(Debug, Clone)]
+pub struct ThermalState {
+    /// Number of CRAC units (prefix of each vector).
+    pub n_crac: usize,
+    /// Inlet temperature of every unit, °C, `[CRACs | nodes]`.
+    pub t_in: Vec<f64>,
+    /// Outlet temperature of every unit, °C, `[CRACs | nodes]`.
+    pub t_out: Vec<f64>,
+}
+
+impl ThermalState {
+    /// Hottest node inlet, °C.
+    pub fn max_node_inlet(&self) -> f64 {
+        self.t_in[self.n_crac..]
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &t| m.max(t))
+    }
+
+    /// Hottest CRAC inlet, °C.
+    pub fn max_crac_inlet(&self) -> f64 {
+        self.t_in[..self.n_crac]
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &t| m.max(t))
+    }
+
+    /// Worst redline violation in °C (≤ 0 when all inlets are safe).
+    pub fn redline_violation(&self, node_redline_c: f64, crac_redline_c: f64) -> f64 {
+        (self.max_node_inlet() - node_redline_c).max(self.max_crac_inlet() - crac_redline_c)
+    }
+}
+
+/// Affine inlet-temperature coefficients at fixed CRAC outlets.
+#[derive(Debug, Clone)]
+pub struct ThermalCoefficients {
+    /// `Tin_node_i = base_node[i] + Σ_j g_node[(i, j)] · P_j`.
+    pub base_node: Vec<f64>,
+    /// Node-inlet sensitivity to node powers (`n_nodes × n_nodes`).
+    pub g_node: Matrix,
+    /// `Tin_crac_i = base_crac[i] + Σ_j g_crac[(i, j)] · P_j`.
+    pub base_crac: Vec<f64>,
+    /// CRAC-inlet sensitivity to node powers (`n_crac × n_nodes`).
+    pub g_crac: Matrix,
+}
+
+/// The assembled steady-state thermal model of one data center.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    n_crac: usize,
+    n_nodes: usize,
+    /// Air flows `[CRACs | nodes]`, m³/s.
+    flows: Vec<f64>,
+    /// Heat-flow mixing matrix `A` (Eq. 5).
+    a: Matrix,
+    /// `M = (I − A_nn)⁻¹`.
+    m_inv: Matrix,
+    /// `G_n = A_nn · M · D` (node-inlet sensitivities).
+    g_node: Matrix,
+    /// `G_c = A_cn · M · D` (CRAC-inlet sensitivities).
+    g_crac: Matrix,
+    /// Redline inlet temperature for nodes, °C (Eq. 6).
+    pub node_redline_c: f64,
+    /// Redline inlet temperature for CRAC units, °C (Eq. 6).
+    pub crac_redline_c: f64,
+}
+
+impl ThermalModel {
+    /// Assemble a model from a layout, per-unit flows, and validated
+    /// cross-interference coefficients. Factors `(I − A_nn)` once.
+    ///
+    /// Errors if the recirculation structure is singular (physically: a
+    /// closed recirculation loop with no CRAC influence, which cannot
+    /// reach steady state).
+    pub fn new(
+        layout: &Layout,
+        flows: &[f64],
+        ci: &CrossInterference,
+        node_redline_c: f64,
+        crac_redline_c: f64,
+    ) -> Result<ThermalModel, String> {
+        let nc = layout.n_crac;
+        let nn = layout.n_nodes();
+        let n = nc + nn;
+        assert_eq!(flows.len(), n, "flow vector length");
+        assert_eq!(ci.n_units(), n, "interference dimension");
+        let a = ci.a_matrix(flows);
+
+        // I - A_nn.
+        let mut i_minus_ann = Matrix::from_fn(nn, nn, |i, j| -a[(nc + i, nc + j)]);
+        for i in 0..nn {
+            i_minus_ann[(i, i)] += 1.0;
+        }
+        let lu = Lu::factor(&i_minus_ann)
+            .map_err(|e| format!("recirculation structure is singular: {e}"))?;
+        let m_inv = lu
+            .inverse()
+            .map_err(|e| format!("inverting (I - A_nn): {e}"))?;
+
+        // G_n = A_nn * M * D  and  G_c = A_cn * M * D, with D the diagonal
+        // of 1/(rho*Cp*F_node). Fold D in by scaling M's columns.
+        let mut m_d = m_inv.clone();
+        for i in 0..nn {
+            for j in 0..nn {
+                m_d[(i, j)] /= RHO_CP * flows[nc + j];
+            }
+        }
+        let a_nn = Matrix::from_fn(nn, nn, |i, j| a[(nc + i, nc + j)]);
+        let a_cn = Matrix::from_fn(nc, nn, |i, j| a[(i, nc + j)]);
+        let g_node = a_nn.mat_mul(&m_d).expect("shape");
+        let g_crac = a_cn.mat_mul(&m_d).expect("shape");
+
+        Ok(ThermalModel {
+            n_crac: nc,
+            n_nodes: nn,
+            flows: flows.to_vec(),
+            a,
+            m_inv,
+            g_node,
+            g_crac,
+            node_redline_c,
+            crac_redline_c,
+        })
+    }
+
+    /// Number of CRAC units.
+    pub fn n_crac(&self) -> usize {
+        self.n_crac
+    }
+
+    /// Number of compute nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Per-unit air flows `[CRACs | nodes]`.
+    pub fn flows(&self) -> &[f64] {
+        &self.flows
+    }
+
+    /// Steady-state temperatures for assigned CRAC outlets (°C) and node
+    /// powers (kW, *total* node power including base).
+    pub fn steady_state(&self, crac_out_c: &[f64], node_power_kw: &[f64]) -> ThermalState {
+        assert_eq!(crac_out_c.len(), self.n_crac);
+        assert_eq!(node_power_kw.len(), self.n_nodes);
+        let nc = self.n_crac;
+        let nn = self.n_nodes;
+
+        // rhs = A_nc * c + D * P.
+        let mut rhs = vec![0.0; nn];
+        for (i, r) in rhs.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &c) in crac_out_c.iter().enumerate() {
+                acc += self.a[(nc + i, j)] * c;
+            }
+            acc += node_power_kw[i] / (RHO_CP * self.flows[nc + i]);
+            *r = acc;
+        }
+        let t_out_nodes = self.m_inv.mat_vec(&rhs);
+
+        let mut t_out = Vec::with_capacity(nc + nn);
+        t_out.extend_from_slice(crac_out_c);
+        t_out.extend_from_slice(&t_out_nodes);
+        let t_in = self.a.mat_vec(&t_out);
+        ThermalState {
+            n_crac: nc,
+            t_in,
+            t_out,
+        }
+    }
+
+    /// Affine inlet coefficients at fixed CRAC outlets (see module docs).
+    /// The sensitivity matrices are precomputed; only the base vectors are
+    /// built here, so this is cheap enough for the CRAC temperature search.
+    pub fn coefficients(&self, crac_out_c: &[f64]) -> ThermalCoefficients {
+        assert_eq!(crac_out_c.len(), self.n_crac);
+        let nc = self.n_crac;
+        let nn = self.n_nodes;
+
+        // t0 = M * (A_nc * c): node outlets with zero node power.
+        let mut anc_c = vec![0.0; nn];
+        for (i, v) in anc_c.iter_mut().enumerate() {
+            for (j, &c) in crac_out_c.iter().enumerate() {
+                *v += self.a[(nc + i, j)] * c;
+            }
+        }
+        let t0 = self.m_inv.mat_vec(&anc_c);
+
+        // base_node_i = (A_nc c)_i + (A_nn t0)_i ; base_crac_i = (A_cc c)_i
+        // + (A_cn t0)_i.
+        let mut base_node = vec![0.0; nn];
+        for (i, b) in base_node.iter_mut().enumerate() {
+            let mut acc = anc_c[i];
+            for (j, &t) in t0.iter().enumerate() {
+                acc += self.a[(nc + i, nc + j)] * t;
+            }
+            *b = acc;
+        }
+        let mut base_crac = vec![0.0; nc];
+        for (i, b) in base_crac.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &c) in crac_out_c.iter().enumerate() {
+                acc += self.a[(i, j)] * c;
+            }
+            for (j, &t) in t0.iter().enumerate() {
+                acc += self.a[(i, nc + j)] * t;
+            }
+            *b = acc;
+        }
+        ThermalCoefficients {
+            base_node,
+            g_node: self.g_node.clone(),
+            base_crac,
+            g_crac: self.g_crac.clone(),
+        }
+    }
+
+    /// Total CRAC power (Eqs. 2–3) at a steady state, given the assigned
+    /// outlets. Clamped at zero per Eq. 3's "no heat to remove" case.
+    pub fn total_crac_power_kw(&self, state: &ThermalState) -> f64 {
+        (0..self.n_crac)
+            .map(|i| {
+                cop::crac_power_kw(self.flows[i], state.t_in[i], state.t_out[i])
+            })
+            .sum()
+    }
+
+    /// Steady state with some CRAC units **failed** (coil off, fan still
+    /// turning): a failed unit stops cooling but keeps moving air, so its
+    /// outlet temperature is no longer assigned — it equals its inlet,
+    /// exactly like a zero-power compute node. Entries of `crac_out_c`
+    /// for failed units are ignored.
+    ///
+    /// Failed units join the nodes in the free-outlet block `F`:
+    /// `(I − A_FF)·T_F = A_FW·c + d`, factored on demand (failure
+    /// analysis is occasional, not hot-path). Errors when every CRAC has
+    /// failed — with no heat sink the room has no steady state (the block
+    /// matrix is singular because its rows sum to 1).
+    pub fn steady_state_with_failed_cracs(
+        &self,
+        crac_out_c: &[f64],
+        node_power_kw: &[f64],
+        failed: &[bool],
+    ) -> Result<ThermalState, String> {
+        assert_eq!(crac_out_c.len(), self.n_crac);
+        assert_eq!(node_power_kw.len(), self.n_nodes);
+        assert_eq!(failed.len(), self.n_crac);
+        if failed.iter().all(|&f| !f) {
+            return Ok(self.steady_state(crac_out_c, node_power_kw));
+        }
+        let n = self.n_crac + self.n_nodes;
+        // Free block: failed CRACs then all nodes; working block: live
+        // CRACs with assigned outlets.
+        let free: Vec<usize> = (0..self.n_crac)
+            .filter(|&c| failed[c])
+            .chain(self.n_crac..n)
+            .collect();
+        let working: Vec<usize> = (0..self.n_crac).filter(|&c| !failed[c]).collect();
+        if working.is_empty() {
+            return Err("all CRAC units failed: no steady state exists".to_owned());
+        }
+        let nf = free.len();
+        // (I - A_FF) and rhs = A_FW c + d.
+        let mut m = Matrix::from_fn(nf, nf, |i, j| -self.a[(free[i], free[j])]);
+        for i in 0..nf {
+            m[(i, i)] += 1.0;
+        }
+        let lu = Lu::factor(&m).map_err(|e| format!("failure block singular: {e}"))?;
+        let mut rhs = vec![0.0; nf];
+        for (i, &u) in free.iter().enumerate() {
+            let mut acc = 0.0;
+            for &w in &working {
+                acc += self.a[(u, w)] * crac_out_c[w];
+            }
+            if u >= self.n_crac {
+                acc += node_power_kw[u - self.n_crac] / (RHO_CP * self.flows[u]);
+            }
+            rhs[i] = acc;
+        }
+        let t_free = lu.solve(&rhs).map_err(|e| format!("failure solve: {e}"))?;
+
+        let mut t_out = vec![0.0; n];
+        for &w in &working {
+            t_out[w] = crac_out_c[w];
+        }
+        for (i, &u) in free.iter().enumerate() {
+            t_out[u] = t_free[i];
+        }
+        let t_in = self.a.mat_vec(&t_out);
+        Ok(ThermalState {
+            n_crac: self.n_crac,
+            t_in,
+            t_out,
+        })
+    }
+
+    /// The heat-flow mixing matrix `A` (Eq. 5).
+    pub fn a_matrix(&self) -> &Matrix {
+        &self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::{generate_ipf, uniform_flows};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_model() -> (Layout, Vec<f64>, ThermalModel) {
+        let layout = Layout::hot_cold_aisle(2, 20);
+        let flows = uniform_flows(&layout, 0.07, None);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ci = generate_ipf(&layout, &flows, &mut rng).unwrap();
+        let model = ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0).unwrap();
+        (layout, flows, model)
+    }
+
+    #[test]
+    fn zero_power_means_uniform_cold() {
+        // With no node power, every temperature equals the (uniform) CRAC
+        // outlet: the only heat source is gone, so air mixes at 18 °C.
+        let (_, _, model) = small_model();
+        let state = model.steady_state(&[18.0, 18.0], &vec![0.0; 20]);
+        for &t in &state.t_in {
+            assert!((t - 18.0).abs() < 1e-8, "t_in = {t}");
+        }
+        for &t in &state.t_out {
+            assert!((t - 18.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn energy_balance_heat_in_equals_heat_removed() {
+        // Conservation: total node power must equal the heat crossing the
+        // CRAC coils, Σ ρCpF_i (Tin_i - Tout_i).
+        let (_, flows, model) = small_model();
+        let powers: Vec<f64> = (0..20).map(|i| 0.3 + 0.02 * i as f64).collect();
+        let state = model.steady_state(&[16.0, 18.0], &powers);
+        let total_power: f64 = powers.iter().sum();
+        let heat_removed: f64 = (0..2)
+            .map(|i| RHO_CP * flows[i] * (state.t_in[i] - state.t_out[i]))
+            .sum();
+        assert!(
+            (total_power - heat_removed).abs() < 1e-6 * total_power,
+            "power {total_power} vs heat {heat_removed}"
+        );
+    }
+
+    #[test]
+    fn node_outlet_equals_inlet_plus_rise() {
+        // Eq. 4 must hold exactly at the solution.
+        let (_, flows, model) = small_model();
+        let powers = vec![0.5; 20];
+        let state = model.steady_state(&[15.0, 15.0], &powers);
+        for i in 0..20 {
+            let expected = state.t_in[2 + i] + powers[i] / (RHO_CP * flows[2 + i]);
+            assert!((state.t_out[2 + i] - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_power_means_hotter_inlets() {
+        let (_, _, model) = small_model();
+        let lo = model.steady_state(&[18.0, 18.0], &vec![0.2; 20]);
+        let hi = model.steady_state(&[18.0, 18.0], &vec![0.8; 20]);
+        assert!(hi.max_node_inlet() > lo.max_node_inlet());
+        assert!(hi.max_crac_inlet() > lo.max_crac_inlet());
+    }
+
+    #[test]
+    fn coefficients_match_steady_state() {
+        // The affine form must reproduce the exact solve for arbitrary
+        // powers.
+        let (_, _, model) = small_model();
+        let crac_out = [14.0, 19.0];
+        let coeff = model.coefficients(&crac_out);
+        let powers: Vec<f64> = (0..20).map(|i| 0.1 * (i % 7) as f64).collect();
+        let state = model.steady_state(&crac_out, &powers);
+        for i in 0..20 {
+            let affine = coeff.base_node[i]
+                + (0..20).map(|j| coeff.g_node[(i, j)] * powers[j]).sum::<f64>();
+            assert!(
+                (affine - state.t_in[2 + i]).abs() < 1e-9,
+                "node {i}: affine {affine} vs exact {}",
+                state.t_in[2 + i]
+            );
+        }
+        for i in 0..2 {
+            let affine = coeff.base_crac[i]
+                + (0..20).map(|j| coeff.g_crac[(i, j)] * powers[j]).sum::<f64>();
+            assert!((affine - state.t_in[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crac_power_positive_under_load() {
+        let (_, _, model) = small_model();
+        let state = model.steady_state(&[15.0, 15.0], &vec![0.6; 20]);
+        assert!(model.total_crac_power_kw(&state) > 0.0);
+    }
+
+    #[test]
+    fn redline_violation_sign() {
+        let (_, _, model) = small_model();
+        let cool = model.steady_state(&[12.0, 12.0], &vec![0.05; 20]);
+        assert!(cool.redline_violation(25.0, 40.0) < 0.0);
+        let hot = model.steady_state(&[24.9, 24.9], &vec![2.0; 20]);
+        assert!(hot.redline_violation(25.0, 40.0) > 0.0);
+    }
+
+    #[test]
+    fn sensitivities_are_nonnegative() {
+        // More power anywhere can never cool any inlet.
+        let (_, _, model) = small_model();
+        let c = model.coefficients(&[18.0, 18.0]);
+        for i in 0..20 {
+            for j in 0..20 {
+                assert!(c.g_node[(i, j)] >= -1e-12);
+            }
+        }
+        for i in 0..2 {
+            for j in 0..20 {
+                assert!(c.g_crac[(i, j)] >= -1e-12);
+            }
+        }
+    }
+}

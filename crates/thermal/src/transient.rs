@@ -1,0 +1,162 @@
+//! Lumped-capacitance transient thermal simulation (extension).
+//!
+//! The paper's first-step assignment reasons about *steady-state*
+//! temperatures and justifies this with the timescale separation:
+//! "Temperature evolution in the data center is in orders of minutes,
+//! while the execution of a task is in orders of seconds" (Section V.A).
+//! This module makes that argument checkable: it integrates a first-order
+//! relaxation of the outlet temperatures toward their instantaneous
+//! steady-state values,
+//!
+//! ```text
+//! d Tout_n / dt = (Tout_n*(P(t), c(t)) − Tout_n) / τ
+//! ```
+//!
+//! with a configurable thermal time constant `τ` (minutes), so
+//! experiments can verify that redlines hold *along the trajectory* of a
+//! P-state reassignment, not only at its endpoints.
+
+use crate::model::{ThermalModel, ThermalState};
+
+/// Transient integrator over a [`ThermalModel`].
+#[derive(Debug, Clone)]
+pub struct TransientSim {
+    /// Thermal time constant of node thermal masses, seconds.
+    pub time_constant_s: f64,
+    /// Integration step, seconds.
+    pub dt_s: f64,
+    /// Current node outlet temperatures, °C.
+    t_out_nodes: Vec<f64>,
+    /// Elapsed simulated time, seconds.
+    elapsed_s: f64,
+}
+
+impl TransientSim {
+    /// Start a transient from an initial steady state.
+    pub fn from_steady_state(model: &ThermalModel, initial: &ThermalState) -> TransientSim {
+        TransientSim {
+            time_constant_s: 120.0,
+            dt_s: 1.0,
+            t_out_nodes: initial.t_out[model.n_crac()..].to_vec(),
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Advance `duration_s` seconds under fixed CRAC outlets and node
+    /// powers, returning the state at the end of the interval.
+    ///
+    /// Integration is explicit Euler on the relaxation equation; with
+    /// `dt << τ` (default 1 s vs 120 s) this is comfortably stable.
+    pub fn advance(
+        &mut self,
+        model: &ThermalModel,
+        crac_out_c: &[f64],
+        node_power_kw: &[f64],
+        duration_s: f64,
+    ) -> ThermalState {
+        let target = model.steady_state(crac_out_c, node_power_kw);
+        let target_out = &target.t_out[model.n_crac()..];
+        let steps = (duration_s / self.dt_s).ceil().max(1.0) as usize;
+        let dt = duration_s / steps as f64;
+        let k = dt / self.time_constant_s;
+        for _ in 0..steps {
+            for (t, &tt) in self.t_out_nodes.iter_mut().zip(target_out) {
+                *t += k * (tt - *t);
+            }
+        }
+        self.elapsed_s += duration_s;
+        self.state(model, crac_out_c)
+    }
+
+    /// Current temperatures, deriving inlets from the mixing matrix.
+    pub fn state(&self, model: &ThermalModel, crac_out_c: &[f64]) -> ThermalState {
+        let nc = model.n_crac();
+        let mut t_out = Vec::with_capacity(nc + self.t_out_nodes.len());
+        t_out.extend_from_slice(crac_out_c);
+        t_out.extend_from_slice(&self.t_out_nodes);
+        let t_in = model.a_matrix().mat_vec(&t_out);
+        ThermalState {
+            n_crac: nc,
+            t_in,
+            t_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::{generate_ipf, uniform_flows};
+    use crate::layout::Layout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> ThermalModel {
+        let layout = Layout::hot_cold_aisle(1, 10);
+        let flows = uniform_flows(&layout, 0.07, None);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ci = generate_ipf(&layout, &flows, &mut rng).unwrap();
+        ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0).unwrap()
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let m = model();
+        let cold = m.steady_state(&[18.0], &vec![0.1; 10]);
+        let mut sim = TransientSim::from_steady_state(&m, &cold);
+        // Step the power up and integrate ten time constants.
+        let hot_target = m.steady_state(&[18.0], &vec![0.7; 10]);
+        let end = sim.advance(&m, &[18.0], &vec![0.7; 10], 10.0 * sim.time_constant_s);
+        for (a, b) in end.t_out.iter().zip(&hot_target.t_out) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn monotone_approach_no_overshoot() {
+        // First-order relaxation toward a hotter steady state must heat
+        // monotonically and never overshoot the target.
+        let m = model();
+        let cold = m.steady_state(&[18.0], &vec![0.1; 10]);
+        let target = m.steady_state(&[18.0], &vec![0.7; 10]);
+        let mut sim = TransientSim::from_steady_state(&m, &cold);
+        let mut prev = cold.max_node_inlet();
+        for _ in 0..20 {
+            let s = sim.advance(&m, &[18.0], &vec![0.7; 10], 30.0);
+            let now = s.max_node_inlet();
+            assert!(now >= prev - 1e-9, "cooling while heating up");
+            assert!(now <= target.max_node_inlet() + 1e-6, "overshoot");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn elapsed_time_accumulates() {
+        let m = model();
+        let s0 = m.steady_state(&[18.0], &vec![0.2; 10]);
+        let mut sim = TransientSim::from_steady_state(&m, &s0);
+        sim.advance(&m, &[18.0], &vec![0.2; 10], 45.0);
+        sim.advance(&m, &[18.0], &vec![0.2; 10], 15.0);
+        assert!((sim.elapsed_s() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timescale_separation_holds() {
+        // After one second (a task execution time), temperatures have
+        // barely moved — the quantitative basis for the paper's two-step
+        // split.
+        let m = model();
+        let cold = m.steady_state(&[18.0], &vec![0.1; 10]);
+        let target = m.steady_state(&[18.0], &vec![0.7; 10]);
+        let mut sim = TransientSim::from_steady_state(&m, &cold);
+        let s = sim.advance(&m, &[18.0], &vec![0.7; 10], 1.0);
+        let full_swing = target.max_node_inlet() - cold.max_node_inlet();
+        let moved = s.max_node_inlet() - cold.max_node_inlet();
+        assert!(moved < 0.02 * full_swing, "moved {moved} of {full_swing}");
+    }
+}

@@ -1,0 +1,109 @@
+//! CRAC failure analysis tests: a failed unit keeps moving air but stops
+//! cooling, so its outlet floats to its inlet and the rest of the floor
+//! absorbs the heat.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermaware_thermal::{interference, Layout, ThermalModel, RHO_CP};
+
+fn model(n_crac: usize, n_nodes: usize, seed: u64) -> (Vec<f64>, ThermalModel) {
+    let layout = Layout::hot_cold_aisle(n_crac, n_nodes);
+    let flows = interference::uniform_flows(&layout, 0.07, None);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ci = interference::generate_ipf(&layout, &flows, &mut rng).unwrap();
+    let m = ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0).unwrap();
+    (flows, m)
+}
+
+#[test]
+fn no_failures_matches_plain_solve() {
+    let (_, m) = model(2, 20, 1);
+    let powers = vec![0.5; 20];
+    let outlets = [15.0, 17.0];
+    let plain = m.steady_state(&outlets, &powers);
+    let with = m
+        .steady_state_with_failed_cracs(&outlets, &powers, &[false, false])
+        .unwrap();
+    for (a, b) in plain.t_in.iter().zip(&with.t_in) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn failed_unit_outlet_equals_inlet() {
+    let (_, m) = model(2, 20, 2);
+    let powers = vec![0.5; 20];
+    let state = m
+        .steady_state_with_failed_cracs(&[15.0, 15.0], &powers, &[true, false])
+        .unwrap();
+    // Unit 0 failed: pass-through.
+    assert!((state.t_out[0] - state.t_in[0]).abs() < 1e-9);
+    // Unit 1 works: outlet as assigned.
+    assert!((state.t_out[1] - 15.0).abs() < 1e-12);
+}
+
+#[test]
+fn failure_heats_the_floor() {
+    let (_, m) = model(2, 20, 3);
+    let powers = vec![0.5; 20];
+    let healthy = m.steady_state(&[15.0, 15.0], &powers);
+    let degraded = m
+        .steady_state_with_failed_cracs(&[15.0, 15.0], &powers, &[true, false])
+        .unwrap();
+    assert!(
+        degraded.max_node_inlet() > healthy.max_node_inlet() + 0.5,
+        "failure barely changed inlets: {} vs {}",
+        degraded.max_node_inlet(),
+        healthy.max_node_inlet()
+    );
+}
+
+#[test]
+fn surviving_crac_removes_all_the_heat() {
+    // Conservation with one coil off: the working unit's coil must now
+    // carry the entire node power.
+    let (flows, m) = model(2, 20, 4);
+    let powers: Vec<f64> = (0..20).map(|i| 0.3 + 0.02 * i as f64).collect();
+    let total: f64 = powers.iter().sum();
+    let state = m
+        .steady_state_with_failed_cracs(&[14.0, 14.0], &powers, &[true, false])
+        .unwrap();
+    let removed_working = RHO_CP * flows[1] * (state.t_in[1] - state.t_out[1]);
+    let removed_failed = RHO_CP * flows[0] * (state.t_in[0] - state.t_out[0]);
+    assert!(removed_failed.abs() < 1e-9, "failed coil removed {removed_failed}");
+    assert!(
+        (removed_working - total).abs() < 1e-6 * total,
+        "working coil removed {removed_working} of {total}"
+    );
+}
+
+#[test]
+fn all_failed_is_an_error() {
+    let (_, m) = model(2, 20, 5);
+    let powers = vec![0.5; 20];
+    assert!(m
+        .steady_state_with_failed_cracs(&[15.0, 15.0], &powers, &[true, true])
+        .is_err());
+}
+
+#[test]
+fn shedding_power_restores_redlines() {
+    // After a failure pushes inlets over redline, cutting node power far
+    // enough must bring them back — the premise of the failure-response
+    // experiment.
+    let (_, m) = model(2, 20, 6);
+    let hot = vec![0.8; 20];
+    let degraded = m
+        .steady_state_with_failed_cracs(&[13.0, 13.0], &hot, &[true, false])
+        .unwrap();
+    if degraded.redline_violation(25.0, 40.0) > 0.0 {
+        let cool = vec![0.1; 20];
+        let shed = m
+            .steady_state_with_failed_cracs(&[13.0, 13.0], &cool, &[true, false])
+            .unwrap();
+        assert!(
+            shed.max_node_inlet() < degraded.max_node_inlet(),
+            "shedding power must cool the floor"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The three-dimensional ECS matrix and its Section-VI.C generator.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Estimated computational speed for every `(task type, node type,
+/// P-state)` triple, off state included (its speed is 0, paper III.D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcsMatrix {
+    n_task_types: usize,
+    n_node_types: usize,
+    /// Number of P-states per node type, off state included.
+    n_pstates: Vec<usize>,
+    /// `data[j]` is the `n_task_types × n_pstates[j]` block of node type
+    /// `j`, row-major by task type.
+    data: Vec<Vec<f64>>,
+}
+
+impl EcsMatrix {
+    /// Assemble from per-node-type blocks: `blocks[j][i][k]` is the speed
+    /// of task type `i` on node type `j` in P-state `k` (off state
+    /// included as the last entry, which must be 0).
+    ///
+    /// # Panics
+    /// Panics on ragged input, negative speeds, or a nonzero off state.
+    pub fn from_blocks(blocks: Vec<Vec<Vec<f64>>>) -> Self {
+        let n_node_types = blocks.len();
+        assert!(n_node_types > 0, "need at least one node type");
+        let n_task_types = blocks[0].len();
+        assert!(n_task_types > 0, "need at least one task type");
+        let mut n_pstates = Vec::with_capacity(n_node_types);
+        let mut data = Vec::with_capacity(n_node_types);
+        for (j, block) in blocks.into_iter().enumerate() {
+            assert_eq!(block.len(), n_task_types, "node type {j}: ragged task axis");
+            let np = block[0].len();
+            assert!(np >= 2, "node type {j}: need one active P-state plus off");
+            let mut flat = Vec::with_capacity(n_task_types * np);
+            for (i, row) in block.into_iter().enumerate() {
+                assert_eq!(row.len(), np, "node type {j} task {i}: ragged P-state axis");
+                assert!(
+                    row.iter().all(|&v| v >= 0.0),
+                    "node type {j} task {i}: negative ECS"
+                );
+                assert_eq!(
+                    row[np - 1], 0.0,
+                    "node type {j} task {i}: off state must have ECS 0"
+                );
+                flat.extend(row);
+            }
+            n_pstates.push(np);
+            data.push(flat);
+        }
+        EcsMatrix {
+            n_task_types,
+            n_node_types,
+            n_pstates,
+            data,
+        }
+    }
+
+    /// Number of task types `T`.
+    pub fn n_task_types(&self) -> usize {
+        self.n_task_types
+    }
+
+    /// Number of node (= core) types.
+    pub fn n_node_types(&self) -> usize {
+        self.n_node_types
+    }
+
+    /// Number of P-states of node type `j`, off included (the paper's
+    /// `η_j`).
+    pub fn n_pstates(&self, node_type: usize) -> usize {
+        self.n_pstates[node_type]
+    }
+
+    /// `ECS(i, j, k)`: tasks of type `i` completed per second on a core of
+    /// type `j` in P-state `k` (0 when `k` is the off state).
+    #[inline]
+    pub fn ecs(&self, task_type: usize, node_type: usize, pstate: usize) -> f64 {
+        let np = self.n_pstates[node_type];
+        debug_assert!(task_type < self.n_task_types && pstate < np);
+        self.data[node_type][task_type * np + pstate]
+    }
+
+    /// `ETC = 1/ECS`: estimated time to compute, `f64::INFINITY` when the
+    /// speed is 0 (off state or unsupported type). This replaces the
+    /// paper's "small enough positive number" device with an explicit
+    /// infinity that the optimization layers guard against.
+    #[inline]
+    pub fn etc(&self, task_type: usize, node_type: usize, pstate: usize) -> f64 {
+        let e = self.ecs(task_type, node_type, pstate);
+        if e > 0.0 {
+            1.0 / e
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean P-state-0 speed of task type `i` across node types (used by
+    /// the Eq. 11 reward rule).
+    pub fn mean_p0_speed(&self, task_type: usize) -> f64 {
+        (0..self.n_node_types)
+            .map(|j| self.ecs(task_type, j, 0))
+            .sum::<f64>()
+            / self.n_node_types as f64
+    }
+
+    /// `MinECS_i` of Eq. 12: the slowest *active* speed over node types
+    /// (deepest running P-state).
+    pub fn min_active_speed(&self, task_type: usize) -> f64 {
+        (0..self.n_node_types)
+            .map(|j| self.ecs(task_type, j, self.n_pstates[j] - 2))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `MaxECS_i` of Eq. 13: the fastest speed over node types (P-state 0).
+    pub fn max_speed(&self, task_type: usize) -> f64 {
+        (0..self.n_node_types)
+            .map(|j| self.ecs(task_type, j, 0))
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// Parameters of the Section-VI.C ECS generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcsGenParams {
+    /// Number of task types `T` (8 in the paper).
+    pub n_task_types: usize,
+    /// Task-type/node-type affinity noise `V_ECS` (0.1 in the paper).
+    pub v_ecs: f64,
+    /// Clock-proportionality noise `V_prop` (0.1 or 0.3 in the paper);
+    /// larger values give P-states more task-type affinity, which is the
+    /// paper's second Fig.-6 observation.
+    pub v_prop: f64,
+    /// Mean P-state-0 speed of each node type over task types; the paper
+    /// uses `[0.6, 1.0]` from the SPECpower ssj_ops ratio.
+    pub node_type_perf: Vec<f64>,
+}
+
+impl Default for EcsGenParams {
+    fn default() -> Self {
+        EcsGenParams {
+            n_task_types: 8,
+            v_ecs: 0.1,
+            v_prop: 0.1,
+            node_type_perf: vec![0.6, 1.0],
+        }
+    }
+}
+
+impl EcsGenParams {
+    /// Generate the ECS matrix. `node_type_freqs[j]` lists node type `j`'s
+    /// *active* P-state clocks in MHz, fastest first (the off state is
+    /// appended automatically).
+    ///
+    /// Per Section VI.C: per-task-type means halve going down the index
+    /// (`a_i = a_{i+1}/2`), normalized so their mean is 1, keeping the
+    /// node-type means at `node_type_perf`. Deeper P-states scale by clock
+    /// ratio with `U[1−V_prop, 1+V_prop]` noise (Eq. 10), re-drawn until
+    /// the speed ladder is strictly monotone in the P-state index.
+    pub fn generate<R: Rng>(&self, node_type_freqs: &[Vec<f64>], rng: &mut R) -> EcsMatrix {
+        assert_eq!(
+            node_type_freqs.len(),
+            self.node_type_perf.len(),
+            "one frequency ladder per node type"
+        );
+        assert!(self.n_task_types > 0);
+        assert!((0.0..1.0).contains(&self.v_ecs));
+        assert!((0.0..1.0).contains(&self.v_prop));
+        let t = self.n_task_types;
+
+        // a_i = 2^i, normalized to mean 1: task type T-1 is the "easiest"
+        // (highest completion rate).
+        let raw: Vec<f64> = (0..t).map(|i| 2.0_f64.powi(i as i32)).collect();
+        let mean: f64 = raw.iter().sum::<f64>() / t as f64;
+        let a: Vec<f64> = raw.into_iter().map(|v| v / mean).collect();
+
+        let blocks: Vec<Vec<Vec<f64>>> = node_type_freqs
+            .iter()
+            .zip(&self.node_type_perf)
+            .map(|(freqs, &b_j)| {
+                assert!(!freqs.is_empty());
+                (0..t)
+                    .map(|i| {
+                        let p0 = a[i] * b_j * rng.gen_range(1.0 - self.v_ecs..=1.0 + self.v_ecs);
+                        let mut row = Vec::with_capacity(freqs.len() + 1);
+                        row.push(p0);
+                        for k in 1..freqs.len() {
+                            let scale = freqs[k] / freqs[0];
+                            // Eq. 10 with the monotonicity re-draw; the
+                            // re-draw always terminates because the noise
+                            // floor (1 - v_prop) times the clock ratio is
+                            // below the previous draw's feasible band.
+                            let mut v;
+                            let mut attempts = 0;
+                            loop {
+                                v = p0
+                                    * scale
+                                    * rng.gen_range(1.0 - self.v_prop..=1.0 + self.v_prop);
+                                attempts += 1;
+                                if v < row[k - 1] || attempts > 1000 {
+                                    break;
+                                }
+                            }
+                            row.push(v.min(row[k - 1] * (1.0 - 1e-9)));
+                        }
+                        row.push(0.0); // off state
+                        row
+                    })
+                    .collect()
+            })
+            .collect();
+        EcsMatrix::from_blocks(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_freqs() -> Vec<Vec<f64>> {
+        vec![
+            vec![2500.0, 2100.0, 1700.0, 800.0],
+            vec![2666.0, 2200.0, 1700.0, 1000.0],
+        ]
+    }
+
+    fn generate(seed: u64) -> EcsMatrix {
+        let params = EcsGenParams::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        params.generate(&paper_freqs(), &mut rng)
+    }
+
+    #[test]
+    fn dimensions_match_paper() {
+        let m = generate(1);
+        assert_eq!(m.n_task_types(), 8);
+        assert_eq!(m.n_node_types(), 2);
+        assert_eq!(m.n_pstates(0), 5); // 4 active + off
+        assert_eq!(m.n_pstates(1), 5);
+    }
+
+    #[test]
+    fn speeds_decrease_with_pstate_index() {
+        let m = generate(2);
+        for i in 0..8 {
+            for j in 0..2 {
+                for k in 1..m.n_pstates(j) {
+                    assert!(
+                        m.ecs(i, j, k) < m.ecs(i, j, k - 1),
+                        "ECS({i},{j},{k}) not below previous"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_state_is_zero_and_etc_is_infinite() {
+        let m = generate(3);
+        for i in 0..8 {
+            for j in 0..2 {
+                let off = m.n_pstates(j) - 1;
+                assert_eq!(m.ecs(i, j, off), 0.0);
+                assert!(m.etc(i, j, off).is_infinite());
+                assert!(m.etc(i, j, 0).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn task_type_means_roughly_halve() {
+        // Average many draws so the U[0.9, 1.1] noise washes out.
+        let params = EcsGenParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut means = vec![0.0; 8];
+        let reps = 200;
+        for _ in 0..reps {
+            let m = params.generate(&paper_freqs(), &mut rng);
+            for (i, mean) in means.iter_mut().enumerate() {
+                *mean += m.mean_p0_speed(i);
+            }
+        }
+        for v in &mut means {
+            *v /= reps as f64;
+        }
+        for i in 0..7 {
+            let ratio = means[i + 1] / means[i];
+            assert!(
+                (ratio - 2.0).abs() < 0.1,
+                "mean({}) / mean({}) = {ratio}",
+                i + 1,
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn node_type_performance_ratio_is_0_6() {
+        let params = EcsGenParams::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sums = [0.0_f64; 2];
+        let reps = 200;
+        for _ in 0..reps {
+            let m = params.generate(&paper_freqs(), &mut rng);
+            for j in 0..2 {
+                for i in 0..8 {
+                    sums[j] += m.ecs(i, j, 0);
+                }
+            }
+        }
+        let ratio = sums[0] / sums[1];
+        assert!((ratio - 0.6).abs() < 0.02, "perf ratio {ratio}");
+    }
+
+    #[test]
+    fn min_max_speed_accessors() {
+        let m = generate(5);
+        for i in 0..8 {
+            let min = m.min_active_speed(i);
+            let max = m.max_speed(i);
+            assert!(min > 0.0);
+            assert!(max >= min);
+            // Eq. 12: min over deepest active P-states.
+            let expected_min = m.ecs(i, 0, 3).min(m.ecs(i, 1, 3));
+            assert_eq!(min, expected_min);
+            let expected_max = m.ecs(i, 0, 0).max(m.ecs(i, 1, 0));
+            assert_eq!(max, expected_max);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(99);
+        let b = generate(99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "off state must have ECS 0")]
+    fn nonzero_off_state_rejected() {
+        EcsMatrix::from_blocks(vec![vec![vec![1.0, 0.5]], vec![vec![1.0, 0.1]]]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        // serde_json's shortest-representation float printing can lose the
+        // last ULP, so compare entries approximately.
+        let m = generate(13);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: EcsMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.n_task_types(), back.n_task_types());
+        assert_eq!(m.n_node_types(), back.n_node_types());
+        for i in 0..m.n_task_types() {
+            for j in 0..m.n_node_types() {
+                for k in 0..m.n_pstates(j) {
+                    let (a, b) = (m.ecs(i, j, k), back.ecs(i, j, k));
+                    assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload modeling: task types, estimated computational speeds (ECS),
+//! rewards, deadlines, and arrival processes (paper Sections III.B, III.D,
+//! and VI.C–D).
+//!
+//! The paper's workload is a stream of tasks drawn from `T` known task
+//! types. Type `i` arrives at rate `λ_i`, pays reward `r_i` when a task
+//! finishes within `m_i` seconds of its arrival, and runs at the
+//! *estimated computational speed* `ECS(i, j, k)` — completed tasks per
+//! second — on a core of type `j` in P-state `k`. `ECS = 1/ETC`; assuming
+//! known ETC information is standard practice in heterogeneous resource
+//! allocation (the paper cites a dozen precedents).
+//!
+//! The synthetic generator reproduces Section VI exactly:
+//!
+//! * P-state-0 speeds are `a_i · b_j · U[1−V_ECS, 1+V_ECS]`, where the
+//!   per-task-type means halve from type `i+1` to `i` and the node-type
+//!   means are (0.6, 1.0) — the SPECpower-derived performance ratio.
+//! * Deeper P-states scale by clock ratio with proportionality noise
+//!   `U[1−V_prop, 1+V_prop]` (Eq. 10), re-drawn until speeds decrease
+//!   monotonically in the P-state index.
+//! * Rewards are the reciprocal of mean P-state-0 speed (Eq. 11) — harder
+//!   task types pay more.
+//! * Deadline slacks `m_i` follow Eq. 14, guaranteeing at least one core
+//!   type can finish in time.
+//! * Arrival rates follow Eqs. 15–16: the data center can absorb the load
+//!   at full P-state-0 capacity but is oversubscribed under a power cap.
+
+mod ecs;
+mod task;
+mod trace;
+
+pub use ecs::{EcsGenParams, EcsMatrix};
+pub use task::{TaskType, Workload, WorkloadGenParams};
+pub use trace::{ArrivalTrace, TaskArrival};

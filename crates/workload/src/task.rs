@@ -1,0 +1,235 @@
+//! Task types and the full Section-VI workload generator.
+
+use crate::ecs::{EcsGenParams, EcsMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One task type of the workload (paper Section III.B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskType {
+    /// Index `i` in the ECS matrix.
+    pub index: usize,
+    /// Arrival rate `λ_i`, tasks per second.
+    pub arrival_rate: f64,
+    /// Reward `r_i` collected when a task finishes by its deadline.
+    pub reward: f64,
+    /// Relative deadline `m_i`: `deadline = arrival + m_i`, seconds.
+    pub deadline_slack: f64,
+}
+
+/// A complete workload: task types plus the speed matrix they run at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The `T` task types.
+    pub task_types: Vec<TaskType>,
+    /// `ECS(i, j, k)` for every task/node-type/P-state triple.
+    pub ecs: EcsMatrix,
+}
+
+impl Workload {
+    /// Number of task types `T`.
+    pub fn n_task_types(&self) -> usize {
+        self.task_types.len()
+    }
+
+    /// Total reward rate if every arriving task earned its reward — an
+    /// upper bound on any assignment's objective (Eq. 7 with Constraint 3
+    /// tight everywhere).
+    pub fn max_reward_rate(&self) -> f64 {
+        self.task_types
+            .iter()
+            .map(|t| t.reward * t.arrival_rate)
+            .sum()
+    }
+
+    /// Whether a task of type `i` can meet its deadline on node type `j`
+    /// in P-state `k` at all (Constraint 2 of Eq. 7): the execution time
+    /// `1/ECS` must not exceed the slack `m_i`.
+    pub fn deadline_feasible(&self, task_type: usize, node_type: usize, pstate: usize) -> bool {
+        self.ecs.etc(task_type, node_type, pstate) <= self.task_types[task_type].deadline_slack
+    }
+}
+
+/// Parameters for the full Section-VI workload generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadGenParams {
+    /// ECS generation parameters (Section VI.C).
+    pub ecs: EcsGenParams,
+    /// Arrival-rate noise `V_arrival` (0.3 in the paper, Eq. 16).
+    pub v_arrival: f64,
+    /// Deadline factor (1.5 in the paper, Eq. 14).
+    pub deadline_factor: f64,
+}
+
+impl Default for WorkloadGenParams {
+    fn default() -> Self {
+        WorkloadGenParams {
+            ecs: EcsGenParams::default(),
+            v_arrival: 0.3,
+            deadline_factor: 1.5,
+        }
+    }
+}
+
+impl WorkloadGenParams {
+    /// Generate a workload for a data center with `cores_of_type[j]` cores
+    /// of node type `j` whose active P-state clocks are
+    /// `node_type_freqs[j]` (MHz, fastest first).
+    ///
+    /// Follows Section VI.C–D: ECS via [`EcsGenParams::generate`], rewards
+    /// via Eq. 11, deadline slacks via Eqs. 12–14, and arrival rates via
+    /// Eqs. 15–16 (sized so the floor absorbs the load at full P-state-0
+    /// capacity but oversubscribes under a power cap).
+    pub fn generate<R: Rng>(
+        &self,
+        node_type_freqs: &[Vec<f64>],
+        cores_of_type: &[usize],
+        rng: &mut R,
+    ) -> Workload {
+        assert_eq!(node_type_freqs.len(), cores_of_type.len());
+        let ecs = self.ecs.generate(node_type_freqs, rng);
+        let t = ecs.n_task_types();
+
+        let task_types = (0..t)
+            .map(|i| {
+                // Eq. 11: reward = 1 / mean P0 speed over node types.
+                let reward = 1.0 / ecs.mean_p0_speed(i);
+                // Eq. 14: m_i = factor * U[1/MaxECS, 1/MinECS].
+                let lo = 1.0 / ecs.max_speed(i);
+                let hi = 1.0 / ecs.min_active_speed(i);
+                let deadline_slack = self.deadline_factor * rng.gen_range(lo..=hi);
+                // Eqs. 15-16: SumECS_i = Σ_cores ECS(i, CT_k, 0) / T.
+                let sum_ecs: f64 = cores_of_type
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &count)| count as f64 * ecs.ecs(i, j, 0))
+                    .sum::<f64>()
+                    / t as f64;
+                let arrival_rate =
+                    sum_ecs * rng.gen_range(1.0 - self.v_arrival..=1.0 + self.v_arrival);
+                TaskType {
+                    index: i,
+                    arrival_rate,
+                    reward,
+                    deadline_slack,
+                }
+            })
+            .collect();
+        Workload { task_types, ecs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_freqs() -> Vec<Vec<f64>> {
+        vec![
+            vec![2500.0, 2100.0, 1700.0, 800.0],
+            vec![2666.0, 2200.0, 1700.0, 1000.0],
+        ]
+    }
+
+    fn workload(seed: u64) -> Workload {
+        let params = WorkloadGenParams::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        params.generate(&paper_freqs(), &[75 * 32, 75 * 32], &mut rng)
+    }
+
+    #[test]
+    fn rewards_follow_equation_11() {
+        let w = workload(1);
+        for t in &w.task_types {
+            let expected = 1.0 / w.ecs.mean_p0_speed(t.index);
+            assert!((t.reward - expected).abs() < 1e-12);
+        }
+        // Harder (slower) task types pay more: rewards descend with index.
+        for pair in w.task_types.windows(2) {
+            assert!(pair[0].reward > pair[1].reward);
+        }
+    }
+
+    #[test]
+    fn deadlines_allow_at_least_one_core_type() {
+        let w = workload(2);
+        for t in &w.task_types {
+            // Eq. 14's lower end is 1.5/MaxECS, so the fastest core always
+            // fits with 50% slack.
+            assert!(t.deadline_slack >= 1.5 / w.ecs.max_speed(t.index) - 1e-12);
+            assert!(w.deadline_feasible(t.index, 0, 0) || w.deadline_feasible(t.index, 1, 0));
+        }
+    }
+
+    #[test]
+    fn some_deep_pstates_miss_deadlines_sometimes() {
+        // Across seeds, Eq. 14 must sometimes produce deadlines that the
+        // slowest P-state cannot meet (otherwise the deadline constraint
+        // is vacuous and Fig. 4 could never occur) and sometimes ones it
+        // can (the paper: "a chance ... deadlines can be met by all core
+        // types running at their lowest frequency").
+        let mut any_infeasible = false;
+        let mut any_all_feasible = false;
+        for seed in 0..30 {
+            let w = workload(seed);
+            for t in &w.task_types {
+                let all_ok = (0..2).all(|j| w.deadline_feasible(t.index, j, 3));
+                if all_ok {
+                    any_all_feasible = true;
+                } else {
+                    any_infeasible = true;
+                }
+            }
+        }
+        assert!(any_infeasible && any_all_feasible);
+    }
+
+    #[test]
+    fn arrival_rates_sized_to_full_capacity() {
+        let w = workload(3);
+        for t in &w.task_types {
+            assert!(t.arrival_rate > 0.0);
+            // Within the V_arrival band of SumECS.
+            let sum_ecs: f64 = (0..2)
+                .map(|j| 75.0 * 32.0 * w.ecs.ecs(t.index, j, 0))
+                .sum::<f64>()
+                / 8.0;
+            assert!(t.arrival_rate >= sum_ecs * 0.7 - 1e-9);
+            assert!(t.arrival_rate <= sum_ecs * 1.3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_reward_rate_is_additive() {
+        let w = workload(4);
+        let manual: f64 = w
+            .task_types
+            .iter()
+            .map(|t| t.reward * t.arrival_rate)
+            .sum();
+        assert_eq!(w.max_reward_rate(), manual);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(workload(42), workload(42));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        // serde_json's shortest-representation float printing can lose the
+        // last ULP, so compare fields approximately.
+        let w = workload(8);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w.n_task_types(), back.n_task_types());
+        for (a, b) in w.task_types.iter().zip(&back.task_types) {
+            assert_eq!(a.index, b.index);
+            let close = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(1.0);
+            assert!(close(a.arrival_rate, b.arrival_rate));
+            assert!(close(a.reward, b.reward));
+            assert!(close(a.deadline_slack, b.deadline_slack));
+        }
+    }
+}

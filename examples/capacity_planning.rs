@@ -1,0 +1,62 @@
+//! Capacity planning with the thermal model: power bounds (Eq. 17),
+//! budget headroom, what the CRAC outlet temperature costs, and the
+//! Section-VIII dual question — how little power can a reward target be
+//! met with?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use thermaware::core::min_power::{solve_min_power, MinPowerOptions};
+use thermaware::core::{solve_three_stage, ThreeStageOptions};
+use thermaware::datacenter::ScenarioParams;
+use thermaware::thermal::cop::cop;
+
+fn main() {
+    let params = ScenarioParams {
+        n_nodes: 20,
+        n_crac: 1,
+        ..ScenarioParams::paper(0.2, 0.3)
+    };
+    let dc = params.build(3).expect("scenario");
+
+    println!("== power envelope (Eq. 17) ==");
+    println!(
+        "all cores off : {:>8.1} kW total at CRAC outlets {:?} °C",
+        dc.budget.p_min_kw, dc.budget.min_outlets_c
+    );
+    println!(
+        "all cores P0  : {:>8.1} kW total at CRAC outlets {:?} °C",
+        dc.budget.p_max_kw, dc.budget.max_outlets_c
+    );
+    println!("budget Pconst : {:>8.1} kW (Eq. 18)", dc.budget.p_const_kw);
+
+    // What outlet temperature buys: cooling cost of 100 kW of heat.
+    println!("\n== cost of cooling 100 kW of heat vs outlet temperature (Eq. 8) ==");
+    for t in [10.0, 15.0, 20.0, 25.0] {
+        println!("  outlet {:>4.1} °C -> CoP {:.2} -> {:.1} kW of CRAC power", t, cop(t), 100.0 / cop(t));
+    }
+
+    // The budgeted optimum, then the dual sweep.
+    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+    println!(
+        "\n== budgeted operation: reward {:.1} within {:.1} kW ==",
+        plan.reward_rate(),
+        dc.budget.p_const_kw
+    );
+
+    println!("\n== minimum power to sustain a reward floor (Section VIII) ==");
+    for frac in [0.25, 0.5, 0.75, 1.0] {
+        let floor = frac * plan.reward_rate();
+        match solve_min_power(&dc, floor, &MinPowerOptions::default()) {
+            Ok(sol) => println!(
+                "  {:>3.0}% of budgeted reward ({:>7.1}) -> {:>7.1} kW at outlets {:?} °C",
+                frac * 100.0,
+                floor,
+                sol.total_power_kw,
+                sol.crac_out_c
+            ),
+            Err(e) => println!("  {:>3.0}%: {e}", frac * 100.0),
+        }
+    }
+}

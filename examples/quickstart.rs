@@ -1,0 +1,66 @@
+//! Quickstart: build a data center, run the paper's three-stage
+//! thermal-aware assignment, compare it with the baseline, and verify the
+//! result against the exact power/thermal models.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use thermaware::core::{
+    solve_baseline, solve_three_stage, verify_assignment, ThreeStageOptions,
+};
+use thermaware::datacenter::{CracSearchOptions, ScenarioParams};
+
+fn main() {
+    // A 20-node, 1-CRAC floor from the paper's third simulation set
+    // (static power share 20%, Vprop 0.3 — where thermal-aware P-state
+    // assignment shines the most).
+    let params = ScenarioParams {
+        n_nodes: 20,
+        n_crac: 1,
+        ..ScenarioParams::paper(0.2, 0.3)
+    };
+    let dc = params.build(42).expect("scenario generation");
+
+    println!(
+        "data center: {} nodes / {} cores / {} CRAC unit(s), {} task types",
+        dc.n_nodes(),
+        dc.n_cores(),
+        dc.n_crac(),
+        dc.n_task_types()
+    );
+    println!(
+        "power budget: Pmin {:.1} kW, Pmax {:.1} kW -> Pconst {:.1} kW (Eq. 18)",
+        dc.budget.p_min_kw, dc.budget.p_max_kw, dc.budget.p_const_kw
+    );
+
+    // The paper's technique: Stage 1 (continuous power + CRAC outlets),
+    // Stage 2 (P-state rounding), Stage 3 (execution-rate LP).
+    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("three-stage");
+    println!("\nthree-stage assignment (psi = 50):");
+    println!("  CRAC outlets: {:?} °C", plan.crac_out_c());
+    println!("  reward rate:  {:.1}", plan.reward_rate());
+    let mut by_state = std::collections::BTreeMap::new();
+    for &p in &plan.pstates {
+        *by_state.entry(p).or_insert(0usize) += 1;
+    }
+    println!("  P-state histogram (4 = off): {by_state:?}");
+
+    // Independent verification against the exact (clamped, nonlinear)
+    // models — never trust the solver's own linearization.
+    let report = verify_assignment(&dc, plan.crac_out_c(), &plan.pstates, Some(&plan.stage3));
+    println!(
+        "  verified: feasible = {}, power headroom {:.2} kW, worst inlet margin {:.2} °C",
+        report.is_feasible(),
+        report.power_headroom_kw,
+        -report.worst_redline_violation_c
+    );
+
+    // The baseline the paper compares against: P-state 0 or off.
+    let base = solve_baseline(&dc, CracSearchOptions::default()).expect("baseline");
+    println!("\nEq.-21 baseline (P0 or off): reward rate {:.1}", base.reward_rate);
+    println!(
+        "\nimprovement: {:+.2}%",
+        100.0 * (plan.reward_rate() - base.reward_rate) / base.reward_rate
+    );
+}

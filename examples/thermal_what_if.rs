@@ -1,0 +1,64 @@
+//! Thermal what-if analysis: watch the data center's temperature field
+//! respond to a P-state reassignment, transiently and at steady state —
+//! the timescale-separation argument behind the paper's two-step design
+//! (Section V.A), made visible.
+//!
+//! ```sh
+//! cargo run --release --example thermal_what_if
+//! ```
+
+use thermaware::core::{solve_three_stage, ThreeStageOptions};
+use thermaware::datacenter::ScenarioParams;
+use thermaware::thermal::transient::TransientSim;
+
+fn main() {
+    let params = ScenarioParams {
+        n_nodes: 20,
+        n_crac: 1,
+        ..ScenarioParams::paper(0.3, 0.1)
+    };
+    let dc = params.build(11).expect("scenario");
+    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+    let outlets = plan.crac_out_c().to_vec();
+
+    // Idle floor: every core off.
+    let idle_powers = dc.min_node_powers();
+    let idle = dc.thermal.steady_state(&outlets, &idle_powers);
+    // The plan's floor.
+    let plan_powers = dc.node_powers_from_pstates(&plan.pstates);
+    let target = dc.thermal.steady_state(&outlets, &plan_powers);
+
+    println!(
+        "CRAC outlets {:?} °C; node inlet redline {} °C",
+        outlets, dc.thermal.node_redline_c
+    );
+    println!(
+        "idle floor:   hottest node inlet {:.2} °C, hottest CRAC inlet {:.2} °C",
+        idle.max_node_inlet(),
+        idle.max_crac_inlet()
+    );
+    println!(
+        "planned load: hottest node inlet {:.2} °C, hottest CRAC inlet {:.2} °C",
+        target.max_node_inlet(),
+        target.max_crac_inlet()
+    );
+
+    // Transient: apply the plan to an idle floor and watch the approach.
+    println!("\nswitching the idle floor to the planned P-states at t = 0:");
+    println!("{:>8} {:>18} {:>22}", "t_s", "hottest_inlet_C", "fraction_of_swing");
+    let mut sim = TransientSim::from_steady_state(&dc.thermal, &idle);
+    let swing = target.max_node_inlet() - idle.max_node_inlet();
+    let mut t = 0.0;
+    for step in [1.0, 4.0, 15.0, 40.0, 60.0, 120.0, 240.0, 480.0] {
+        let s = sim.advance(&dc.thermal, &outlets, &plan_powers, step);
+        t += step;
+        let frac = (s.max_node_inlet() - idle.max_node_inlet()) / swing;
+        println!("{t:>8.0} {:>18.2} {:>22.2}", s.max_node_inlet(), frac);
+    }
+    println!(
+        "\ntask execution times are ~{:.2}s; the thermal swing takes minutes —",
+        1.0 / dc.workload.ecs.max_speed(dc.n_task_types() - 1)
+    );
+    println!("the separation that justifies planning power/thermal state (step 1)");
+    println!("independently of per-task dispatch (step 2).");
+}

@@ -1,0 +1,57 @@
+//! **thermaware** — thermal-aware performance optimization in
+//! power-constrained heterogeneous data centers.
+//!
+//! A full Rust reproduction of Al-Qawasmeh, Pasricha, Maciejewski &
+//! Siegel, *"Thermal-Aware Performance Optimization in Power Constrained
+//! Heterogeneous Data Centers"* (IEEE IPDPSW 2012), including every
+//! substrate the paper relies on: a dense LP solver, the abstract
+//! heat-flow thermal model with cross-interference generation, CMOS
+//! P-state power models, the Section-VI synthetic workload, the
+//! three-stage assignment technique, the Eq.-21 baseline, an exact MINLP
+//! reference, and the second-step dynamic scheduler with a discrete-event
+//! simulator.
+//!
+//! This crate is a facade: it re-exports the workspace members under one
+//! namespace. Depend on the individual `thermaware-*` crates instead when
+//! you only need a substrate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use thermaware::datacenter::ScenarioParams;
+//! use thermaware::core::{solve_three_stage, solve_baseline, ThreeStageOptions};
+//! use thermaware::datacenter::CracSearchOptions;
+//!
+//! // A small data center: 1 CRAC, 10 nodes, the paper's third
+//! // simulation set (static share 20%, Vprop 0.3).
+//! let params = ScenarioParams {
+//!     n_nodes: 10,
+//!     n_crac: 1,
+//!     ..ScenarioParams::paper(0.2, 0.3)
+//! };
+//! let dc = params.build(42).expect("scenario");
+//!
+//! // The paper's three-stage thermal-aware assignment...
+//! let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+//! // ...against the P0-or-off baseline it is evaluated against.
+//! let base = solve_baseline(&dc, CracSearchOptions::default()).expect("baseline");
+//! assert!(plan.reward_rate() > 0.0 && base.reward_rate > 0.0);
+//! ```
+
+/// The paper's contribution: RR/ARR curves, the three-stage assignment,
+/// the baseline, the exact reference solver, and verification.
+pub use thermaware_core as core;
+/// Scenario assembly: floors, budgets, the Section-VI generator.
+pub use thermaware_datacenter as datacenter;
+/// Dense linear algebra (matrices, LU).
+pub use thermaware_linalg as linalg;
+/// The two-phase bounded-variable simplex LP solver.
+pub use thermaware_lp as lp;
+/// P-state tables and CMOS power models.
+pub use thermaware_power as power;
+/// The second-step dynamic scheduler and its event-driven simulator.
+pub use thermaware_scheduler as scheduler;
+/// The abstract heat-flow model, CoP/CRAC power, interference generation.
+pub use thermaware_thermal as thermal;
+/// Task types, ECS matrices, arrival traces.
+pub use thermaware_workload as workload;
