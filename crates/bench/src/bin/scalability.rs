@@ -52,7 +52,7 @@ fn main() {
     for (cores_per_node, nodes) in [(2, 2), (2, 4), (4, 4), (8, 4), (32, 2), (32, 150)] {
         // C(5 + c - 1, c) multisets per node with 5 P-states (4 active + off).
         let per_node = multiset_count(5, cores_per_node);
-        let total = (per_node as f64).powi(nodes as i32);
+        let total = (per_node as f64).powi(nodes);
         println!(
             "{:<24} {:>22.3e}",
             format!("{nodes} nodes x {cores_per_node} cores"),

@@ -14,6 +14,7 @@
 //! it so a node's power corresponds to the cores its reward presumes (see
 //! DESIGN.md).
 
+use crate::error::SolveError;
 use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
 use thermaware_lp::{Problem, RowOp, Sense, VarId};
 use thermaware_thermal::{cop, RHO_CP};
@@ -39,14 +40,14 @@ pub struct BaselineSolution {
 pub fn solve_baseline(
     dc: &DataCenter,
     search: CracSearchOptions,
-) -> Result<BaselineSolution, String> {
+) -> Result<BaselineSolution, SolveError> {
     let best = optimize_crac_outlets(&dc.cracs, search, |outlets| {
         solve_fixed_outlets(dc, outlets).map(|(_, obj)| obj)
     })
-    .ok_or_else(|| "baseline: no feasible CRAC outlet combination".to_owned())?;
+    .ok_or(SolveError::NoFeasibleOutlets { stage: "baseline" })?;
     let (crac_out_c, _) = best;
     let (frac_cont, reward_rate_continuous) = solve_fixed_outlets(dc, &crac_out_c)
-        .ok_or_else(|| "baseline: best outlet combination became infeasible".to_owned())?;
+        .ok_or(SolveError::OutletRecheckFailed { stage: "baseline" })?;
 
     // Eq. 22 integerization: per node, shrink all fractions by a common
     // factor so cores-in-use is an integer.

@@ -1,0 +1,125 @@
+//! Typed solver errors.
+//!
+//! The stage solvers originally reported failures as `String`s, which
+//! forced callers that *respond* to failure — most importantly the
+//! runtime supervisor's replan/degradation ladder — to parse prose. The
+//! [`SolveError`] enum keeps the failure cause machine-readable:
+//! infeasibility (degrade further and retry) is distinguishable from
+//! numerical pathology or caller bugs (stop retrying; escalate).
+
+use std::fmt;
+use thermaware_lp::LpError;
+
+/// Why a stage solver could not produce a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No searched CRAC outlet combination admitted a feasible
+    /// power/thermal assignment (a thermally unbuildable configuration).
+    NoFeasibleOutlets {
+        /// Which solver was searching (`"stage1"`, `"baseline"`, ...).
+        stage: &'static str,
+    },
+    /// The outlet combination chosen during the search failed the exact
+    /// clamped-model recheck when re-solved — the linearization was
+    /// optimistic at precisely the winning point.
+    OutletRecheckFailed {
+        /// Which solver was rechecking.
+        stage: &'static str,
+    },
+    /// An LP embedded in a stage failed.
+    Lp {
+        /// Which solver owned the LP.
+        stage: &'static str,
+        /// The solver-level cause.
+        source: LpError,
+    },
+    /// Caller-supplied input was malformed (wrong vector length, empty
+    /// candidate set, ...). Replaces `assert!` panics on public entry
+    /// points so a supervisor driving the solvers never aborts.
+    InvalidInput {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl SolveError {
+    /// `true` when the failure means "this configuration admits no
+    /// plan" — the caller may degrade the configuration and retry.
+    /// `false` for caller bugs and numerical pathologies, where retrying
+    /// the same way cannot help.
+    pub fn is_infeasible(&self) -> bool {
+        match self {
+            SolveError::NoFeasibleOutlets { .. } | SolveError::OutletRecheckFailed { .. } => true,
+            SolveError::Lp { source, .. } => matches!(source, LpError::Infeasible { .. }),
+            SolveError::InvalidInput { .. } => false,
+        }
+    }
+
+    /// Malformed-input constructor.
+    pub fn invalid_input(what: impl Into<String>) -> SolveError {
+        SolveError::InvalidInput { what: what.into() }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NoFeasibleOutlets { stage } => {
+                write!(f, "{stage}: no feasible CRAC outlet combination")
+            }
+            SolveError::OutletRecheckFailed { stage } => {
+                write!(f, "{stage}: best outlet combination became infeasible")
+            }
+            SolveError::Lp { stage, source } => write!(f, "{stage} LP: {source}"),
+            SolveError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Lp { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Legacy-compatible conversion: call sites that accumulate errors as
+/// `String` (report generators, `?` into `Result<_, String>`) keep
+/// working against the typed solvers.
+impl From<SolveError> for String {
+    fn from(e: SolveError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasibility_classification() {
+        assert!(SolveError::NoFeasibleOutlets { stage: "stage1" }.is_infeasible());
+        assert!(SolveError::OutletRecheckFailed { stage: "baseline" }.is_infeasible());
+        assert!(SolveError::Lp {
+            stage: "stage3",
+            source: LpError::Infeasible { residual: 0.1 },
+        }
+        .is_infeasible());
+        assert!(!SolveError::Lp {
+            stage: "stage3",
+            source: LpError::IterationLimit { limit: 1000 },
+        }
+        .is_infeasible());
+        assert!(!SolveError::invalid_input("short pstates").is_infeasible());
+    }
+
+    #[test]
+    fn string_conversion_matches_display() {
+        let e = SolveError::NoFeasibleOutlets { stage: "stage1" };
+        let s: String = e.clone().into();
+        assert_eq!(s, e.to_string());
+        assert!(s.contains("stage1"));
+    }
+}

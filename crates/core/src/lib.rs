@@ -32,6 +32,7 @@
 
 pub mod arr;
 pub mod baseline;
+pub mod error;
 pub mod min_power;
 pub mod minlp;
 pub mod pwl;
@@ -45,6 +46,7 @@ pub mod verify;
 
 pub use arr::ArrCurve;
 pub use baseline::{solve_baseline, BaselineSolution};
+pub use error::SolveError;
 pub use pwl::PiecewiseLinear;
 pub use rr::reward_rate_curve;
 pub use three_stage::{

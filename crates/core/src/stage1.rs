@@ -26,6 +26,7 @@
 //! ([`thermaware_datacenter::optimize_crac_outlets`]).
 
 use crate::arr::ArrCurve;
+use crate::error::SolveError;
 use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
 use thermaware_lp::{Problem, RowOp, Sense, VarId};
 use thermaware_thermal::{cop, RHO_CP};
@@ -69,7 +70,10 @@ pub struct Stage1Solution {
 ///
 /// Returns an error when no searched CRAC outlet combination admits a
 /// feasible power/thermal assignment (a thermally unbuildable scenario).
-pub fn solve_stage1(dc: &DataCenter, options: &Stage1Options) -> Result<Stage1Solution, String> {
+pub fn solve_stage1(
+    dc: &DataCenter,
+    options: &Stage1Options,
+) -> Result<Stage1Solution, SolveError> {
     // ARR per node type, lifted to node-level aggregate curves.
     let arr_curves: Vec<ArrCurve> = (0..dc.node_types.len())
         .map(|j| {
@@ -92,11 +96,11 @@ pub fn solve_stage1(dc: &DataCenter, options: &Stage1Options) -> Result<Stage1So
     let best = optimize_crac_outlets(&dc.cracs, options.search, |outlets| {
         solve_fixed_outlets(dc, &node_curves, outlets).map(|(_, obj)| obj)
     })
-    .ok_or_else(|| "Stage 1: no feasible CRAC outlet combination".to_owned())?;
+    .ok_or(SolveError::NoFeasibleOutlets { stage: "stage1" })?;
     let (crac_out_c, _) = best;
 
     let (node_core_power_kw, objective) = solve_fixed_outlets(dc, &node_curves, &crac_out_c)
-        .ok_or_else(|| "Stage 1: best outlet combination became infeasible".to_owned())?;
+        .ok_or(SolveError::OutletRecheckFailed { stage: "stage1" })?;
 
     // Distribute each node's power to its cores along the per-core hull.
     let mut core_power_kw = vec![0.0; dc.n_cores()];
@@ -243,7 +247,9 @@ pub(crate) fn distribute_node_power(
         return;
     }
     let per_core = (total / n as f64).max(0.0);
-    let b_max = hull.last().unwrap().0;
+    let Some(&(b_max, _)) = hull.last() else {
+        return;
+    };
     if per_core >= b_max - 1e-15 {
         for &c in cores {
             out[c] = b_max;
@@ -260,8 +266,7 @@ pub(crate) fn distribute_node_power(
     debug_assert!(per_core >= lo - 1e-12 && per_core <= hi + 1e-12);
     // m cores at hi, then one remainder core, the rest at lo.
     let mut remaining = total;
-    let mut assigned = 0;
-    for &c in cores {
+    for (assigned, &c) in cores.iter().enumerate() {
         let left = n - assigned;
         // Greedy: give `hi` while the rest can still absorb at `lo`.
         let give = if remaining - hi >= lo * (left as f64 - 1.0) - 1e-12 {
@@ -272,7 +277,6 @@ pub(crate) fn distribute_node_power(
         };
         out[c] = give.min(remaining.max(0.0));
         remaining -= out[c];
-        assigned += 1;
     }
 }
 
@@ -373,7 +377,7 @@ mod tests {
         let sum: f64 = out.iter().sum();
         assert!((sum - 6.0).abs() < 1e-12, "{out:?}");
         for &p in &out {
-            assert!(p >= -1e-12 && p <= 2.0 + 1e-12);
+            assert!((-1e-12..=2.0 + 1e-12).contains(&p));
         }
         let stray = out
             .iter()

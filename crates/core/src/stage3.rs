@@ -9,6 +9,7 @@
 //! per-core optimum can be symmetrized into a per-group one with the same
 //! objective, and vice versa.
 
+use crate::error::SolveError;
 use thermaware_datacenter::DataCenter;
 use thermaware_lp::{Problem, RowOp, Sense, VarId};
 
@@ -40,8 +41,14 @@ impl Stage3Solution {
 }
 
 /// Solve Stage 3 for a concrete P-state assignment (global core order).
-pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution, String> {
-    assert_eq!(pstates.len(), dc.n_cores());
+pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution, SolveError> {
+    if pstates.len() != dc.n_cores() {
+        return Err(SolveError::invalid_input(format!(
+            "stage 3: {} P-states for {} cores",
+            pstates.len(),
+            dc.n_cores()
+        )));
+    }
     let t = dc.n_task_types();
 
     // ---- Group cores by (node type, P-state) -----------------------------
@@ -123,7 +130,10 @@ pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution
         }
     }
 
-    let sol = p.solve().map_err(|e| format!("Stage 3 LP: {e}"))?;
+    let sol = p.solve().map_err(|e| SolveError::Lp {
+        stage: "stage3",
+        source: e,
+    })?;
 
     let rate_per_core: Vec<Vec<f64>> = (0..groups.len())
         .map(|g| {

@@ -1,5 +1,6 @@
 //! The end-to-end three-stage assignment (paper Section V.B).
 
+use crate::error::SolveError;
 use crate::stage1::{solve_stage1, Stage1Options, Stage1Solution};
 use crate::stage2::assign_pstates;
 use crate::stage3::{solve_stage3, Stage3Solution};
@@ -54,7 +55,7 @@ impl ThreeStageSolution {
 pub fn solve_three_stage(
     dc: &DataCenter,
     options: &ThreeStageOptions,
-) -> Result<ThreeStageSolution, String> {
+) -> Result<ThreeStageSolution, SolveError> {
     let stage1 = solve_stage1(
         dc,
         &Stage1Options {
@@ -79,10 +80,12 @@ pub fn solve_three_stage_best_of(
     dc: &DataCenter,
     psis: &[f64],
     search: CracSearchOptions,
-) -> Result<ThreeStageSolution, String> {
-    assert!(!psis.is_empty());
+) -> Result<ThreeStageSolution, SolveError> {
+    if psis.is_empty() {
+        return Err(SolveError::invalid_input("best-of: empty ψ candidate set"));
+    }
     let mut best: Option<ThreeStageSolution> = None;
-    let mut last_err = String::new();
+    let mut last_err: Option<SolveError> = None;
     for &psi in psis {
         match solve_three_stage(
             dc,
@@ -99,10 +102,18 @@ pub fn solve_three_stage_best_of(
                     best = Some(sol);
                 }
             }
-            Err(e) => last_err = e,
+            Err(e) => last_err = Some(e),
         }
     }
-    best.ok_or(last_err)
+    match (best, last_err) {
+        (Some(sol), _) => Ok(sol),
+        // No ψ succeeded: psis is non-empty, so at least one error was
+        // recorded.
+        (None, Some(e)) => Err(e),
+        (None, None) => Err(SolveError::invalid_input(
+            "best-of: no ψ produced a result or an error",
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -129,7 +129,7 @@ fn intermediate_pstates_win_when_they_are_more_efficient() {
     let dc = tiny_dc([3.0, 2.0]);
     let exact = solve_exact(&dc, &MinlpOptions::default()).expect("exact");
     assert!(
-        exact.pstates.iter().any(|&p| p == 1),
+        exact.pstates.contains(&1),
         "expected intermediate P-states in {:?}",
         exact.pstates
     );

@@ -25,6 +25,15 @@ const FEAS_TOL: f64 = 1e-7;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const DEGEN_LIMIT: usize = 60;
 
+/// Internal-invariant breach (corrupted tableau bookkeeping) surfaced as
+/// the iteration-pathology error instead of a panic. Callers already
+/// treat [`LpError::IterationLimit`] as "numerical breakdown, do not
+/// trust this solve", which is the right response — and the solver must
+/// be panic-free under the runtime supervisor's replan path.
+fn internal_pathology(iterations: usize) -> LpError {
+    LpError::IterationLimit { limit: iterations }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VarState {
     Basic,
@@ -82,16 +91,22 @@ impl Tableau {
         self.t.cols()
     }
 
-    /// Current value of column `j`.
-    fn value_of(&self, j: usize) -> f64 {
-        match self.state[j] {
+    /// Current value of column `j`. Errors when a column marked basic is
+    /// missing from the basis — a bookkeeping corruption that must fail
+    /// the solve, not the process.
+    fn value_of(&self, j: usize) -> Result<f64, LpError> {
+        Ok(match self.state[j] {
             VarState::Lower => 0.0,
             VarState::Upper => self.upper[j],
             VarState::Basic => {
-                let row = self.basis.iter().position(|&b| b == j).expect("basic");
+                let row = self
+                    .basis
+                    .iter()
+                    .position(|&b| b == j)
+                    .ok_or_else(|| internal_pathology(self.iterations))?;
                 self.xb[row]
             }
-        }
+        })
     }
 
     /// Recompute reduced costs `d = c - c_B^T (B^{-1}A)` for the given
@@ -401,26 +416,28 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
         for &(j, a) in &r.coeffs {
             t[(i, j)] += a;
         }
-        match r.op {
-            RowOp::Le => {
-                let s = slack_col[i].unwrap();
+        // Each row's starting basic column: its slack for `Le`, its
+        // artificial for `Ge`/`Eq` — allocated by the loops above. A
+        // mismatch is bookkeeping corruption; fail the solve, not the
+        // process.
+        let basic = match (r.op, slack_col[i], art_col[i]) {
+            (RowOp::Le, Some(s), _) => {
                 t[(i, s)] = 1.0;
-                basis[i] = s;
+                s
             }
-            RowOp::Ge => {
-                let s = slack_col[i].unwrap();
+            (RowOp::Ge, Some(s), Some(a)) => {
                 t[(i, s)] = -1.0;
-                let a = art_col[i].unwrap();
                 t[(i, a)] = 1.0;
-                basis[i] = a;
+                a
             }
-            RowOp::Eq => {
-                let a = art_col[i].unwrap();
+            (RowOp::Eq, None, Some(a)) => {
                 t[(i, a)] = 1.0;
-                basis[i] = a;
+                a
             }
-        }
-        state[basis[i]] = VarState::Basic;
+            _ => return Err(internal_pathology(0)),
+        };
+        basis[i] = basic;
+        state[basic] = VarState::Basic;
         xb[i] = r.rhs;
     }
 
@@ -475,7 +492,7 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     }
 
     if feasibility_only {
-        let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign);
+        let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign)?;
         let objective = problem.objective_value(&values);
         return Ok(Solution {
             status: Status::Feasible,
@@ -508,14 +525,16 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
         return Err(LpError::Unbounded { var: name });
     }
 
-    let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign);
+    let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign)?;
     let objective = problem.objective_value(&values);
     debug_assert!(
         {
             // Internal objective plus the constant folded out of
             // shifts/mirrors must agree with the recomputed user-space
             // objective.
-            let internal: f64 = (0..tab.n()).map(|j| tab.cost[j] * tab.value_of(j)).sum();
+            let internal: f64 = (0..tab.n())
+                .map(|j| tab.cost[j] * tab.value_of(j).unwrap_or(0.0))
+                .sum();
             (sense_sign * objective - (internal + obj_const)).abs()
                 <= 1e-6 * (1.0 + objective.abs() + obj_const.abs())
         },
@@ -538,15 +557,17 @@ fn extract(
     slack_col: &[Option<usize>],
     art_col: &[Option<usize>],
     sense_sign: f64,
-) -> (Vec<f64>, Vec<f64>) {
+) -> Result<(Vec<f64>, Vec<f64>), LpError> {
     let values: Vec<f64> = maps
         .iter()
-        .map(|m| match *m {
-            VarMap::Shift { col, lb } => lb + tab.value_of(col),
-            VarMap::Mirror { col, ub } => ub - tab.value_of(col),
-            VarMap::Split { pos, neg } => tab.value_of(pos) - tab.value_of(neg),
+        .map(|m| {
+            Ok(match *m {
+                VarMap::Shift { col, lb } => lb + tab.value_of(col)?,
+                VarMap::Mirror { col, ub } => ub - tab.value_of(col)?,
+                VarMap::Split { pos, neg } => tab.value_of(pos)? - tab.value_of(neg)?,
+            })
         })
-        .collect();
+        .collect::<Result<_, LpError>>()?;
 
     // Row duals: the reference column of row i (its slack, else its
     // artificial) has A_j = ±e_i and zero phase-2 cost, so its reduced
@@ -572,7 +593,7 @@ fn extract(
             sense_sign * flip * y_int
         })
         .collect();
-    (values, duals)
+    Ok((values, duals))
 }
 
 /// Re-derive whether a row's rhs was negative at build time (and therefore

@@ -10,7 +10,6 @@ use thermaware_lp::{Problem, RowOp, Sense};
 struct Instance {
     n_free: usize,
     n_fixed: usize,
-    n_unused: usize,
     m: usize,
     a: Vec<f64>,
     b: Vec<f64>,
@@ -33,10 +32,9 @@ fn instance() -> impl Strategy<Value = Instance> {
             prop::collection::vec(-3.0f64..3.0, nu),
         )
             .prop_map(
-                |(n_free, n_fixed, n_unused, m, a, b, c, fixed_vals, unused_c)| Instance {
+                |(n_free, n_fixed, _n_unused, m, a, b, c, fixed_vals, unused_c)| Instance {
                     n_free,
                     n_fixed,
-                    n_unused,
                     m,
                     a,
                     b,

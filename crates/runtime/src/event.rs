@@ -1,0 +1,225 @@
+//! The supervisor's structured event log: every fault, detection,
+//! response, and recovery as a typed, timestamped record.
+
+use crate::fault::Fault;
+use std::fmt;
+
+/// A detected constraint violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An inlet redline breach as *observed* (sensor bias included), °C
+    /// over the redline.
+    Redline {
+        /// Observed worst violation, °C.
+        observed_c: f64,
+    },
+    /// Total power (IT + cooling) over the Eq.-18 budget.
+    PowerCap {
+        /// Total draw, kW.
+        total_kw: f64,
+        /// The budget, kW.
+        budget_kw: f64,
+    },
+    /// The active plan no longer matches the floor (dead nodes still
+    /// carrying desired rates, a surge since the last replan, …).
+    StalePlan,
+}
+
+/// A degradation-ladder response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Stage-3 replan on the surviving cores (P-states fixed — the paper's
+    /// Section V.B rule for the rate-only subproblem).
+    Replan,
+    /// Surviving CRAC outlet set-points dropped.
+    OutletDrop {
+        /// Drop applied, °C.
+        by_c: f64,
+    },
+    /// Emergency P-state throttle of the hottest nodes.
+    Throttle {
+        /// P-state deepening steps applied.
+        steps: usize,
+    },
+    /// The lowest-reward task type was shed (its desired rates zeroed).
+    ShedTaskType {
+        /// Task type index.
+        task_type: usize,
+        /// Its per-task reward.
+        reward: f64,
+    },
+}
+
+/// One typed log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A scripted fault was injected.
+    FaultInjected(Fault),
+    /// A node shut itself down: its true inlet exceeded the redline by
+    /// more than the trip margin (happens with or without a supervisor).
+    NodeTripped {
+        /// Node index.
+        node: usize,
+        /// True inlet at the trip, °C.
+        inlet_c: f64,
+    },
+    /// The room has no thermal steady state (every CRAC failed): all
+    /// surviving nodes trip.
+    NoSteadyState,
+    /// The supervisor detected a violation.
+    ViolationDetected(Violation),
+    /// The supervisor took a degradation-ladder action.
+    ActionTaken(Action),
+    /// A replan attempt failed.
+    ReplanFailed {
+        /// 1-based attempt number within the current response.
+        attempt: u32,
+        /// The solver error, rendered.
+        error: String,
+    },
+    /// The ladder could not restore health; the supervisor backs off and
+    /// retries after the given number of epochs.
+    Backoff {
+        /// Epochs until the next response attempt.
+        epochs: u32,
+    },
+    /// Health restored: the observed floor is back inside every
+    /// constraint.
+    Recovered {
+        /// Observed redline margin after recovery (≤ 0), °C.
+        margin_c: f64,
+    },
+}
+
+/// A timestamped [`EventKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time, seconds.
+    pub at_s: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The run's full, time-ordered event history.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Append an event.
+    pub fn record(&mut self, at_s: f64, kind: EventKind) {
+        self.events.push(Event { at_s, kind });
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of successful replans.
+    pub fn replans(&self) -> usize {
+        self.count(|k| matches!(k, EventKind::ActionTaken(Action::Replan)))
+    }
+
+    /// Number of task types shed.
+    pub fn sheds(&self) -> usize {
+        self.count(|k| matches!(k, EventKind::ActionTaken(Action::ShedTaskType { .. })))
+    }
+
+    /// Number of node thermal trips.
+    pub fn trips(&self) -> usize {
+        self.count(|k| matches!(k, EventKind::NodeTripped { .. }))
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+impl fmt::Display for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "[{:8.2}s] {}", e.at_s, e.kind)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::FaultInjected(fault) => write!(f, "fault injected: {fault:?}"),
+            EventKind::NodeTripped { node, inlet_c } => {
+                write!(f, "node {node} TRIPPED at inlet {inlet_c:.2} °C")
+            }
+            EventKind::NoSteadyState => {
+                write!(f, "no thermal steady state (all CRACs down): floor lost")
+            }
+            EventKind::ViolationDetected(v) => match v {
+                Violation::Redline { observed_c } => {
+                    write!(f, "violation: observed redline breach {observed_c:+.2} °C")
+                }
+                Violation::PowerCap { total_kw, budget_kw } => {
+                    write!(f, "violation: power {total_kw:.1} kW over budget {budget_kw:.1} kW")
+                }
+                Violation::StalePlan => write!(f, "violation: plan is stale"),
+            },
+            EventKind::ActionTaken(a) => match a {
+                Action::Replan => write!(f, "action: Stage-3 replan on surviving cores"),
+                Action::OutletDrop { by_c } => {
+                    write!(f, "action: CRAC outlet set-points dropped {by_c:.1} °C")
+                }
+                Action::Throttle { steps } => {
+                    write!(f, "action: emergency throttle ({steps} P-state steps)")
+                }
+                Action::ShedTaskType { task_type, reward } => {
+                    write!(f, "action: shed task type {task_type} (reward {reward:.2})")
+                }
+            },
+            EventKind::ReplanFailed { attempt, error } => {
+                write!(f, "replan attempt {attempt} failed: {error}")
+            }
+            EventKind::Backoff { epochs } => {
+                write!(f, "ladder exhausted: backing off {epochs} epoch(s)")
+            }
+            EventKind::Recovered { margin_c } => {
+                write!(f, "recovered: observed redline margin {margin_c:+.2} °C")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_helpers() {
+        let mut log = EventLog::default();
+        log.record(0.0, EventKind::ActionTaken(Action::Replan));
+        log.record(1.0, EventKind::ActionTaken(Action::Throttle { steps: 3 }));
+        log.record(
+            2.0,
+            EventKind::ActionTaken(Action::ShedTaskType {
+                task_type: 4,
+                reward: 1.5,
+            }),
+        );
+        log.record(
+            2.0,
+            EventKind::NodeTripped {
+                node: 0,
+                inlet_c: 29.0,
+            },
+        );
+        assert_eq!(log.replans(), 1);
+        assert_eq!(log.sheds(), 1);
+        assert_eq!(log.trips(), 1);
+        assert_eq!(log.events().len(), 4);
+        let text = log.to_string();
+        assert!(text.contains("TRIPPED"));
+        assert!(text.contains("shed task type 4"));
+    }
+}

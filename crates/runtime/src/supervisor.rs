@@ -1,0 +1,849 @@
+//! The fault-tolerant runtime supervisor.
+//!
+//! The supervisor advances the discrete-event simulation in fixed epochs.
+//! At every epoch boundary it (1) injects scripted faults, (2) — when
+//! supervision is enabled — assesses the *observed* floor (sensor bias
+//! included) and responds to violations through a staged degradation
+//! ladder, and (3) applies the environment's own physics: any node whose
+//! **true** inlet exceeds the redline by more than the trip margin shuts
+//! itself down, supervisor or not. Step 2 running before step 3 models
+//! thermal inertia: the control loop is faster than the air, so a
+//! supervisor that reacts at the same boundary a fault lands on can
+//! prevent the trips an unsupervised floor suffers.
+//!
+//! The degradation ladder, in escalation order:
+//!
+//! 1. **Stage-3 replan** on the surviving cores with P-states fixed (the
+//!    paper's Section V.B rate-only subproblem) — repairs stale plans
+//!    (dead nodes, demand surges) without touching power or heat.
+//! 2. **CRAC outlet set-point drop** — buys thermal margin at a cooling
+//!    power cost; bounded by each unit's minimum outlet.
+//! 3. **Emergency P-state throttle** of the hottest nodes — sheds heat
+//!    and IT power; bounded by every core reaching its off state.
+//! 4. **Load shedding** of the lowest-reward task types — the last
+//!    resort when replanning itself keeps failing; bounded by the number
+//!    of task types.
+//!
+//! Within one response the *physical* rungs run first (a rate-only
+//! replan cannot clear a thermal or power breach, and dropping outlets
+//! or throttling stales the plan anyway); the replan then runs exactly
+//! once at the end, so the scheduler's admission clocks are not reset
+//! mid-ladder.
+//!
+//! Replans retry up to a configured attempt budget; if the ladder cannot
+//! restore health the supervisor *backs off* exponentially (in epochs)
+//! before trying again, running degraded in between. Every detection,
+//! action, failure, and recovery is recorded in the typed [`EventLog`].
+
+use crate::event::{Action, EventKind, EventLog, Violation};
+use crate::fault::{Fault, FaultScript};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use thermaware_core::stage3::{solve_stage3, Stage3Solution};
+use thermaware_core::ThreeStageSolution;
+use thermaware_datacenter::DataCenter;
+use thermaware_scheduler::{EpochSim, SimulationResult};
+use thermaware_workload::TaskArrival;
+
+/// Absolute bound on ladder iterations within one response — a backstop
+/// far above what the per-rung bounds allow, guaranteeing termination.
+const MAX_LADDER_ITERS: usize = 10_000;
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Epoch length, seconds.
+    pub epoch_s: f64,
+    /// Simulated horizon, seconds.
+    pub horizon_s: f64,
+    /// Replan attempts per response before load shedding is considered.
+    pub max_replan_attempts: u32,
+    /// CRAC outlet drop per ladder application, °C.
+    pub outlet_drop_c: f64,
+    /// P-state deepening steps per throttle application.
+    pub throttle_steps: usize,
+    /// True inlet excess over the redline at which a node trips, °C.
+    pub trip_margin_c: f64,
+    /// Redline violation tolerance, °C.
+    pub redline_tol_c: f64,
+    /// Power budget tolerance, kW.
+    pub power_tol_kw: f64,
+    /// Enable detection/response. `false` gives the *unsupervised*
+    /// baseline: same faults, same physics (trips included), stale plan.
+    pub supervise: bool,
+    /// Seed of the arrival stream (identical across supervised and
+    /// unsupervised runs of the same config/seed).
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            epoch_s: 1.0,
+            horizon_s: 30.0,
+            max_replan_attempts: 3,
+            outlet_drop_c: 2.0,
+            throttle_steps: 8,
+            trip_margin_c: 3.0,
+            redline_tol_c: 1e-6,
+            power_tol_kw: 1e-6,
+            supervise: true,
+            seed: 0,
+        }
+    }
+}
+
+/// How a supervised run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// No violation was ever detected; the initial plan ran untouched.
+    Nominal,
+    /// Violations occurred and were fully recovered without shedding
+    /// load: the final true steady state is inside every constraint.
+    Recovered,
+    /// Health was restored, but only by shedding task types.
+    Shed,
+    /// The run ended outside constraints (ladder exhausted or backing
+    /// off), but the floor still has a steady state.
+    Degraded,
+    /// The floor was lost: no thermal steady state (all CRACs down) or
+    /// everything off and still outside constraints.
+    Unrecoverable,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct SupervisorReport {
+    /// Typed terminal outcome.
+    pub outcome: Outcome,
+    /// The workload simulation summary (reward, drops, latency).
+    pub sim: SimulationResult,
+    /// The typed event history.
+    pub log: EventLog,
+    /// True redline violation of the final steady state, °C (≤ 0 when
+    /// safe; `INFINITY` when no steady state exists).
+    pub final_violation_c: f64,
+    /// Total power (IT + cooling) of the final steady state, kW.
+    pub final_power_kw: f64,
+    /// Nodes dead at the end (scripted deaths + thermal trips).
+    pub nodes_dead: usize,
+    /// Task types shed by the supervisor.
+    pub shed_task_types: Vec<usize>,
+}
+
+/// Per-epoch health assessment (observed, i.e. sensor bias applied to
+/// node inlets).
+#[derive(Debug, Clone, Copy)]
+struct Health {
+    /// Observed worst redline violation, °C.
+    redline_c: f64,
+    /// Total power minus budget, kW.
+    power_over_kw: f64,
+    /// Total power, kW.
+    power_kw: f64,
+}
+
+impl Health {
+    fn ok(&self, cfg: &SupervisorConfig) -> bool {
+        self.redline_c <= cfg.redline_tol_c && self.power_over_kw <= cfg.power_tol_kw
+    }
+}
+
+/// Mutable world + plan state threaded through the epoch loop.
+struct World {
+    /// Current per-core P-states (live nodes; dead nodes are masked via
+    /// `dead` wherever it matters).
+    pstates: Vec<usize>,
+    /// Current CRAC outlet set-points, °C.
+    outlets: Vec<f64>,
+    /// Current Stage-3 rates.
+    stage3: Stage3Solution,
+    /// Failed CRAC units.
+    failed: Vec<bool>,
+    /// Dead nodes.
+    dead: Vec<bool>,
+    /// Observed-minus-true inlet sensor bias, °C.
+    bias_c: f64,
+    /// Arrival-rate multiplier.
+    surge: f64,
+    /// Shed task types.
+    shed: Vec<usize>,
+    /// The plan no longer matches the floor (death/surge/throttle since
+    /// the last successful replan).
+    stale: bool,
+    /// The room lost its steady state at some point.
+    meltdown: bool,
+}
+
+/// The fault-tolerant runtime supervisor for one data center.
+pub struct Supervisor<'a> {
+    dc: &'a DataCenter,
+    cfg: SupervisorConfig,
+}
+
+impl<'a> Supervisor<'a> {
+    /// A supervisor over `dc` with the given configuration.
+    pub fn new(dc: &'a DataCenter, cfg: SupervisorConfig) -> Self {
+        assert!(cfg.epoch_s > 0.0 && cfg.horizon_s > 0.0);
+        Supervisor { dc, cfg }
+    }
+
+    /// Run the plan against a fault script over the configured horizon.
+    /// Never panics: every ending is a typed [`Outcome`].
+    pub fn run(&self, plan: &ThreeStageSolution, script: &FaultScript) -> SupervisorReport {
+        let dc = self.dc;
+        let cfg = &self.cfg;
+        // The replanning model: arrival rates carry the surge factor and
+        // shed types are zeroed, so Stage 3 plans for the demand the
+        // supervisor believes in.
+        let mut work_dc = dc.clone();
+        let mut world = World {
+            pstates: plan.pstates.clone(),
+            outlets: plan.stage1.crac_out_c.clone(),
+            stage3: plan.stage3.clone(),
+            failed: vec![false; dc.n_crac()],
+            dead: vec![false; dc.n_nodes()],
+            bias_c: 0.0,
+            surge: 1.0,
+            shed: Vec::new(),
+            stale: false,
+            meltdown: false,
+        };
+        let mut log = EventLog::default();
+        let mut sim = EpochSim::new(dc, &world.pstates, &world.stage3);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut next_event = 0usize;
+        let mut acted = false;
+        let mut backoff_skip = 0u32;
+        let mut backoff_next = 1u32;
+
+        let n_epochs = (cfg.horizon_s / cfg.epoch_s).ceil().max(1.0) as usize;
+        for e in 0..n_epochs {
+            let t0 = e as f64 * cfg.epoch_s;
+            let t1 = (t0 + cfg.epoch_s).min(cfg.horizon_s);
+
+            // -- 1. Scripted faults due by this boundary ------------------
+            // A fault takes effect at the first epoch boundary at or
+            // after its timestamp (the supervisor's world advances in
+            // epochs), so the log stays time-ordered.
+            while next_event < script.events().len() && script.events()[next_event].at_s <= t0 {
+                let ev = script.events()[next_event];
+                next_event += 1;
+                self.inject(&mut world, &mut work_dc, &mut sim, t0, ev.fault, &mut log);
+            }
+
+            // -- 2. Supervision (before the air catches up) ---------------
+            if cfg.supervise {
+                if backoff_skip > 0 {
+                    backoff_skip -= 1;
+                } else {
+                    let h = self.health(&world);
+                    if !h.ok(cfg) || world.stale {
+                        acted = true;
+                        let recovered =
+                            self.respond(&mut world, &mut work_dc, &mut sim, t0, h, &mut log);
+                        if recovered {
+                            backoff_next = 1;
+                        } else {
+                            backoff_skip = backoff_next;
+                            backoff_next = (backoff_next * 2).min(8);
+                            log.record(t0, EventKind::Backoff { epochs: backoff_skip });
+                        }
+                    }
+                }
+            }
+
+            // -- 3. Physics: thermal trips on the *true* state ------------
+            self.apply_trips(&mut world, &mut sim, t0, &mut log);
+
+            // -- 4. The epoch's arrivals ----------------------------------
+            for a in epoch_arrivals(&mut rng, dc, world.surge, t0, t1) {
+                sim.dispatch(a.task_type, a.time, a.deadline);
+            }
+        }
+
+        // -- Final reckoning on the true steady state ---------------------
+        let powers = self.node_powers(&world);
+        let (final_violation_c, final_power_kw) = match dc.thermal.steady_state_with_failed_cracs(
+            &world.outlets,
+            &powers,
+            &world.failed,
+        ) {
+            Ok(state) => (
+                state.redline_violation(dc.thermal.node_redline_c, dc.thermal.crac_redline_c),
+                powers.iter().sum::<f64>() + dc.thermal.total_crac_power_kw(&state),
+            ),
+            Err(_) => (f64::INFINITY, powers.iter().sum::<f64>()),
+        };
+        let nodes_dead = world.dead.iter().filter(|&&d| d).count();
+        let healthy = final_violation_c <= cfg.redline_tol_c
+            && final_power_kw <= dc.budget.p_const_kw + cfg.power_tol_kw;
+        let outcome = if world.meltdown || !final_violation_c.is_finite() {
+            Outcome::Unrecoverable
+        } else if !healthy {
+            Outcome::Degraded
+        } else if !world.shed.is_empty() {
+            Outcome::Shed
+        } else if acted || nodes_dead > 0 {
+            Outcome::Recovered
+        } else {
+            Outcome::Nominal
+        };
+
+        SupervisorReport {
+            outcome,
+            sim: sim.finish(cfg.horizon_s),
+            log,
+            final_violation_c,
+            final_power_kw,
+            nodes_dead,
+            shed_task_types: world.shed.clone(),
+        }
+    }
+
+    /// Apply one scripted fault to the world (and the simulation).
+    fn inject(
+        &self,
+        world: &mut World,
+        work_dc: &mut DataCenter,
+        sim: &mut EpochSim<'_>,
+        at_s: f64,
+        fault: Fault,
+        log: &mut EventLog,
+    ) {
+        log.record(at_s, EventKind::FaultInjected(fault));
+        match fault {
+            Fault::CracFailure { unit } => {
+                if unit < world.failed.len() {
+                    world.failed[unit] = true;
+                }
+            }
+            Fault::CracRecovery { unit } => {
+                if unit < world.failed.len() {
+                    world.failed[unit] = false;
+                }
+            }
+            Fault::NodeDeath { node } => self.kill_node(world, sim, node, at_s),
+            Fault::SensorDrift { bias_c } => {
+                if bias_c.is_finite() {
+                    world.bias_c = bias_c;
+                }
+            }
+            Fault::ArrivalSurge { factor } => {
+                let factor = if factor.is_finite() { factor.max(0.0) } else { 1.0 };
+                world.surge = factor;
+                for (i, t) in work_dc.workload.task_types.iter_mut().enumerate() {
+                    t.arrival_rate = self.dc.workload.task_types[i].arrival_rate * factor;
+                }
+                for &i in &world.shed {
+                    work_dc.workload.task_types[i].arrival_rate = 0.0;
+                }
+                world.stale = true;
+            }
+        }
+    }
+
+    /// Kill a node: mark it dead, mask its cores, lose its in-flight work.
+    fn kill_node(&self, world: &mut World, sim: &mut EpochSim<'_>, node: usize, at_s: f64) {
+        if node >= world.dead.len() || world.dead[node] {
+            return;
+        }
+        world.dead[node] = true;
+        world.stale = true;
+        let cores: Vec<usize> = self.dc.cores_of_node(node).collect();
+        sim.kill_cores(&cores, at_s);
+    }
+
+    /// Node powers under the current P-states, dead nodes drawing nothing.
+    fn node_powers(&self, world: &World) -> Vec<f64> {
+        let mut p = self.dc.node_powers_from_pstates(&world.pstates);
+        for (j, &d) in world.dead.iter().enumerate() {
+            if d {
+                p[j] = 0.0;
+            }
+        }
+        p
+    }
+
+    /// Observed health at the current world state.
+    fn health(&self, world: &World) -> Health {
+        let dc = self.dc;
+        let powers = self.node_powers(world);
+        match dc
+            .thermal
+            .steady_state_with_failed_cracs(&world.outlets, &powers, &world.failed)
+        {
+            Ok(state) => {
+                let observed = (state.max_node_inlet() + world.bias_c - dc.thermal.node_redline_c)
+                    .max(state.max_crac_inlet() - dc.thermal.crac_redline_c);
+                let power = powers.iter().sum::<f64>() + dc.thermal.total_crac_power_kw(&state);
+                Health {
+                    redline_c: observed,
+                    power_over_kw: power - dc.budget.p_const_kw,
+                    power_kw: power,
+                }
+            }
+            Err(_) => Health {
+                redline_c: f64::INFINITY,
+                power_over_kw: f64::INFINITY,
+                power_kw: f64::INFINITY,
+            },
+        }
+    }
+
+    /// The staged degradation ladder. Returns whether observed health was
+    /// restored. Mutates plan/world state and the live simulation.
+    fn respond(
+        &self,
+        world: &mut World,
+        work_dc: &mut DataCenter,
+        sim: &mut EpochSim<'_>,
+        now: f64,
+        initial: Health,
+        log: &mut EventLog,
+    ) -> bool {
+        let dc = self.dc;
+        let cfg = &self.cfg;
+        let mut h = initial;
+        let mut attempts = 0u32;
+        // Each violation kind is logged once per response (at its first,
+        // worst reading) and contiguous throttle batches are merged into
+        // one event, so the log stays readable when the ladder needs
+        // hundreds of P-state steps.
+        let mut seen_redline = false;
+        let mut seen_power = false;
+        let mut throttled = 0usize;
+        let flush_throttle = |throttled: &mut usize, log: &mut EventLog| {
+            if *throttled > 0 {
+                log.record(now, EventKind::ActionTaken(Action::Throttle { steps: *throttled }));
+                *throttled = 0;
+            }
+        };
+        for _ in 0..MAX_LADDER_ITERS {
+            // Physical violations come first: a Stage-3 replan changes
+            // rates, not power or heat, so it cannot clear them — and
+            // outlet drops / throttling mark the plan stale anyway. The
+            // replan happens exactly once per response, at the end, so
+            // the scheduler's admission clocks are not reset mid-ladder.
+            if h.redline_c > cfg.redline_tol_c {
+                if !seen_redline {
+                    seen_redline = true;
+                    log.record(
+                        now,
+                        EventKind::ViolationDetected(Violation::Redline {
+                            observed_c: h.redline_c,
+                        }),
+                    );
+                }
+                // Rung 2: colder outlets, while there is room.
+                if self.drop_outlets(world, now, log) {
+                    h = self.health(world);
+                    continue;
+                }
+                // Rung 3: shed heat.
+                let steps = self.throttle(world, true);
+                if steps > 0 {
+                    throttled += steps;
+                    h = self.health(world);
+                    continue;
+                }
+                flush_throttle(&mut throttled, log);
+                return false; // everything dark and still too hot
+            }
+
+            if h.power_over_kw > cfg.power_tol_kw {
+                if !seen_power {
+                    seen_power = true;
+                    log.record(
+                        now,
+                        EventKind::ViolationDetected(Violation::PowerCap {
+                            total_kw: h.power_kw,
+                            budget_kw: dc.budget.p_const_kw,
+                        }),
+                    );
+                }
+                // Rung 3 is the only lever that cuts power.
+                let steps = self.throttle(world, false);
+                if steps > 0 {
+                    throttled += steps;
+                    h = self.health(world);
+                    continue;
+                }
+                flush_throttle(&mut throttled, log);
+                return false;
+            }
+
+            flush_throttle(&mut throttled, log);
+
+            // Rung 1: the plan is stale — replan rates on what survives.
+            if world.stale {
+                log.record(now, EventKind::ViolationDetected(Violation::StalePlan));
+                match solve_stage3(work_dc, &self.effective_pstates(world)) {
+                    Ok(s3) => {
+                        world.stage3 = s3;
+                        world.stale = false;
+                        attempts = 0;
+                        sim.replan(&self.effective_pstates(world), &world.stage3, now);
+                        log.record(now, EventKind::ActionTaken(Action::Replan));
+                    }
+                    Err(err) => {
+                        attempts += 1;
+                        let infeasible = err.is_infeasible();
+                        log.record(
+                            now,
+                            EventKind::ReplanFailed {
+                                attempt: attempts,
+                                error: err.to_string(),
+                            },
+                        );
+                        if attempts >= cfg.max_replan_attempts {
+                            // Rung 4: shed the lowest-reward live type and
+                            // retry on the smaller problem.
+                            if !self.shed_one(world, work_dc, now, log) {
+                                return false;
+                            }
+                            attempts = 0;
+                        } else if !infeasible {
+                            // Pathology, not infeasibility: hammering the
+                            // solver will not help — back off to the next
+                            // epoch.
+                            return false;
+                        }
+                    }
+                }
+                h = self.health(world);
+                continue;
+            }
+
+            log.record(now, EventKind::Recovered { margin_c: h.redline_c });
+            return true;
+        }
+        false
+    }
+
+    /// The P-states Stage 3 and the scheduler actually see: dead nodes'
+    /// cores forced to their off state.
+    fn effective_pstates(&self, world: &World) -> Vec<usize> {
+        let mut ps = world.pstates.clone();
+        for (node, &d) in world.dead.iter().enumerate() {
+            if d {
+                let off = self.dc.node_type(node).core.pstates.off_index();
+                for k in self.dc.cores_of_node(node) {
+                    ps[k] = off;
+                }
+            }
+        }
+        ps
+    }
+
+    /// Rung 2: drop every unit's set-point by `outlet_drop_c`, clamped to
+    /// its minimum. Returns whether anything moved.
+    fn drop_outlets(&self, world: &mut World, now: f64, log: &mut EventLog) -> bool {
+        let mut moved = 0.0f64;
+        for (c, out) in world.outlets.iter_mut().enumerate() {
+            let floor = self.dc.cracs[c].min_outlet_c;
+            let next = (*out - self.cfg.outlet_drop_c).max(floor);
+            moved = moved.max(*out - next);
+            *out = next;
+        }
+        if moved > 1e-9 {
+            log.record(now, EventKind::ActionTaken(Action::OutletDrop { by_c: moved }));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rung 3: emergency throttle, up to `throttle_steps` one-state
+    /// deepenings per application. Each step is chosen greedily and
+    /// *thermally aware*: every live node's shallowest core is a
+    /// candidate, scored by how much the steady-state redline violation
+    /// falls per MHz of speed given up (so the nodes whose heat
+    /// recirculates into the hot spot are throttled first). Under a
+    /// power-cap breach the score is instead the power cut per MHz —
+    /// the least-efficient steps go first. Marks the plan stale (rates
+    /// must be recomputed for the new service speeds). Returns the number
+    /// of steps taken (the caller logs them, merged across batches).
+    fn throttle(&self, world: &mut World, thermal: bool) -> usize {
+        let dc = self.dc;
+        let mut steps = 0usize;
+        for _ in 0..self.cfg.throttle_steps {
+            let powers = self.node_powers(world);
+            let base_viol = dc
+                .thermal
+                .steady_state_with_failed_cracs(&world.outlets, &powers, &world.failed)
+                .map(|s| s.redline_violation(dc.thermal.node_redline_c, dc.thermal.crac_redline_c))
+                .ok();
+            let mut best: Option<(f64, usize)> = None; // (score, core)
+            for j in (0..dc.n_nodes()).filter(|&j| !world.dead[j]) {
+                let table = &dc.node_type(j).core.pstates;
+                let off = table.off_index();
+                let Some(k) = dc
+                    .cores_of_node(j)
+                    .filter(|&k| world.pstates[k] < off)
+                    .min_by_key(|&k| world.pstates[k])
+                else {
+                    continue;
+                };
+                let p = world.pstates[k];
+                let dp_kw = table.power_kw(p) - table.power_kw(p + 1);
+                let ds_mhz = (table.freq_mhz(p) - table.freq_mhz(p + 1)).max(1e-9);
+                let score = match (thermal, base_viol) {
+                    // Thermal benefit of this step, per MHz lost.
+                    (true, Some(v0)) => {
+                        let mut pw = powers.clone();
+                        pw[j] -= dp_kw;
+                        match dc.thermal.steady_state_with_failed_cracs(
+                            &world.outlets,
+                            &pw,
+                            &world.failed,
+                        ) {
+                            Ok(s) => {
+                                (v0 - s.redline_violation(
+                                    dc.thermal.node_redline_c,
+                                    dc.thermal.crac_redline_c,
+                                )) / ds_mhz
+                            }
+                            Err(_) => f64::NEG_INFINITY,
+                        }
+                    }
+                    // Power-cap breach (or no steady state to probe):
+                    // biggest power cut per MHz lost.
+                    _ => dp_kw / ds_mhz,
+                };
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, k));
+                }
+            }
+            let Some((_, k)) = best else { break };
+            world.pstates[k] += 1;
+            steps += 1;
+        }
+        if steps > 0 {
+            world.stale = true;
+        }
+        steps
+    }
+
+    /// Rung 4: shed the lowest-reward task type still live. Returns
+    /// whether a type was left to shed.
+    fn shed_one(
+        &self,
+        world: &mut World,
+        work_dc: &mut DataCenter,
+        now: f64,
+        log: &mut EventLog,
+    ) -> bool {
+        let victim = work_dc
+            .workload
+            .task_types
+            .iter()
+            .filter(|t| t.arrival_rate > 0.0)
+            .min_by(|a, b| a.reward.total_cmp(&b.reward))
+            .map(|t| (t.index, t.reward));
+        match victim {
+            Some((i, reward)) => {
+                work_dc.workload.task_types[i].arrival_rate = 0.0;
+                world.shed.push(i);
+                world.stale = true;
+                log.record(
+                    now,
+                    EventKind::ActionTaken(Action::ShedTaskType { task_type: i, reward }),
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Physics: nodes whose true inlet exceeds redline + trip margin shut
+    /// down, one at a time (hottest first), until the floor stabilizes.
+    fn apply_trips(
+        &self,
+        world: &mut World,
+        sim: &mut EpochSim<'_>,
+        now: f64,
+        log: &mut EventLog,
+    ) {
+        let dc = self.dc;
+        let nc = dc.n_crac();
+        let trip_at = dc.thermal.node_redline_c + self.cfg.trip_margin_c;
+        loop {
+            let powers = self.node_powers(world);
+            match dc
+                .thermal
+                .steady_state_with_failed_cracs(&world.outlets, &powers, &world.failed)
+            {
+                Ok(state) => {
+                    let hottest = (0..dc.n_nodes())
+                        .filter(|&j| !world.dead[j] && state.t_in[nc + j] > trip_at)
+                        .max_by(|&a, &b| state.t_in[nc + a].total_cmp(&state.t_in[nc + b]));
+                    let Some(j) = hottest else { return };
+                    log.record(
+                        now,
+                        EventKind::NodeTripped {
+                            node: j,
+                            inlet_c: state.t_in[nc + j],
+                        },
+                    );
+                    self.kill_node(world, sim, j, now);
+                }
+                Err(_) => {
+                    // No steady state (every CRAC down): the floor is lost.
+                    if !world.meltdown {
+                        log.record(now, EventKind::NoSteadyState);
+                    }
+                    world.meltdown = true;
+                    let doomed: Vec<usize> =
+                        (0..dc.n_nodes()).filter(|&j| !world.dead[j]).collect();
+                    for j in doomed {
+                        self.kill_node(world, sim, j, now);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The epoch's Poisson arrivals at `surge`-scaled rates. Exponential
+/// interarrivals are memoryless, so restarting each type's clock at the
+/// epoch boundary is statistically identical to one continuous process —
+/// and it keeps the stream identical across supervised and unsupervised
+/// runs of the same seed (supervision never touches the RNG).
+fn epoch_arrivals(
+    rng: &mut StdRng,
+    dc: &DataCenter,
+    surge: f64,
+    t0: f64,
+    t1: f64,
+) -> Vec<TaskArrival> {
+    let mut arrivals = Vec::new();
+    for t in &dc.workload.task_types {
+        let rate = t.arrival_rate * surge;
+        if rate <= 0.0 {
+            continue;
+        }
+        let mut clock = t0;
+        loop {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            clock += -u.ln() / rate;
+            if clock >= t1 {
+                break;
+            }
+            arrivals.push(TaskArrival {
+                time: clock,
+                task_type: t.index,
+                deadline: clock + t.deadline_slack,
+            });
+        }
+    }
+    arrivals.sort_by(|a, b| a.time.total_cmp(&b.time));
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_core::{solve_three_stage, ThreeStageOptions};
+    use thermaware_datacenter::ScenarioParams;
+
+    fn setup() -> (DataCenter, ThreeStageSolution) {
+        let dc = ScenarioParams {
+            n_nodes: 8,
+            n_crac: 2,
+            ..ScenarioParams::small_test()
+        }
+        .build(1)
+        .expect("scenario");
+        let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+        (dc, plan)
+    }
+
+    fn cfg(horizon_s: f64) -> SupervisorConfig {
+        SupervisorConfig {
+            horizon_s,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn nominal_run_is_nominal() {
+        let (dc, plan) = setup();
+        let sup = Supervisor::new(&dc, cfg(10.0));
+        let r = sup.run(&plan, &FaultScript::new());
+        assert_eq!(r.outcome, Outcome::Nominal);
+        assert!(r.final_violation_c <= 0.0, "{}", r.final_violation_c);
+        assert!(r.sim.reward_rate > 0.0);
+        assert_eq!(r.log.trips(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (dc, plan) = setup();
+        let script = FaultScript::new().node_death(3.0, 2).arrival_surge(5.0, 1.5);
+        let sup = Supervisor::new(&dc, cfg(10.0));
+        let a = sup.run(&plan, &script);
+        let b = sup.run(&plan, &script);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.sim.reward_collected, b.sim.reward_collected);
+        assert_eq!(a.log.events().len(), b.log.events().len());
+    }
+
+    #[test]
+    fn node_death_recovers_with_a_replan() {
+        let (dc, plan) = setup();
+        let script = FaultScript::new().node_death(3.0, 0);
+        let sup = Supervisor::new(&dc, cfg(12.0));
+        let r = sup.run(&plan, &script);
+        assert_eq!(r.nodes_dead, 1);
+        assert!(r.log.replans() >= 1, "no replan after node death");
+        assert_eq!(r.outcome, Outcome::Recovered);
+        assert!(r.sim.reward_rate > 0.0);
+    }
+
+    #[test]
+    fn all_cracs_down_is_unrecoverable_not_a_panic() {
+        let (dc, plan) = setup();
+        let script = FaultScript::new().crac_failure(2.0, 0).crac_failure(2.0, 1);
+        let sup = Supervisor::new(&dc, cfg(8.0));
+        let r = sup.run(&plan, &script);
+        assert_eq!(r.outcome, Outcome::Unrecoverable);
+        assert_eq!(r.nodes_dead, dc.n_nodes());
+    }
+
+    #[test]
+    fn unsupervised_ignores_violations() {
+        let (dc, plan) = setup();
+        let script = FaultScript::new().node_death(3.0, 0);
+        let sup = Supervisor::new(
+            &dc,
+            SupervisorConfig {
+                supervise: false,
+                ..cfg(10.0)
+            },
+        );
+        let r = sup.run(&plan, &script);
+        assert_eq!(r.log.replans(), 0);
+        // Outcome still typed: the stale plan happens to stay healthy
+        // thermally (less heat), so this ends Recovered-or-Degraded, not
+        // Nominal (a node is down).
+        assert_ne!(r.outcome, Outcome::Nominal);
+    }
+
+    #[test]
+    fn arrival_stream_is_seed_deterministic_and_surge_scales_it() {
+        let (dc, _) = setup();
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = epoch_arrivals(&mut r1, &dc, 1.0, 0.0, 5.0);
+        let b = epoch_arrivals(&mut r2, &dc, 1.0, 0.0, 5.0);
+        assert_eq!(a.len(), b.len());
+        let mut r3 = StdRng::seed_from_u64(7);
+        let c = epoch_arrivals(&mut r3, &dc, 3.0, 0.0, 5.0);
+        assert!(c.len() > a.len(), "surge did not increase arrivals");
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+}

@@ -71,6 +71,12 @@ pub struct DynamicScheduler {
     service: Vec<Vec<f64>>,
     /// Accumulated busy time per core (for utilization reporting).
     busy_time: Vec<f64>,
+    /// Liveness mask: dead cores (failed nodes) are never dispatched to.
+    alive: Vec<bool>,
+    /// When the current plan took effect — the ATC/TC rate clock starts
+    /// here, so a mid-flight replan is judged against *its own* desired
+    /// rates rather than an average over the superseded plan.
+    plan_start: f64,
 }
 
 impl DynamicScheduler {
@@ -89,24 +95,7 @@ impl DynamicScheduler {
     ) -> Self {
         let t = dc.n_task_types();
         let n = dc.n_cores();
-        let mut tc = vec![vec![0.0; n]; t];
-        let mut candidates = vec![Vec::new(); t];
-        let mut runnable = vec![Vec::new(); t];
-        let mut service = vec![vec![f64::INFINITY; n]; t];
-        for i in 0..t {
-            for k in 0..n {
-                let rate = stage3.tc(i, k);
-                let etc = dc.workload.ecs.etc(i, dc.core_type(k), pstates[k]);
-                service[i][k] = etc;
-                if etc.is_finite() {
-                    runnable[i].push(k);
-                }
-                if rate > 0.0 && etc.is_finite() {
-                    tc[i][k] = rate;
-                    candidates[i].push(k);
-                }
-            }
-        }
+        let (tc, candidates, runnable, service) = plan_tables(dc, pstates, stage3);
         DynamicScheduler {
             policy,
             tc,
@@ -117,7 +106,52 @@ impl DynamicScheduler {
             busy_until: vec![0.0; n],
             service,
             busy_time: vec![0.0; n],
+            alive: vec![true; n],
+            plan_start: 0.0,
         }
+    }
+
+    /// Replace the plan mid-flight (a supervisor replan): new P-states
+    /// and Stage-3 rates at time `now`. Backlogs (`busy_until`, busy
+    /// time) survive — in-flight work is unaffected — but the per-(type,
+    /// core) rate clocks restart so admission tracks the new plan.
+    pub fn apply_plan(
+        &mut self,
+        dc: &DataCenter,
+        pstates: &[usize],
+        stage3: &Stage3Solution,
+        now: f64,
+    ) {
+        let t = dc.n_task_types();
+        let n = dc.n_cores();
+        let (tc, candidates, runnable, service) = plan_tables(dc, pstates, stage3);
+        self.tc = tc;
+        self.candidates = candidates;
+        self.runnable = runnable;
+        self.service = service;
+        self.count = vec![vec![0; n]; t];
+        self.ewma_rate = vec![vec![(0.0, now); n]; t];
+        self.plan_start = now;
+    }
+
+    /// Mark cores as dead: they are never dispatched to again. In-flight
+    /// accounting (tasks lost with the node) is the caller's job — see
+    /// `crate::sim::EpochSim::kill_cores`.
+    pub fn kill_cores(&mut self, cores: &[usize]) {
+        for &k in cores {
+            self.alive[k] = false;
+        }
+    }
+
+    /// Replace the whole core-liveness mask.
+    pub fn set_core_mask(&mut self, alive: &[bool]) {
+        assert_eq!(alive.len(), self.alive.len());
+        self.alive.copy_from_slice(alive);
+    }
+
+    /// Is core `k` still dispatchable?
+    pub fn core_alive(&self, core: usize) -> bool {
+        self.alive[core]
     }
 
     /// Dispatch one task of type `task_type` arriving at `now` with the
@@ -218,11 +252,15 @@ impl DynamicScheduler {
     /// over their desired rate or unable to meet the deadline.
     fn pick_atc_tc(&self, task_type: usize, now: f64, deadline: f64) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
+        let elapsed = now - self.plan_start;
         for &k in &self.candidates[task_type] {
+            if !self.alive[k] {
+                continue;
+            }
             // Rule (b): actual-to-desired ratio must not exceed 1. The
-            // actual rate is the assignment count over elapsed time.
-            let ratio = if now > 0.0 {
-                self.count[task_type][k] as f64 / (now * self.tc[task_type][k])
+            // actual rate is the assignment count over time on this plan.
+            let ratio = if elapsed > 0.0 {
+                self.count[task_type][k] as f64 / (elapsed * self.tc[task_type][k])
             } else if self.count[task_type][k] == 0 {
                 0.0
             } else {
@@ -255,6 +293,9 @@ impl DynamicScheduler {
     ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for &k in &self.candidates[task_type] {
+            if !self.alive[k] {
+                continue;
+            }
             let (rate, last) = self.ewma_rate[task_type][k];
             let atc = rate * (-(now - last) / tau_s).exp();
             let ratio = atc / self.tc[task_type][k];
@@ -284,6 +325,9 @@ impl DynamicScheduler {
     ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for &k in &self.runnable[task_type] {
+            if !self.alive[k] {
+                continue;
+            }
             let start = self.busy_until[k].max(now);
             let finish = start + self.service[task_type][k];
             if finish > deadline {
@@ -297,10 +341,11 @@ impl DynamicScheduler {
         best.map(|(k, _)| k)
     }
 
-    /// Actual execution rate `ATC(i, k)` observed so far.
+    /// Actual execution rate `ATC(i, k)` observed under the current plan.
     pub fn atc(&self, task_type: usize, core: usize, now: f64) -> f64 {
-        if now > 0.0 {
-            self.count[task_type][core] as f64 / now
+        let elapsed = now - self.plan_start;
+        if elapsed > 0.0 {
+            self.count[task_type][core] as f64 / elapsed
         } else {
             0.0
         }
@@ -331,4 +376,35 @@ impl DynamicScheduler {
             .sum::<f64>()
             / (active.len() as f64 * horizon)
     }
+}
+
+/// The per-plan lookup tables: desired rates, candidate/runnable sets,
+/// and service times (shared by construction and mid-flight replans).
+#[allow(clippy::type_complexity)]
+fn plan_tables(
+    dc: &DataCenter,
+    pstates: &[usize],
+    stage3: &Stage3Solution,
+) -> (Vec<Vec<f64>>, Vec<Vec<usize>>, Vec<Vec<usize>>, Vec<Vec<f64>>) {
+    let t = dc.n_task_types();
+    let n = dc.n_cores();
+    let mut tc = vec![vec![0.0; n]; t];
+    let mut candidates = vec![Vec::new(); t];
+    let mut runnable = vec![Vec::new(); t];
+    let mut service = vec![vec![f64::INFINITY; n]; t];
+    for i in 0..t {
+        for k in 0..n {
+            let rate = stage3.tc(i, k);
+            let etc = dc.workload.ecs.etc(i, dc.core_type(k), pstates[k]);
+            service[i][k] = etc;
+            if etc.is_finite() {
+                runnable[i].push(k);
+            }
+            if rate > 0.0 && etc.is_finite() {
+                tc[i][k] = rate;
+                candidates[i].push(k);
+            }
+        }
+    }
+    (tc, candidates, runnable, service)
 }

@@ -20,4 +20,7 @@ mod dispatch;
 mod sim;
 
 pub use dispatch::{DispatchDecision, DispatchPolicy, DynamicScheduler};
-pub use sim::{simulate, simulate_stochastic, simulate_with_policy, LatencyStats, SimulationResult, TypeStats};
+pub use sim::{
+    simulate, simulate_stochastic, simulate_with_policy, EpochSim, LatencyStats, SimulationResult,
+    TypeStats,
+};

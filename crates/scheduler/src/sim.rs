@@ -18,6 +18,9 @@ pub struct TypeStats {
     /// Tasks admitted but finished **after** their deadline (possible
     /// only under service-time noise; they earn nothing).
     pub late: usize,
+    /// Tasks in flight on a core when its node died (runtime fault
+    /// injection); they earn nothing.
+    pub lost: usize,
     /// Reward collected.
     pub reward: f64,
 }
@@ -144,84 +147,175 @@ fn simulate_inner<R: Rng>(
         .as_ref()
         .map(|(cv, _)| (1.0 + cv * cv).ln().sqrt())
         .unwrap_or(0.0);
-    let mut scheduler = DynamicScheduler::with_policy(dc, pstates, stage3, policy);
-    let mut per_type = vec![TypeStats::default(); dc.n_task_types()];
-    // Completion events: (finish_time, task_type, deadline). A min-heap
-    // via sorted insertion is unnecessary — we only need aggregate counts
-    // at the end, and finishes are monotone per core — so collect and
-    // count after the loop.
-    let mut completions: Vec<(f64, usize, f64)> = Vec::new();
-    let mut waits: Vec<f64> = Vec::new();
-    let mut responses: Vec<f64> = Vec::new();
+    let mut sim = EpochSim::with_policy(dc, pstates, stage3, policy);
 
     for a in &trace.arrivals {
-        per_type[a.task_type].arrived += 1;
         // Realized service: estimate x lognormal factor (Box-Muller on the
         // sim's RNG; the scheduler never sees the realization at admission
         // time).
-        let realized = match noise.as_mut() {
-            None => None,
-            Some((_, rng)) => {
-                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                let factor = (sigma * z - 0.5 * sigma * sigma).exp();
-                // The estimate is per-core; scale whatever core wins by
-                // passing the factor through the realized duration after
-                // dispatch would be circular, so draw the factor and let
-                // dispatch apply it to the chosen core's estimate.
-                Some(factor)
-            }
-        };
-        let decision = match realized {
-            None => scheduler.dispatch(a.task_type, a.time, a.deadline),
-            Some(factor) => {
-                // Peek: run dispatch with the factor applied lazily via a
-                // two-step — first find the core with the estimate, then
-                // stretch its busy time. DynamicScheduler applies the
-                // realized duration directly.
-                scheduler.dispatch_with_realized_factor(a.task_type, a.time, a.deadline, factor)
-            }
-        };
-        match decision {
-            DispatchDecision::Dropped => {
-                per_type[a.task_type].dropped += 1;
-            }
-            DispatchDecision::Assigned { start, finish, .. } => {
-                completions.push((finish, a.task_type, a.deadline));
-                waits.push(start - a.time);
-                responses.push(finish - a.time);
-            }
-        }
-    }
-    for (finish, task_type, deadline) in completions {
+        let factor = noise.as_mut().map(|(_, rng)| {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            // The estimate is per-core, so the factor is drawn here and
+            // dispatch applies it to whichever core wins.
+            (sigma * z - 0.5 * sigma * sigma).exp()
+        });
+        let decision = sim.dispatch_with_factor(a.task_type, a.time, a.deadline, factor);
         debug_assert!(
-            sigma > 0.0 || finish <= deadline + 1e-9,
+            sigma > 0.0
+                || !matches!(decision, DispatchDecision::Assigned { finish, .. }
+                    if finish > a.deadline + 1e-9),
             "admitted task missed deadline without service noise"
         );
-        if finish > deadline + 1e-9 {
-            // Late: the admission estimate was optimistic. No reward.
-            per_type[task_type].late += 1;
-            continue;
-        }
-        // Only completions inside the horizon have "happened"; tasks
-        // still in flight at the horizon do not earn yet (matches how the
-        // steady-state rate is defined).
-        if finish <= trace.horizon_s {
-            per_type[task_type].completed += 1;
-            per_type[task_type].reward += dc.workload.task_types[task_type].reward;
+    }
+    sim.finish(trace.horizon_s)
+}
+
+/// One admitted task awaiting completion accounting.
+#[derive(Debug, Clone, Copy)]
+struct Admitted {
+    core: usize,
+    task_type: usize,
+    arrival: f64,
+    start: f64,
+    finish: f64,
+    deadline: f64,
+    /// Its core's node died before it finished: no reward.
+    lost: bool,
+}
+
+/// An **interruptible** simulation: the caller feeds arrivals in time
+/// order and may pause between any two to mutate the scheduler — replace
+/// the plan ([`EpochSim::replan`]), kill cores ([`EpochSim::kill_cores`])
+/// — which is exactly what the runtime supervisor's epoch loop needs.
+/// [`simulate`] is a single uninterrupted run of the same machinery.
+pub struct EpochSim<'a> {
+    dc: &'a DataCenter,
+    scheduler: DynamicScheduler,
+    per_type: Vec<TypeStats>,
+    admitted: Vec<Admitted>,
+}
+
+impl<'a> EpochSim<'a> {
+    /// Start a simulation from the first step's outputs with the paper's
+    /// `AtcTc` policy.
+    pub fn new(dc: &'a DataCenter, pstates: &[usize], stage3: &Stage3Solution) -> Self {
+        Self::with_policy(dc, pstates, stage3, DispatchPolicy::AtcTc)
+    }
+
+    /// Start a simulation with an explicit dispatch policy.
+    pub fn with_policy(
+        dc: &'a DataCenter,
+        pstates: &[usize],
+        stage3: &Stage3Solution,
+        policy: DispatchPolicy,
+    ) -> Self {
+        EpochSim {
+            dc,
+            scheduler: DynamicScheduler::with_policy(dc, pstates, stage3, policy),
+            per_type: vec![TypeStats::default(); dc.n_task_types()],
+            admitted: Vec::new(),
         }
     }
 
-    let reward_collected: f64 = per_type.iter().map(|t| t.reward).sum();
-    SimulationResult {
-        reward_collected,
-        reward_rate: reward_collected / trace.horizon_s,
-        horizon_s: trace.horizon_s,
-        per_type,
-        mean_utilization: scheduler.mean_active_utilization(trace.horizon_s),
-        wait: LatencyStats::from_samples(&mut waits),
-        response: LatencyStats::from_samples(&mut responses),
+    /// The live scheduler (e.g. to inspect ATC rates).
+    pub fn scheduler(&self) -> &DynamicScheduler {
+        &self.scheduler
+    }
+
+    /// Dispatch one arrival. Arrivals must be fed in non-decreasing time
+    /// order.
+    pub fn dispatch(&mut self, task_type: usize, now: f64, deadline: f64) -> DispatchDecision {
+        self.dispatch_with_factor(task_type, now, deadline, None)
+    }
+
+    /// [`EpochSim::dispatch`] with an optional realized-over-estimated
+    /// service factor (stochastic service times).
+    pub fn dispatch_with_factor(
+        &mut self,
+        task_type: usize,
+        now: f64,
+        deadline: f64,
+        factor: Option<f64>,
+    ) -> DispatchDecision {
+        self.per_type[task_type].arrived += 1;
+        let decision = match factor {
+            None => self.scheduler.dispatch(task_type, now, deadline),
+            Some(f) => self
+                .scheduler
+                .dispatch_with_realized_factor(task_type, now, deadline, f),
+        };
+        match decision {
+            DispatchDecision::Dropped => self.per_type[task_type].dropped += 1,
+            DispatchDecision::Assigned { core, start, finish } => {
+                self.admitted.push(Admitted {
+                    core,
+                    task_type,
+                    arrival: now,
+                    start,
+                    finish,
+                    deadline,
+                    lost: false,
+                });
+            }
+        }
+        decision
+    }
+
+    /// Replace the active plan at time `now` (see
+    /// [`DynamicScheduler::apply_plan`]).
+    pub fn replan(&mut self, pstates: &[usize], stage3: &Stage3Solution, now: f64) {
+        self.scheduler.apply_plan(self.dc, pstates, stage3, now);
+    }
+
+    /// Kill cores at time `at`: they stop accepting work, and admitted
+    /// tasks still running on them at `at` are lost (no reward).
+    pub fn kill_cores(&mut self, cores: &[usize], at: f64) {
+        self.scheduler.kill_cores(cores);
+        for a in &mut self.admitted {
+            if !a.lost && a.finish > at && cores.contains(&a.core) {
+                a.lost = true;
+            }
+        }
+    }
+
+    /// Close the books over `[0, horizon_s]` and summarize.
+    pub fn finish(self, horizon_s: f64) -> SimulationResult {
+        let mut per_type = self.per_type;
+        let mut waits: Vec<f64> = Vec::new();
+        let mut responses: Vec<f64> = Vec::new();
+        for a in &self.admitted {
+            if a.lost {
+                per_type[a.task_type].lost += 1;
+                continue;
+            }
+            waits.push(a.start - a.arrival);
+            responses.push(a.finish - a.arrival);
+            if a.finish > a.deadline + 1e-9 {
+                // Late: the admission estimate was optimistic. No reward.
+                per_type[a.task_type].late += 1;
+                continue;
+            }
+            // Only completions inside the horizon have "happened"; tasks
+            // still in flight at the horizon do not earn yet (matches how
+            // the steady-state rate is defined).
+            if a.finish <= horizon_s {
+                per_type[a.task_type].completed += 1;
+                per_type[a.task_type].reward += self.dc.workload.task_types[a.task_type].reward;
+            }
+        }
+
+        let reward_collected: f64 = per_type.iter().map(|t| t.reward).sum();
+        SimulationResult {
+            reward_collected,
+            reward_rate: reward_collected / horizon_s,
+            horizon_s,
+            per_type,
+            mean_utilization: self.scheduler.mean_active_utilization(horizon_s),
+            wait: LatencyStats::from_samples(&mut waits),
+            response: LatencyStats::from_samples(&mut responses),
+        }
     }
 }
 

@@ -186,7 +186,7 @@ mod tests {
         assert!(err < 0.08, "noisy recovery error {err}");
         // Predictions from the estimated matrix stay close: compare the
         // implied inlets on a held-out operating point.
-        let held_out = model.steady_state(&[15.0, 19.0], &vec![0.55; 20]);
+        let held_out = model.steady_state(&[15.0, 19.0], &[0.55; 20]);
         let predicted = a_hat.mat_vec(&held_out.t_out);
         for (p, t) in predicted.iter().zip(&held_out.t_in) {
             assert!((p - t).abs() < 0.3, "predicted {p} vs true {t}");

@@ -350,7 +350,7 @@ mod tests {
         // With no node power, every temperature equals the (uniform) CRAC
         // outlet: the only heat source is gone, so air mixes at 18 °C.
         let (_, _, model) = small_model();
-        let state = model.steady_state(&[18.0, 18.0], &vec![0.0; 20]);
+        let state = model.steady_state(&[18.0, 18.0], &[0.0; 20]);
         for &t in &state.t_in {
             assert!((t - 18.0).abs() < 1e-8, "t_in = {t}");
         }
@@ -391,8 +391,8 @@ mod tests {
     #[test]
     fn more_power_means_hotter_inlets() {
         let (_, _, model) = small_model();
-        let lo = model.steady_state(&[18.0, 18.0], &vec![0.2; 20]);
-        let hi = model.steady_state(&[18.0, 18.0], &vec![0.8; 20]);
+        let lo = model.steady_state(&[18.0, 18.0], &[0.2; 20]);
+        let hi = model.steady_state(&[18.0, 18.0], &[0.8; 20]);
         assert!(hi.max_node_inlet() > lo.max_node_inlet());
         assert!(hi.max_crac_inlet() > lo.max_crac_inlet());
     }
@@ -425,16 +425,16 @@ mod tests {
     #[test]
     fn crac_power_positive_under_load() {
         let (_, _, model) = small_model();
-        let state = model.steady_state(&[15.0, 15.0], &vec![0.6; 20]);
+        let state = model.steady_state(&[15.0, 15.0], &[0.6; 20]);
         assert!(model.total_crac_power_kw(&state) > 0.0);
     }
 
     #[test]
     fn redline_violation_sign() {
         let (_, _, model) = small_model();
-        let cool = model.steady_state(&[12.0, 12.0], &vec![0.05; 20]);
+        let cool = model.steady_state(&[12.0, 12.0], &[0.05; 20]);
         assert!(cool.redline_violation(25.0, 40.0) < 0.0);
-        let hot = model.steady_state(&[24.9, 24.9], &vec![2.0; 20]);
+        let hot = model.steady_state(&[24.9, 24.9], &[2.0; 20]);
         assert!(hot.redline_violation(25.0, 40.0) > 0.0);
     }
 

@@ -107,11 +107,11 @@ mod tests {
     #[test]
     fn converges_to_steady_state() {
         let m = model();
-        let cold = m.steady_state(&[18.0], &vec![0.1; 10]);
+        let cold = m.steady_state(&[18.0], &[0.1; 10]);
         let mut sim = TransientSim::from_steady_state(&m, &cold);
         // Step the power up and integrate ten time constants.
-        let hot_target = m.steady_state(&[18.0], &vec![0.7; 10]);
-        let end = sim.advance(&m, &[18.0], &vec![0.7; 10], 10.0 * sim.time_constant_s);
+        let hot_target = m.steady_state(&[18.0], &[0.7; 10]);
+        let end = sim.advance(&m, &[18.0], &[0.7; 10], 10.0 * sim.time_constant_s);
         for (a, b) in end.t_out.iter().zip(&hot_target.t_out) {
             assert!((a - b).abs() < 0.01, "{a} vs {b}");
         }
@@ -122,12 +122,12 @@ mod tests {
         // First-order relaxation toward a hotter steady state must heat
         // monotonically and never overshoot the target.
         let m = model();
-        let cold = m.steady_state(&[18.0], &vec![0.1; 10]);
-        let target = m.steady_state(&[18.0], &vec![0.7; 10]);
+        let cold = m.steady_state(&[18.0], &[0.1; 10]);
+        let target = m.steady_state(&[18.0], &[0.7; 10]);
         let mut sim = TransientSim::from_steady_state(&m, &cold);
         let mut prev = cold.max_node_inlet();
         for _ in 0..20 {
-            let s = sim.advance(&m, &[18.0], &vec![0.7; 10], 30.0);
+            let s = sim.advance(&m, &[18.0], &[0.7; 10], 30.0);
             let now = s.max_node_inlet();
             assert!(now >= prev - 1e-9, "cooling while heating up");
             assert!(now <= target.max_node_inlet() + 1e-6, "overshoot");
@@ -138,10 +138,10 @@ mod tests {
     #[test]
     fn elapsed_time_accumulates() {
         let m = model();
-        let s0 = m.steady_state(&[18.0], &vec![0.2; 10]);
+        let s0 = m.steady_state(&[18.0], &[0.2; 10]);
         let mut sim = TransientSim::from_steady_state(&m, &s0);
-        sim.advance(&m, &[18.0], &vec![0.2; 10], 45.0);
-        sim.advance(&m, &[18.0], &vec![0.2; 10], 15.0);
+        sim.advance(&m, &[18.0], &[0.2; 10], 45.0);
+        sim.advance(&m, &[18.0], &[0.2; 10], 15.0);
         assert!((sim.elapsed_s() - 60.0).abs() < 1e-12);
     }
 
@@ -151,10 +151,10 @@ mod tests {
         // barely moved — the quantitative basis for the paper's two-step
         // split.
         let m = model();
-        let cold = m.steady_state(&[18.0], &vec![0.1; 10]);
-        let target = m.steady_state(&[18.0], &vec![0.7; 10]);
+        let cold = m.steady_state(&[18.0], &[0.1; 10]);
+        let target = m.steady_state(&[18.0], &[0.7; 10]);
         let mut sim = TransientSim::from_steady_state(&m, &cold);
-        let s = sim.advance(&m, &[18.0], &vec![0.7; 10], 1.0);
+        let s = sim.advance(&m, &[18.0], &[0.7; 10], 1.0);
         let full_swing = target.max_node_inlet() - cold.max_node_inlet();
         let moved = s.max_node_inlet() - cold.max_node_inlet();
         assert!(moved < 0.02 * full_swing, "moved {moved} of {full_swing}");

@@ -1,0 +1,110 @@
+//! Property tests for the degraded-floor thermal solve
+//! (`steady_state_with_failed_cracs`).
+//!
+//! Two invariants hold for *any* floor, power vector, set-point vector,
+//! and failure set that leaves at least one unit working:
+//!
+//! 1. **Energy conservation with pass-through units.** A failed CRAC
+//!    keeps moving air but stops cooling (outlet = inlet), so its coil
+//!    removes nothing and the working coils together must carry exactly
+//!    the total node power.
+//! 2. **Monotonicity in the failure set.** Failing one more unit can
+//!    only heat the floor: every node inlet is non-decreasing when the
+//!    failure set grows.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thermaware_thermal::{interference, Layout, ThermalModel, RHO_CP};
+
+fn model(n_crac: usize, n_nodes: usize, seed: u64) -> (Vec<f64>, ThermalModel) {
+    let layout = Layout::hot_cold_aisle(n_crac, n_nodes);
+    let flows = interference::uniform_flows(&layout, 0.07, None);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ci = interference::generate_ipf(&layout, &flows, &mut rng).expect("interference");
+    let m = ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0).expect("model");
+    (flows, m)
+}
+
+/// A floor, a workload, set-points, and a failure mask with at least one
+/// working unit.
+#[allow(clippy::type_complexity)]
+fn inputs() -> impl Strategy<Value = (usize, usize, u64, Vec<f64>, Vec<f64>, Vec<bool>, usize)> {
+    (2usize..5, 4usize..13, 0u64..1000).prop_flat_map(|(nc, nn, seed)| {
+        (
+            Just(nc),
+            Just(nn),
+            Just(seed),
+            prop::collection::vec(0.05f64..1.0, nn),
+            prop::collection::vec(12.0f64..20.0, nc),
+            prop::collection::vec(any::<bool>(), nc),
+            0usize..nc,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Total node power equals the heat removed across the *working*
+    /// coils; failed coils remove nothing.
+    #[test]
+    fn working_coils_carry_exactly_the_node_power(
+        (nc, nn, seed, powers, outlets, mut failed, _c) in inputs(),
+    ) {
+        if failed.iter().all(|&f| f) {
+            failed[0] = false; // keep a steady state solvable
+        }
+        let (flows, m) = model(nc, nn, seed);
+        let state = m
+            .steady_state_with_failed_cracs(&outlets, &powers, &failed)
+            .expect("one unit works");
+
+        let total: f64 = powers.iter().sum();
+        let mut removed_working = 0.0;
+        for i in 0..nc {
+            let removed = RHO_CP * flows[i] * (state.t_in[i] - state.t_out[i]);
+            if failed[i] {
+                prop_assert!(removed.abs() < 1e-9 * total.max(1.0),
+                    "failed coil {i} removed {removed} kW");
+            } else {
+                removed_working += removed;
+            }
+        }
+        prop_assert!((removed_working - total).abs() < 1e-6 * total.max(1.0),
+            "working coils removed {removed_working} of {total} kW");
+    }
+
+    /// Growing the failure set never cools any node: with unit `c`
+    /// additionally failed, every node inlet is at least what it was.
+    #[test]
+    fn node_inlets_non_decreasing_in_failures(
+        (nc, nn, seed, powers, outlets, mut failed, c) in inputs(),
+    ) {
+        // Baseline: unit `c` works. Degraded: unit `c` failed too. Keep
+        // one unit working in *both* so each has a steady state.
+        failed[c] = false;
+        let mut more = failed.clone();
+        more[c] = true;
+        if more.iter().all(|&f| f) {
+            let keep = (c + 1) % nc;
+            failed[keep] = false;
+            more[keep] = false;
+        }
+        let (_, m) = model(nc, nn, seed);
+        let base = m
+            .steady_state_with_failed_cracs(&outlets, &powers, &failed)
+            .expect("baseline has a working unit");
+        let degraded = m
+            .steady_state_with_failed_cracs(&outlets, &powers, &more)
+            .expect("degraded floor has a working unit");
+        for j in 0..nn {
+            prop_assert!(
+                degraded.t_in[nc + j] >= base.t_in[nc + j] - 1e-9,
+                "node {j} cooled down when CRAC {c} failed: {} -> {}",
+                base.t_in[nc + j],
+                degraded.t_in[nc + j]
+            );
+        }
+    }
+}

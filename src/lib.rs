@@ -49,6 +49,9 @@ pub use thermaware_linalg as linalg;
 pub use thermaware_lp as lp;
 /// P-state tables and CMOS power models.
 pub use thermaware_power as power;
+/// The fault-tolerant runtime supervisor: fault injection, staged
+/// degradation, typed event logs.
+pub use thermaware_runtime as runtime;
 /// The second-step dynamic scheduler and its event-driven simulator.
 pub use thermaware_scheduler as scheduler;
 /// The abstract heat-flow model, CoP/CRAC power, interference generation.

@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`: the same macro/builder surface
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `Bencher`)
+//! backed by a deliberately small timing loop.
+//!
+//! It times each benchmark with `std::time::Instant` over a fixed
+//! warmup-plus-measurement schedule and prints mean per-iteration wall
+//! time. No statistics, plots, or baselines — enough to run
+//! `cargo bench` and catch gross regressions offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration duration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warmup: let caches/allocator settle and estimate cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(200) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+        // Measurement: aim for ~1s of work, at least 5 iterations.
+        let iters = ((1.0 / est.max(1e-9)) as u64).clamp(5, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / iters as u32;
+    }
+}
+
+/// Names one benchmark within a group, e.g. `new("solve", "8x12")`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function/parameter benchmark id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Throughput annotation; recorded for display parity, not analysis.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API parity; the stand-in's schedule is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.name, b.elapsed_per_iter);
+        self
+    }
+
+    fn report(&self, bench: &str, per_iter: Duration) {
+        let _ = &self.criterion;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{bench}: {per_iter:?}/iter{throughput}", self.name);
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+            b.iter(|| k.wrapping_mul(17))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion::default();
+        quick_bench(&mut criterion);
+    }
+}

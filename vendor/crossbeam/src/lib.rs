@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam`, covering the one API the workspace
+//! uses: [`scope`] with `scope.spawn(|_| ...)`.
+//!
+//! Implemented over `std::thread::scope` (stable since 1.63). Semantics
+//! match crossbeam's: all spawned threads are joined before `scope`
+//! returns, and the call yields `Err` if any worker panicked.
+
+/// Handle passed to scoped closures; `spawn` launches a worker joined at
+/// scope exit. The closure again receives a `Scope` (crossbeam's
+/// signature), so nested spawns type-check.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker thread joined before [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Run `f` with a [`Scope`]; every thread it spawns is joined before
+/// this returns. `Ok(r)` carries `f`'s result; `Err` means a worker (or
+/// `f` itself) panicked, with the panic payload as the error value.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let result = super::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().map(|x| x * 2).unwrap_or(0)
+        });
+        assert_eq!(result.unwrap(), 42);
+    }
+}

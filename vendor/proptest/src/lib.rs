@@ -1,0 +1,543 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the surface the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`,
+//! range and tuple strategies, `Just`, `prop::collection::vec`,
+//! `prop::sample::select`, `any::<bool>()`, [`ProptestConfig`], and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_assume!`/
+//! `prop_oneof!` macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * no shrinking — a failing case panics with the generated inputs'
+//!   assertion message, not a minimized counterexample;
+//! * generation is driven by a fixed-seed deterministic PRNG (the
+//!   vendored `rand::rngs::StdRng`), so failures reproduce exactly;
+//! * strategies produce values directly rather than value trees.
+
+pub mod strategy {
+    //! Value generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Use each generated value to pick a follow-up strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives — what `prop_oneof!`
+    /// expands to.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Fair coin — the strategy behind `any::<bool>()`.
+    #[derive(Clone, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace exposed by the prelude.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Length specification for [`vec`]: an exact count or a range.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// A `Vec` whose elements come from `element` and whose length
+        /// comes from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = if self.size.lo == self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..=self.size.hi)
+                };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from explicit value sets.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Uniformly pick one of `values`.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select over an empty set");
+            Select { values }
+        }
+
+        /// See [`select`].
+        pub struct Select<T: Clone> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                let i = rng.gen_range(0..self.values.len());
+                self.values[i].clone()
+            }
+        }
+    }
+}
+
+/// Canonical strategies for a type, behind [`any`].
+pub trait Arbitrary {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: strategy::Strategy<Value = Self>;
+
+    /// Build that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> strategy::AnyBool {
+        strategy::AnyBool
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Runner configuration. Only `cases` is interpreted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it does not count
+    /// against the budget of passing cases.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl std::fmt::Display) -> TestCaseError {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+/// Drive one property test: generate cases from `strategy` until
+/// `config.cases` of them pass, panicking on the first failure.
+///
+/// This is the function the `proptest!` macro expands each test body
+/// into; it is public for the macro, not for direct use.
+#[doc(hidden)]
+pub fn run_proptest<S, F>(config: ProptestConfig, strategy: S, mut test: F)
+where
+    S: strategy::Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+
+    // Deterministic seed: offline runs must reproduce exactly.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7072_6f70_7465_7374); // "proptest"
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(10).saturating_add(256);
+    while passed < config.cases {
+        let value = strategy.generate(&mut rng);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest: too many rejected cases ({rejected}) for {} passes",
+                        passed
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `fn name()` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(
+                $config,
+                ($($strat,)+),
+                |($($arg,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Assert inside a proptest body; failure fails the whole test with the
+/// formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case (does not count as a pass or a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_combinators() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let strat = (2usize..10).prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec(-1.0f64..1.0, n),
+            )
+        });
+        for _ in 0..100 {
+            let (n, xs) = strat.generate(&mut rng);
+            assert!((2..10).contains(&n));
+            assert_eq!(xs.len(), n);
+            assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_select() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let strat = prop_oneof![
+            (Just(1usize), 8usize..20),
+            (Just(2usize), 12usize..30),
+        ];
+        let mut saw = [false, false];
+        for _ in 0..200 {
+            let (c, n) = strat.generate(&mut rng);
+            match c {
+                1 => {
+                    saw[0] = true;
+                    assert!((8..20).contains(&n));
+                }
+                2 => {
+                    saw[1] = true;
+                    assert!((12..30).contains(&n));
+                }
+                _ => unreachable!(),
+            }
+        }
+        assert!(saw[0] && saw[1]);
+        let sel = prop::sample::select(vec![3, 5, 7]);
+        for _ in 0..50 {
+            assert!([3, 5, 7].contains(&sel.generate(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_round_trip(
+            (n, xs) in (1usize..6).prop_flat_map(|n| (Just(n), prop::collection::vec(0.0f64..10.0, n))),
+            flag in any::<bool>(),
+        ) {
+            prop_assert_eq!(xs.len(), n);
+            prop_assume!(n > 0);
+            if flag {
+                // Early return must type-check inside the closure.
+                return Ok(());
+            }
+            prop_assert!(xs.iter().all(|&x| x < 10.0), "out of range: {xs:?}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes the workspace serializes:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * fieldless enums → JSON strings holding the variant name.
+//!
+//! Anything else (tuple structs, payload-carrying enums, generics) is a
+//! compile error, which is the right failure mode for a deliberately
+//! minimal shim: the derive site tells you precisely what grew beyond
+//! the supported surface.
+//!
+//! No `syn`/`quote` — the input item is scanned directly from the token
+//! stream and the impls are emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the item scanner found.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(...)`) at the cursor.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("`{name}`: generic items are not supported by the vendored serde derive"));
+        }
+        _ => {
+            return Err(format!(
+                "`{name}`: only braced structs and enums are supported by the vendored serde derive"
+            ));
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_meta(&body, j);
+                let Some(TokenTree::Ident(field)) = body.get(j) else {
+                    break;
+                };
+                fields.push(field.to_string());
+                j += 1;
+                match body.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+                    _ => {
+                        return Err(format!(
+                            "`{name}`: expected `:` after field `{}`",
+                            fields.last().unwrap()
+                        ))
+                    }
+                }
+                // Consume the type: everything until a top-level comma.
+                // `<` / `>` in paths (e.g. `Vec<Vec<f64>>`) never appear as
+                // *top-level* commas because generic args live inside the
+                // angle brackets — but token streams have no angle-bracket
+                // groups, so track nesting depth by hand.
+                let mut depth = 0i32;
+                while let Some(t) = body.get(j) {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_meta(&body, j);
+                let Some(TokenTree::Ident(variant)) = body.get(j) else {
+                    break;
+                };
+                variants.push(variant.to_string());
+                j += 1;
+                match body.get(j) {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "`{name}::{}`: payload-carrying enum variants are not supported by the vendored serde derive",
+                            variants.last().unwrap()
+                        ));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "`{name}`: explicit discriminants are not supported by the vendored serde derive"
+                        ));
+                    }
+                    other => return Err(format!("`{name}`: unexpected token {other:?}")),
+                }
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (vendored contract: `fn to_value(&self) ->
+/// serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (vendored contract: `fn from_value(&Value)
+/// -> Result<Self, serde::Error>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = v.as_object().ok_or_else(|| ::serde::Error::custom(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                         ::std::result::Result::Ok({name} {{ {reads} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| ::serde::Error::custom(concat!(\"expected string for \", stringify!({name}))))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant '{{other}}' of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
