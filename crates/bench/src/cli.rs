@@ -55,6 +55,14 @@ impl Args {
         self.get_parsed(key).unwrap_or(default)
     }
 
+    /// A string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
         self.flags.get(key).map(|v| {
             v.parse().unwrap_or_else(|_| {

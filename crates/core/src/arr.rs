@@ -12,11 +12,12 @@
 
 use crate::pwl::PiecewiseLinear;
 use crate::rr::{mean_reward_per_watt, reward_rate_curve};
+use serde::{Deserialize, Serialize};
 use thermaware_power::PStateTable;
 use thermaware_workload::Workload;
 
 /// The aggregate reward-rate curve of one core type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrCurve {
     /// The concave curve Stage 1 optimizes against (upper envelope of
     /// `raw`).

@@ -7,8 +7,31 @@
 //! infeasibility (degrade further and retry) is distinguishable from
 //! numerical pathology or caller bugs (stop retrying; escalate).
 
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use thermaware_lp::LpError;
+
+/// Stage names appear in [`SolveError`] as `&'static str`; deserialization
+/// interns the string back to the known constant (or a recognizable
+/// fallback — the set of stages is closed, so hitting the fallback means
+/// the payload came from a newer writer).
+fn intern_stage(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "stage1",
+        "stage2",
+        "stage3",
+        "baseline",
+        "minlp",
+        "min_power",
+        "task_power",
+        "crac_search",
+    ];
+    KNOWN
+        .iter()
+        .find(|k| **k == s)
+        .copied()
+        .unwrap_or("unrecognized")
+}
 
 /// Why a stage solver could not produce a plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +108,64 @@ impl std::error::Error for SolveError {
     }
 }
 
+// Hand-written serde (the vendored derive cannot express payload enums):
+// a tagged object `{"kind": ..., <payload>}`, with stage names interned
+// back to `&'static str` on the way in.
+impl Serialize for SolveError {
+    fn to_value(&self) -> Value {
+        let entries = match self {
+            SolveError::NoFeasibleOutlets { stage } => vec![
+                ("kind".to_string(), "no_feasible_outlets".to_value()),
+                ("stage".to_string(), stage.to_value()),
+            ],
+            SolveError::OutletRecheckFailed { stage } => vec![
+                ("kind".to_string(), "outlet_recheck_failed".to_value()),
+                ("stage".to_string(), stage.to_value()),
+            ],
+            SolveError::Lp { stage, source } => vec![
+                ("kind".to_string(), "lp".to_value()),
+                ("stage".to_string(), stage.to_value()),
+                ("source".to_string(), source.to_value()),
+            ],
+            SolveError::InvalidInput { what } => vec![
+                ("kind".to_string(), "invalid_input".to_value()),
+                ("what".to_string(), what.to_value()),
+            ],
+        };
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for SolveError {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("SolveError: expected object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        let stage = |entries: &[(String, Value)]| -> Result<&'static str, serde::Error> {
+            serde::field::<String>(entries, "stage").map(|s| intern_stage(&s))
+        };
+        match kind.as_str() {
+            "no_feasible_outlets" => Ok(SolveError::NoFeasibleOutlets {
+                stage: stage(entries)?,
+            }),
+            "outlet_recheck_failed" => Ok(SolveError::OutletRecheckFailed {
+                stage: stage(entries)?,
+            }),
+            "lp" => Ok(SolveError::Lp {
+                stage: stage(entries)?,
+                source: serde::field(entries, "source")?,
+            }),
+            "invalid_input" => Ok(SolveError::InvalidInput {
+                what: serde::field(entries, "what")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "SolveError: unknown kind '{other}'"
+            ))),
+        }
+    }
+}
+
 /// Legacy-compatible conversion: call sites that accumulate errors as
 /// `String` (report generators, `?` into `Result<_, String>`) keep
 /// working against the typed solvers.
@@ -113,6 +194,49 @@ mod tests {
         }
         .is_infeasible());
         assert!(!SolveError::invalid_input("short pstates").is_infeasible());
+    }
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        let cases = vec![
+            SolveError::NoFeasibleOutlets { stage: "stage1" },
+            SolveError::OutletRecheckFailed { stage: "baseline" },
+            SolveError::Lp {
+                stage: "stage3",
+                source: LpError::Unbounded {
+                    var: "tc_0_1".to_string(),
+                },
+            },
+            SolveError::Lp {
+                stage: "crac_search",
+                source: LpError::Infeasible { residual: 1e-3 },
+            },
+            SolveError::invalid_input("short pstates"),
+        ];
+        for e in cases {
+            let back = SolveError::from_value(&e.to_value()).expect("round trip");
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn unknown_stage_interns_to_fallback() {
+        let mut v = SolveError::NoFeasibleOutlets { stage: "stage1" }.to_value();
+        if let Value::Object(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "stage" {
+                    *val = Value::String("from_the_future".to_string());
+                }
+            }
+        }
+        let back = SolveError::from_value(&v).expect("deserializes");
+        assert_eq!(back, SolveError::NoFeasibleOutlets { stage: "unrecognized" });
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let v = Value::Object(vec![("kind".to_string(), "gremlin".to_value())]);
+        assert!(SolveError::from_value(&v).is_err());
     }
 
     #[test]

@@ -1,12 +1,40 @@
 //! Piecewise-linear curves over `[0, x_max]` — the representation behind
 //! the paper's `RR` and `ARR` functions.
 
+use serde::{Serialize, Value};
+
 /// A continuous piecewise-linear function given by breakpoints with
 /// strictly increasing x.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PiecewiseLinear {
     /// `(x, y)` breakpoints, x strictly increasing.
     points: Vec<(f64, f64)>,
+}
+
+// Deserialization is written by hand so a corrupted checkpoint yields an
+// error rather than tripping `PiecewiseLinear::new`'s panic on
+// non-increasing breakpoints.
+impl serde::Deserialize for PiecewiseLinear {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("PiecewiseLinear: expected object"))?;
+        let points: Vec<(f64, f64)> = serde::field(entries, "points")?;
+        if points.is_empty() {
+            return Err(serde::Error::custom("PiecewiseLinear: no breakpoints"));
+        }
+        if !points.iter().all(|(x, y)| x.is_finite() && y.is_finite()) {
+            return Err(serde::Error::custom(
+                "PiecewiseLinear: non-finite breakpoint",
+            ));
+        }
+        if points.windows(2).any(|w| w[1].0 <= w[0].0) {
+            return Err(serde::Error::custom(
+                "PiecewiseLinear: breakpoint x not strictly increasing",
+            ));
+        }
+        Ok(PiecewiseLinear { points })
+    }
 }
 
 impl PiecewiseLinear {

@@ -27,6 +27,7 @@
 
 use crate::arr::ArrCurve;
 use crate::error::SolveError;
+use serde::{Deserialize, Serialize};
 use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
 use thermaware_lp::{Problem, RowOp, Sense, VarId};
 use thermaware_thermal::{cop, RHO_CP};
@@ -50,7 +51,7 @@ impl Default for Stage1Options {
 }
 
 /// Stage-1 output: outlet temperatures and the continuous power plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Stage1Solution {
     /// Chosen CRAC outlet temperatures, °C.
     pub crac_out_c: Vec<f64>,

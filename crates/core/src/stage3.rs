@@ -10,11 +10,12 @@
 //! objective, and vice versa.
 
 use crate::error::SolveError;
+use serde::{Deserialize, Serialize};
 use thermaware_datacenter::DataCenter;
 use thermaware_lp::{Problem, RowOp, Sense, VarId};
 
 /// The Stage-3 result: desired execution rates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Stage3Solution {
     /// The optimal total reward rate (Eq. 7's objective).
     pub reward_rate: f64,

@@ -4,6 +4,7 @@ use crate::error::SolveError;
 use crate::stage1::{solve_stage1, Stage1Options, Stage1Solution};
 use crate::stage2::assign_pstates;
 use crate::stage3::{solve_stage3, Stage3Solution};
+use serde::{Deserialize, Serialize};
 use thermaware_datacenter::{CracSearchOptions, DataCenter};
 
 /// Options for the full three-stage solve.
@@ -26,7 +27,7 @@ impl Default for ThreeStageOptions {
 
 /// The complete first-step assignment the paper's technique produces: CRAC
 /// outlets, per-core P-states, and desired execution rates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThreeStageSolution {
     /// ψ used.
     pub psi_percent: f64,

@@ -31,5 +31,5 @@ mod snapshot;
 pub use budget::PowerBudget;
 pub use crac_search::{optimize_crac_outlets, CracSearchOptions};
 pub use datacenter::DataCenter;
-pub use scenario::{InterferenceMethod, ScenarioParams};
-pub use snapshot::ScenarioSnapshot;
+pub use scenario::{validate_workload, InterferenceMethod, ScenarioError, ScenarioParams};
+pub use snapshot::{atomic_write, ScenarioSnapshot};

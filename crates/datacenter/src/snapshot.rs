@@ -6,13 +6,63 @@
 //! but a snapshot is what you attach to a paper artifact or a bug report:
 //! it pins the exact floor, coefficients, workload, and budget without
 //! requiring the generator version that produced them.
+//!
+//! The module also owns the workspace's crash-consistent file writer,
+//! [`atomic_write`]: temp file in the target directory, `fsync`, atomic
+//! rename, directory `fsync`. The runtime's checkpoint/journal layer
+//! builds on the same helper so every durable artifact in the workspace
+//! shares one write discipline.
 
 use crate::budget::PowerBudget;
 use crate::datacenter::DataCenter;
+use crate::scenario::{validate_workload, ScenarioError};
 use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
 use thermaware_power::NodeType;
 use thermaware_thermal::{CracUnit, CrossInterference, Layout, ThermalModel};
 use thermaware_workload::Workload;
+
+/// Write `bytes` to `path` crash-consistently: the content goes to a
+/// temporary file in the same directory, is flushed (and `fsync`ed when
+/// `durable`), and is renamed over the target in one atomic step, after
+/// which the directory entry itself is synced. A reader therefore sees
+/// either the complete old file or the complete new file — never a torn
+/// mixture — and after the call returns with `durable = true` the data
+/// survives power loss.
+pub fn atomic_write(path: &Path, bytes: &[u8], durable: bool) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        if durable {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    if durable {
+        if let Some(d) = dir {
+            // Persist the rename itself: fsync the directory so the new
+            // entry survives a crash (Linux supports fsync on directory
+            // fds; best effort elsewhere).
+            if let Ok(df) = File::open(d) {
+                let _ = df.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Everything needed to reconstruct a [`DataCenter`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,15 +108,62 @@ impl ScenarioSnapshot {
     }
 
     /// Rebuild the data center (re-factoring the thermal model from the
-    /// stored coefficients).
-    pub fn restore(self) -> Result<DataCenter, String> {
+    /// stored coefficients), rejecting degenerate or corrupted snapshots
+    /// with a typed [`ScenarioError`] instead of building a data center
+    /// that panics later.
+    pub fn restore(self) -> Result<DataCenter, ScenarioError> {
+        if self.node_type_of.is_empty() {
+            return Err(ScenarioError::ZeroNodes);
+        }
+        if self.cracs.is_empty() {
+            return Err(ScenarioError::ZeroCracs);
+        }
+        if self.node_types.is_empty() {
+            return Err(ScenarioError::LengthMismatch {
+                what: "snapshot has no node types".to_string(),
+            });
+        }
+        for (node, &t) in self.node_type_of.iter().enumerate() {
+            if t >= self.node_types.len() {
+                return Err(ScenarioError::NodeTypeOutOfRange {
+                    node,
+                    node_type: t,
+                    n_types: self.node_types.len(),
+                });
+            }
+        }
+        let expected_flows = self.cracs.len() + self.node_type_of.len();
+        if self.flows.len() != expected_flows {
+            return Err(ScenarioError::LengthMismatch {
+                what: format!(
+                    "snapshot has {} flows for {} units",
+                    self.flows.len(),
+                    expected_flows
+                ),
+            });
+        }
+        if !self.flows.iter().all(|f| f.is_finite()) {
+            return Err(ScenarioError::NonFinite { field: "flows" });
+        }
+        if !self.node_redline_c.is_finite() {
+            return Err(ScenarioError::NonFinite {
+                field: "node_redline_c",
+            });
+        }
+        if !self.crac_redline_c.is_finite() {
+            return Err(ScenarioError::NonFinite {
+                field: "crac_redline_c",
+            });
+        }
+        validate_workload(&self.workload)?;
         let thermal = ThermalModel::new(
             &self.layout,
             &self.flows,
             &self.interference,
             self.node_redline_c,
             self.crac_redline_c,
-        )?;
+        )
+        .map_err(|reason| ScenarioError::Generation { reason })?;
         Ok(DataCenter::new(
             self.layout,
             self.node_types,
@@ -77,6 +174,20 @@ impl ScenarioSnapshot {
             self.workload,
             self.budget,
         ))
+    }
+
+    /// Serialize to JSON and [`atomic_write`] it to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        atomic_write(path, json.as_bytes(), true)
+    }
+
+    /// Load a snapshot previously written with [`ScenarioSnapshot::save`].
+    pub fn load(path: &Path) -> io::Result<ScenarioSnapshot> {
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 }
 

@@ -1,3 +1,4 @@
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Termination status of a solve.
@@ -85,3 +86,43 @@ impl fmt::Display for LpError {
 }
 
 impl std::error::Error for LpError {}
+
+// The vendored serde derive handles only fieldless enums, so the
+// payload-carrying `LpError` implements the trait contract by hand:
+// a tagged object `{"kind": ..., <payload>}`.
+impl Serialize for LpError {
+    fn to_value(&self) -> Value {
+        let (kind, key, payload) = match self {
+            LpError::Infeasible { residual } => ("infeasible", "residual", residual.to_value()),
+            LpError::Unbounded { var } => ("unbounded", "var", var.to_value()),
+            LpError::IterationLimit { limit } => ("iteration_limit", "limit", limit.to_value()),
+        };
+        Value::Object(vec![
+            ("kind".to_string(), Value::String(kind.to_string())),
+            (key.to_string(), payload),
+        ])
+    }
+}
+
+impl Deserialize for LpError {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("LpError: expected object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        match kind.as_str() {
+            "infeasible" => Ok(LpError::Infeasible {
+                residual: serde::field(entries, "residual")?,
+            }),
+            "unbounded" => Ok(LpError::Unbounded {
+                var: serde::field(entries, "var")?,
+            }),
+            "iteration_limit" => Ok(LpError::IterationLimit {
+                limit: serde::field(entries, "limit")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "LpError: unknown kind '{other}'"
+            ))),
+        }
+    }
+}

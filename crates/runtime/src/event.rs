@@ -2,6 +2,7 @@
 //! response, and recovery as a typed, timestamped record.
 
 use crate::fault::Fault;
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// A detected constraint violation.
@@ -92,7 +93,7 @@ pub enum EventKind {
 }
 
 /// A timestamped [`EventKind`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Event {
     /// Simulation time, seconds.
     pub at_s: f64,
@@ -101,20 +102,42 @@ pub struct Event {
 }
 
 /// The run's full, time-ordered event history.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct EventLog {
     events: Vec<Event>,
 }
 
 impl EventLog {
-    /// Append an event.
+    /// Record an event, keeping the log time-ordered. Live appends carry
+    /// non-decreasing timestamps, so this degenerates to a push; when
+    /// entries are coalesced out of order — journal replay merging
+    /// records from different epochs — the entry is inserted at its
+    /// timestamp position (after existing entries with the same time, so
+    /// same-instant causality is preserved).
     pub fn record(&mut self, at_s: f64, kind: EventKind) {
-        self.events.push(Event { at_s, kind });
+        let idx = self.events.partition_point(|e| e.at_s <= at_s);
+        if idx == self.events.len() {
+            self.events.push(Event { at_s, kind });
+        } else {
+            self.events.insert(idx, Event { at_s, kind });
+        }
     }
 
-    /// All events in record order.
+    /// All events in time order.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Entries from position `from` on — the "what happened since the
+    /// last journal record" view the persist layer writes ahead.
+    pub fn events_since(&self, from: usize) -> &[Event] {
+        &self.events[from.min(self.events.len())..]
+    }
+
+    /// Is every timestamp non-decreasing? (Always true by construction;
+    /// used as a recovery invariant check on deserialized logs.)
+    pub fn is_time_ordered(&self) -> bool {
+        self.events.windows(2).all(|w| w[0].at_s <= w[1].at_s)
     }
 
     /// Number of successful replans.
@@ -191,9 +214,274 @@ impl fmt::Display for EventKind {
     }
 }
 
+// ---- Serde -----------------------------------------------------------------
+//
+// The vendored serde derive cannot express payload-carrying enums, so
+// `Violation`, `Action`, and `EventKind` implement the trait contract by
+// hand as tagged objects `{"kind": ..., <payload>}`. `EventLog`
+// deserialization rebuilds through [`EventLog::record`], so a log read
+// back from disk is time-ordered even if the stored array was not.
+
+/// Observed measurements (temperatures, powers) can legitimately be
+/// non-finite — a floor with no steady state observes `+inf` — but JSON
+/// has no number for those and the serializer would write `null`,
+/// making the event (and every snapshot whose log contains it)
+/// unreadable. Non-finite measurements are encoded as the strings
+/// `"inf"` / `"-inf"` / `"NaN"`; finite values stay plain numbers.
+fn measurement_to_value(x: f64) -> Value {
+    if x.is_finite() {
+        x.to_value()
+    } else {
+        Value::String(format!("{x}"))
+    }
+}
+
+fn measurement_from_value(v: &Value, what: &str) -> Result<f64, serde::Error> {
+    match v {
+        Value::Number(x) => Ok(*x),
+        Value::String(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "NaN" => Ok(f64::NAN),
+            other => Err(serde::Error::custom(format!(
+                "{what}: invalid measurement '{other}'"
+            ))),
+        },
+        _ => Err(serde::Error::custom(format!(
+            "{what}: expected a measurement"
+        ))),
+    }
+}
+
+fn raw_field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, serde::Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| serde::Error::custom(format!("missing field '{name}'")))
+}
+
+impl Serialize for Violation {
+    fn to_value(&self) -> Value {
+        let entries = match self {
+            Violation::Redline { observed_c } => vec![
+                ("kind".to_string(), "redline".to_value()),
+                ("observed_c".to_string(), measurement_to_value(*observed_c)),
+            ],
+            Violation::PowerCap { total_kw, budget_kw } => vec![
+                ("kind".to_string(), "power_cap".to_value()),
+                ("total_kw".to_string(), measurement_to_value(*total_kw)),
+                ("budget_kw".to_string(), budget_kw.to_value()),
+            ],
+            Violation::StalePlan => vec![("kind".to_string(), "stale_plan".to_value())],
+        };
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for Violation {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Violation: expected object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        match kind.as_str() {
+            "redline" => Ok(Violation::Redline {
+                observed_c: measurement_from_value(raw_field(entries, "observed_c")?, "Violation")?,
+            }),
+            "power_cap" => Ok(Violation::PowerCap {
+                total_kw: measurement_from_value(raw_field(entries, "total_kw")?, "Violation")?,
+                budget_kw: serde::field(entries, "budget_kw")?,
+            }),
+            "stale_plan" => Ok(Violation::StalePlan),
+            other => Err(serde::Error::custom(format!(
+                "Violation: unknown kind '{other}'"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Action {
+    fn to_value(&self) -> Value {
+        let entries = match self {
+            Action::Replan => vec![("kind".to_string(), "replan".to_value())],
+            Action::OutletDrop { by_c } => vec![
+                ("kind".to_string(), "outlet_drop".to_value()),
+                ("by_c".to_string(), by_c.to_value()),
+            ],
+            Action::Throttle { steps } => vec![
+                ("kind".to_string(), "throttle".to_value()),
+                ("steps".to_string(), steps.to_value()),
+            ],
+            Action::ShedTaskType { task_type, reward } => vec![
+                ("kind".to_string(), "shed_task_type".to_value()),
+                ("task_type".to_string(), task_type.to_value()),
+                ("reward".to_string(), reward.to_value()),
+            ],
+        };
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for Action {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Action: expected object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        match kind.as_str() {
+            "replan" => Ok(Action::Replan),
+            "outlet_drop" => Ok(Action::OutletDrop {
+                by_c: serde::field(entries, "by_c")?,
+            }),
+            "throttle" => Ok(Action::Throttle {
+                steps: serde::field(entries, "steps")?,
+            }),
+            "shed_task_type" => Ok(Action::ShedTaskType {
+                task_type: serde::field(entries, "task_type")?,
+                reward: serde::field(entries, "reward")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "Action: unknown kind '{other}'"
+            ))),
+        }
+    }
+}
+
+impl Serialize for EventKind {
+    fn to_value(&self) -> Value {
+        let entries = match self {
+            EventKind::FaultInjected(fault) => vec![
+                ("kind".to_string(), "fault_injected".to_value()),
+                ("fault".to_string(), fault.to_value()),
+            ],
+            EventKind::NodeTripped { node, inlet_c } => vec![
+                ("kind".to_string(), "node_tripped".to_value()),
+                ("node".to_string(), node.to_value()),
+                ("inlet_c".to_string(), measurement_to_value(*inlet_c)),
+            ],
+            EventKind::NoSteadyState => vec![("kind".to_string(), "no_steady_state".to_value())],
+            EventKind::ViolationDetected(v) => vec![
+                ("kind".to_string(), "violation_detected".to_value()),
+                ("violation".to_string(), v.to_value()),
+            ],
+            EventKind::ActionTaken(a) => vec![
+                ("kind".to_string(), "action_taken".to_value()),
+                ("action".to_string(), a.to_value()),
+            ],
+            EventKind::ReplanFailed { attempt, error } => vec![
+                ("kind".to_string(), "replan_failed".to_value()),
+                ("attempt".to_string(), attempt.to_value()),
+                ("error".to_string(), error.to_value()),
+            ],
+            EventKind::Backoff { epochs } => vec![
+                ("kind".to_string(), "backoff".to_value()),
+                ("epochs".to_string(), epochs.to_value()),
+            ],
+            EventKind::Recovered { margin_c } => vec![
+                ("kind".to_string(), "recovered".to_value()),
+                ("margin_c".to_string(), measurement_to_value(*margin_c)),
+            ],
+        };
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for EventKind {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("EventKind: expected object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        match kind.as_str() {
+            "fault_injected" => Ok(EventKind::FaultInjected(serde::field(entries, "fault")?)),
+            "node_tripped" => Ok(EventKind::NodeTripped {
+                node: serde::field(entries, "node")?,
+                inlet_c: measurement_from_value(raw_field(entries, "inlet_c")?, "EventKind")?,
+            }),
+            "no_steady_state" => Ok(EventKind::NoSteadyState),
+            "violation_detected" => Ok(EventKind::ViolationDetected(serde::field(
+                entries,
+                "violation",
+            )?)),
+            "action_taken" => Ok(EventKind::ActionTaken(serde::field(entries, "action")?)),
+            "replan_failed" => Ok(EventKind::ReplanFailed {
+                attempt: serde::field(entries, "attempt")?,
+                error: serde::field(entries, "error")?,
+            }),
+            "backoff" => Ok(EventKind::Backoff {
+                epochs: serde::field(entries, "epochs")?,
+            }),
+            "recovered" => Ok(EventKind::Recovered {
+                margin_c: measurement_from_value(raw_field(entries, "margin_c")?, "EventKind")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "EventKind: unknown kind '{other}'"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for EventLog {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("EventLog: expected object"))?;
+        let events: Vec<Event> = serde::field(entries, "events")?;
+        let mut log = EventLog::default();
+        for e in events {
+            if !e.at_s.is_finite() {
+                return Err(serde::Error::custom("EventLog: non-finite timestamp"));
+            }
+            log.record(e.at_s, e.kind);
+        }
+        Ok(log)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A meltdown floor observes `+inf` (no steady state exists); the
+    /// events recording that must survive JSON — a `null` here once made
+    /// every snapshot containing the log unreadable.
+    #[test]
+    fn non_finite_measurements_round_trip() {
+        let mut log = EventLog::default();
+        log.record(
+            10.0,
+            EventKind::ViolationDetected(Violation::Redline {
+                observed_c: f64::INFINITY,
+            }),
+        );
+        log.record(
+            10.0,
+            EventKind::ViolationDetected(Violation::PowerCap {
+                total_kw: f64::INFINITY,
+                budget_kw: 19.4,
+            }),
+        );
+        log.record(
+            11.0,
+            EventKind::NodeTripped {
+                node: 2,
+                inlet_c: f64::INFINITY,
+            },
+        );
+        log.record(
+            12.0,
+            EventKind::Recovered {
+                margin_c: f64::NEG_INFINITY,
+            },
+        );
+        let json = serde_json::to_string(&log).expect("encode");
+        assert!(json.contains("\"inf\""), "non-finite encoded as a string");
+        let back: EventLog = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, log);
+        // Byte-stable re-encode: the journal's state CRC stays defined.
+        assert_eq!(serde_json::to_string(&back).expect("re-encode"), json);
+    }
 
     #[test]
     fn counting_helpers() {

@@ -37,8 +37,15 @@
 
 pub mod event;
 pub mod fault;
+pub mod persist;
 pub mod supervisor;
 
 pub use event::{Action, Event, EventKind, EventLog, Violation};
 pub use fault::{Fault, FaultEvent, FaultScript};
-pub use supervisor::{Outcome, Supervisor, SupervisorConfig, SupervisorReport};
+pub use persist::{
+    resume, run_checkpointed, CheckpointConfig, Checkpointer, PersistError, RecoveredRun,
+    RecoveryInfo, RunHeader,
+};
+pub use supervisor::{
+    LiveRun, Outcome, Supervisor, SupervisorConfig, SupervisorReport, SupervisorState, WorldView,
+};

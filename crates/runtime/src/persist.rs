@@ -1,0 +1,843 @@
+//! Durable checkpoint/restore for supervised runs: a write-ahead event
+//! journal plus crash-consistent state snapshots.
+//!
+//! A checkpointed run lives in one directory:
+//!
+//! * `run.json` — written once at start: the [`ScenarioSnapshot`], the
+//!   [`SupervisorConfig`], the initial plan, and the fault script.
+//!   Immutable for the life of the run.
+//! * `journal.jsonl` — the write-ahead journal. Before an epoch executes
+//!   a *begin* record (epoch number + the scripted faults about to be
+//!   injected) is appended and fsynced; after it executes a *commit*
+//!   record (epoch number, CRC of the post-epoch state, the events the
+//!   epoch appended to the [`EventLog`]) follows. Each line carries its
+//!   own CRC-32, so a torn tail is detectable byte-for-byte.
+//! * `snap-<epoch>.json` — full [`SupervisorState`] snapshots taken every
+//!   `snapshot_interval` epochs, written with
+//!   [`thermaware_datacenter::atomic_write`] (temp file + fsync + atomic
+//!   rename) and pruned to the newest `retain` generations.
+//!
+//! Because every epoch is deterministic given the state at its boundary
+//! (the arrival RNG is re-seeded per epoch), recovery is *replay*, not
+//! rollback: [`resume`] loads the newest uncorrupted snapshot, truncates
+//! any torn journal tail, re-executes the committed epochs after the
+//! snapshot — checking the re-computed state CRC against each commit
+//! record — and hands back a [`RecoveredRun`] that continues bit-for-bit
+//! identically to a run that was never interrupted. Recovered state that
+//! claims to be healthy is additionally verified against the physical
+//! model's power-cap and redline invariants via
+//! [`thermaware_core::verify_assignment`].
+
+use crate::event::Event;
+use crate::fault::FaultEvent;
+use crate::supervisor::{LiveRun, Supervisor, SupervisorConfig, SupervisorReport, SupervisorState};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use thermaware_core::{verify_assignment, ThreeStageSolution};
+use thermaware_datacenter::{atomic_write, DataCenter, ScenarioSnapshot};
+
+/// Current on-disk format version. Version 1 snapshots (no `state_crc`
+/// field) are still readable; versions above this are rejected with
+/// [`PersistError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u64 = 2;
+
+const RUN_FILE: &str = "run.json";
+const JOURNAL_FILE: &str = "journal.jsonl";
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".json";
+
+/// CRC-32 (IEEE, reflected, polynomial `0xEDB88320`), computed bitwise —
+/// no table, plenty fast for checkpoint-sized payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why persistence or recovery failed. Every variant is a typed ending —
+/// corrupt or hostile checkpoint directories never panic the recoverer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A file exists but cannot be trusted (bad CRC, bad JSON, replay
+    /// divergence).
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The checkpoint was written by a newer format than this build reads.
+    UnsupportedVersion {
+        /// Offending file.
+        path: PathBuf,
+        /// Version found.
+        version: u64,
+    },
+    /// The directory holds no usable checkpoint.
+    NoCheckpoint {
+        /// Directory searched.
+        dir: PathBuf,
+    },
+    /// The recovered state is internally consistent but does not fit the
+    /// scenario it claims to belong to.
+    State {
+        /// What did not fit.
+        reason: String,
+    },
+    /// A recovered state that believes itself healthy fails the physical
+    /// power-cap/redline invariants.
+    InvariantViolation {
+        /// The violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt { path, reason } => {
+                write!(f, "corrupt file {}: {reason}", path.display())
+            }
+            PersistError::UnsupportedVersion { path, version } => write!(
+                f,
+                "{}: format version {version} is newer than supported ({FORMAT_VERSION})",
+                path.display()
+            ),
+            PersistError::NoCheckpoint { dir } => {
+                write!(f, "no usable checkpoint in {}", dir.display())
+            }
+            PersistError::State { reason } => write!(f, "recovered state mismatch: {reason}"),
+            PersistError::InvariantViolation { reason } => {
+                write!(f, "recovered state violates invariants: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Checkpointing policy for a supervised run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint directory (created if missing).
+    pub dir: PathBuf,
+    /// Take a full snapshot every this many epochs (the journal records
+    /// every epoch regardless). Clamped to ≥ 1.
+    pub snapshot_interval: usize,
+    /// Snapshot generations to retain (older ones are pruned). Clamped
+    /// to ≥ 1.
+    pub retain: usize,
+    /// `fsync` journal appends and snapshots. Turn off only to measure
+    /// the pure serialization overhead — without it a crash can lose
+    /// acknowledged epochs.
+    pub durable: bool,
+}
+
+impl CheckpointConfig {
+    /// Defaults: snapshot every 8 epochs, keep 3 generations, durable.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: dir.into(),
+            snapshot_interval: 8,
+            retain: 3,
+            durable: true,
+        }
+    }
+}
+
+/// The immutable description of a checkpointed run, written once to
+/// `run.json`: everything needed to rebuild the data center and re-attach
+/// recovered state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunHeader {
+    /// The full scenario (floor, coefficients, workload, budget).
+    pub scenario: ScenarioSnapshot,
+    /// Supervisor configuration, arrival seed included.
+    pub cfg: SupervisorConfig,
+    /// The initial three-stage plan.
+    pub plan: ThreeStageSolution,
+    /// The fault script driving the run.
+    pub script: crate::fault::FaultScript,
+}
+
+/// One write-ahead journal record.
+#[derive(Debug, Clone, PartialEq)]
+enum JournalRecord {
+    /// Appended (and fsynced) *before* epoch `epoch` executes.
+    Begin {
+        epoch: usize,
+        faults: Vec<FaultEvent>,
+    },
+    /// Appended after epoch `epoch` executed: the CRC-32 of the
+    /// post-epoch [`SupervisorState`] JSON and the events the epoch
+    /// appended to the log.
+    Commit {
+        epoch: usize,
+        state_crc: u32,
+        events: Vec<Event>,
+    },
+}
+
+impl Serialize for JournalRecord {
+    fn to_value(&self) -> Value {
+        match self {
+            JournalRecord::Begin { epoch, faults } => Value::Object(vec![
+                ("rec".to_string(), "begin".to_value()),
+                ("epoch".to_string(), epoch.to_value()),
+                ("faults".to_string(), faults.to_value()),
+            ]),
+            JournalRecord::Commit {
+                epoch,
+                state_crc,
+                events,
+            } => Value::Object(vec![
+                ("rec".to_string(), "commit".to_value()),
+                ("epoch".to_string(), epoch.to_value()),
+                ("state_crc".to_string(), state_crc.to_value()),
+                ("events".to_string(), events.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for JournalRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("journal record: expected object"))?;
+        let rec: String = serde::field(entries, "rec")?;
+        match rec.as_str() {
+            "begin" => Ok(JournalRecord::Begin {
+                epoch: serde::field(entries, "epoch")?,
+                faults: serde::field(entries, "faults")?,
+            }),
+            "commit" => Ok(JournalRecord::Commit {
+                epoch: serde::field(entries, "epoch")?,
+                state_crc: serde::field(entries, "state_crc")?,
+                events: serde::field(entries, "events")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "journal record: unknown rec '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Writes the journal and snapshots for one run. Create with
+/// [`Checkpointer::create`] (fresh run) or [`Checkpointer::reopen`]
+/// (continue an existing directory after [`resume`]).
+pub struct Checkpointer {
+    cfg: CheckpointConfig,
+    journal: fs::File,
+}
+
+impl Checkpointer {
+    /// Initialize a fresh checkpoint directory: write `run.json`, start
+    /// an empty journal, and leave any stale snapshots to be overwritten.
+    pub fn create(
+        cfg: CheckpointConfig,
+        dc: &DataCenter,
+        sup_cfg: &SupervisorConfig,
+        plan: &ThreeStageSolution,
+        script: &crate::fault::FaultScript,
+    ) -> Result<Checkpointer, PersistError> {
+        fs::create_dir_all(&cfg.dir)?;
+        // Clear snapshots from any previous run in this directory so
+        // recovery cannot mix generations.
+        for path in snapshot_paths(&cfg.dir)? {
+            fs::remove_file(path.1)?;
+        }
+        let header = RunHeader {
+            scenario: ScenarioSnapshot::capture(dc),
+            cfg: *sup_cfg,
+            plan: plan.clone(),
+            script: script.clone(),
+        };
+        let envelope = Value::Object(vec![
+            ("version".to_string(), FORMAT_VERSION.to_value()),
+            ("header".to_string(), header.to_value()),
+        ]);
+        let json = serde_json::to_string(&envelope)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        atomic_write(&cfg.dir.join(RUN_FILE), json.as_bytes(), cfg.durable)?;
+        let journal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(cfg.dir.join(JOURNAL_FILE))?;
+        Ok(Checkpointer { cfg, journal })
+    }
+
+    /// Reattach to an existing checkpoint directory (after [`resume`]):
+    /// the journal is opened for append, `run.json` is left untouched.
+    pub fn reopen(cfg: CheckpointConfig) -> Result<Checkpointer, PersistError> {
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(cfg.dir.join(JOURNAL_FILE))?;
+        Ok(Checkpointer { cfg, journal })
+    }
+
+    fn append(&mut self, rec: &JournalRecord) -> Result<(), PersistError> {
+        let json = serde_json::to_string(rec)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        let line = format!("{:08x} {json}\n", crc32(json.as_bytes()));
+        self.journal.write_all(line.as_bytes())?;
+        if self.cfg.durable {
+            self.journal.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Write a full snapshot of `state` (already serialized as
+    /// `state_json`) for epoch `epoch`, then prune old generations.
+    fn write_snapshot(
+        &mut self,
+        epoch: usize,
+        state_json: &str,
+        state_crc: u32,
+    ) -> Result<(), PersistError> {
+        let envelope = Value::Object(vec![
+            ("version".to_string(), FORMAT_VERSION.to_value()),
+            ("epoch".to_string(), epoch.to_value()),
+            ("state_crc".to_string(), state_crc.to_value()),
+            ("state".to_string(), state_json.to_value()),
+        ]);
+        let json = serde_json::to_string(&envelope)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        let name = format!("{SNAP_PREFIX}{epoch:08}{SNAP_SUFFIX}");
+        atomic_write(&self.cfg.dir.join(name), json.as_bytes(), self.cfg.durable)?;
+        // Retention: newest `retain` generations survive.
+        let mut snaps = snapshot_paths(&self.cfg.dir)?;
+        let retain = self.cfg.retain.max(1);
+        if snaps.len() > retain {
+            snaps.sort_by_key(|(e, _)| *e);
+            for (_, path) in snaps.iter().take(snaps.len() - retain) {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot a run at its current epoch boundary.
+    pub fn snapshot(&mut self, live: &LiveRun<'_>) -> Result<(), PersistError> {
+        let state = live.to_state();
+        let json = serde_json::to_string(&state)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        self.write_snapshot(live.epoch(), &json, crc32(json.as_bytes()))
+    }
+
+    /// Execute one epoch under write-ahead journaling: *begin* record
+    /// (fsynced) → [`LiveRun::step`] → *commit* record → snapshot when
+    /// the interval (or the horizon) is reached. Returns `false` once the
+    /// run is done.
+    pub fn run_epoch(&mut self, live: &mut LiveRun<'_>) -> Result<bool, PersistError> {
+        if live.is_done() {
+            return Ok(false);
+        }
+        let epoch = live.epoch();
+        self.append(&JournalRecord::Begin {
+            epoch,
+            faults: live.due_faults(),
+        })?;
+        let log_before = live.log().events().len();
+        live.step();
+        let state = live.to_state();
+        let json = serde_json::to_string(&state)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        let state_crc = crc32(json.as_bytes());
+        self.append(&JournalRecord::Commit {
+            epoch,
+            state_crc,
+            events: live.log().events_since(log_before).to_vec(),
+        })?;
+        let interval = self.cfg.snapshot_interval.max(1);
+        if live.epoch().is_multiple_of(interval) || live.is_done() {
+            self.write_snapshot(live.epoch(), &json, state_crc)?;
+        }
+        Ok(true)
+    }
+}
+
+/// Run a supervised plan to completion under durable checkpointing.
+/// Equivalent to [`Supervisor::run`] plus a recoverable trail in
+/// `ckpt.dir`.
+pub fn run_checkpointed(
+    dc: &DataCenter,
+    cfg: SupervisorConfig,
+    plan: &ThreeStageSolution,
+    script: &crate::fault::FaultScript,
+    ckpt: &CheckpointConfig,
+) -> Result<SupervisorReport, PersistError> {
+    run_checkpointed_until(dc, cfg, plan, script, ckpt, usize::MAX)
+        .map(|r| r.unwrap_or_else(|| unreachable!("usize::MAX epochs always completes")))
+}
+
+/// Like [`run_checkpointed`], but stop (as if the process died) after at
+/// most `stop_after` epochs. Returns `Ok(None)` when stopped early —
+/// nothing is flushed beyond what the write-ahead protocol already made
+/// durable, which is exactly what a crash leaves behind.
+pub fn run_checkpointed_until(
+    dc: &DataCenter,
+    cfg: SupervisorConfig,
+    plan: &ThreeStageSolution,
+    script: &crate::fault::FaultScript,
+    ckpt: &CheckpointConfig,
+    stop_after: usize,
+) -> Result<Option<SupervisorReport>, PersistError> {
+    let sup = Supervisor::new(dc, cfg);
+    let mut live = sup.begin(plan, script);
+    let mut cp = Checkpointer::create(ckpt.clone(), dc, &cfg, plan, script)?;
+    // Epoch-0 snapshot: the directory is recoverable from the first
+    // instant, before any epoch has run.
+    cp.snapshot(&live)?;
+    let mut executed = 0usize;
+    while !live.is_done() {
+        if executed >= stop_after {
+            return Ok(None);
+        }
+        cp.run_epoch(&mut live)?;
+        executed += 1;
+    }
+    Ok(Some(live.conclude()))
+}
+
+/// What [`resume`] found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: usize,
+    /// Corrupt snapshot generations that had to be skipped.
+    pub snapshots_skipped: usize,
+    /// Committed epochs re-executed from the journal.
+    pub replayed_epochs: usize,
+    /// Bytes of torn/corrupt journal tail truncated away.
+    pub truncated_bytes: u64,
+    /// Epoch the run resumes at.
+    pub resume_epoch: usize,
+    /// Did the recovered assignment satisfy the physical power-cap and
+    /// redline invariants? (Checked strictly — i.e. an error instead of
+    /// `false` — only when the state believes itself healthy.)
+    pub feasible: bool,
+    /// Worst redline violation of the recovered assignment, °C (≤ 0 is
+    /// safe).
+    pub worst_redline_violation_c: f64,
+    /// Power headroom of the recovered assignment, kW (≥ 0 is safe).
+    pub power_headroom_kw: f64,
+}
+
+/// A run brought back from disk: the rebuilt data center, the original
+/// header, and the replayed state. Call [`RecoveredRun::live`] to
+/// continue it.
+#[derive(Debug)]
+pub struct RecoveredRun {
+    /// The data center, rebuilt from the scenario snapshot.
+    pub dc: DataCenter,
+    /// The immutable run description (`run.json`).
+    pub header: RunHeader,
+    /// Execution state at the recovered epoch boundary.
+    pub state: SupervisorState,
+    /// What recovery found and did.
+    pub info: RecoveryInfo,
+}
+
+impl RecoveredRun {
+    /// Reattach the recovered state to the data center as a [`LiveRun`].
+    pub fn live(&self) -> Result<LiveRun<'_>, PersistError> {
+        LiveRun::from_state(&self.dc, &self.header.script, self.state.clone())
+            .map_err(|reason| PersistError::State { reason })
+    }
+
+    /// Run the recovered state to completion without further
+    /// checkpointing and return the report.
+    pub fn finish(&self) -> Result<SupervisorReport, PersistError> {
+        let mut live = self.live()?;
+        while live.step() {}
+        Ok(live.conclude())
+    }
+
+    /// Continue the recovered run to completion *with* checkpointing:
+    /// the journal in `ckpt.dir` is appended to, snapshots resume on the
+    /// configured interval.
+    pub fn finish_checkpointed(
+        &self,
+        ckpt: &CheckpointConfig,
+    ) -> Result<SupervisorReport, PersistError> {
+        let mut live = self.live()?;
+        let mut cp = Checkpointer::reopen(ckpt.clone())?;
+        while cp.run_epoch(&mut live)? {}
+        Ok(live.conclude())
+    }
+}
+
+/// Recover a checkpointed run from `dir`.
+///
+/// 1. Load and version-gate `run.json`; rebuild the [`DataCenter`] from
+///    its scenario snapshot (fully re-validated — a corrupted scenario is
+///    a typed error, not a later panic).
+/// 2. Load the newest snapshot whose CRC verifies, skipping corrupt
+///    generations.
+/// 3. Read the journal's valid prefix; a torn or corrupt tail (partial
+///    line, bad CRC, bad JSON) is truncated off the file.
+/// 4. Re-execute every epoch the journal committed after the snapshot,
+///    checking the recomputed state CRC against each commit record.
+/// 5. Verify the recovered assignment against the physical model: when
+///    the state believes itself healthy an infeasible assignment is a
+///    [`PersistError::InvariantViolation`]; degraded states record the
+///    check in [`RecoveryInfo`] instead.
+pub fn resume(dir: &Path) -> Result<RecoveredRun, PersistError> {
+    // -- 1. Header ---------------------------------------------------------
+    let run_path = dir.join(RUN_FILE);
+    let text = match fs::read_to_string(&run_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(PersistError::NoCheckpoint { dir: dir.to_path_buf() })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let v: Value = serde_json::from_str(&text).map_err(|e| PersistError::Corrupt {
+        path: run_path.clone(),
+        reason: e.to_string(),
+    })?;
+    let version = version_of(&v, &run_path)?;
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { path: run_path, version });
+    }
+    let header: RunHeader = v
+        .get("header")
+        .ok_or_else(|| PersistError::Corrupt {
+            path: run_path.clone(),
+            reason: "missing 'header'".to_string(),
+        })
+        .and_then(|h| {
+            RunHeader::from_value(h).map_err(|e| PersistError::Corrupt {
+                path: run_path.clone(),
+                reason: e.to_string(),
+            })
+        })?;
+    let dc = header
+        .scenario
+        .clone()
+        .restore()
+        .map_err(|e| PersistError::Corrupt {
+            path: run_path.clone(),
+            reason: format!("scenario does not restore: {e}"),
+        })?;
+
+    // -- 2. Newest valid snapshot -----------------------------------------
+    let mut snaps = snapshot_paths(dir)?;
+    snaps.sort_by_key(|(e, _)| *e);
+    let mut snapshots_skipped = 0usize;
+    let mut recovered: Option<(SupervisorState, usize)> = None;
+    for (epoch, path) in snaps.iter().rev() {
+        match load_snapshot(path) {
+            Ok((state, snap_epoch)) if snap_epoch == *epoch => {
+                recovered = Some((state, snap_epoch));
+                break;
+            }
+            Ok((_, snap_epoch)) => {
+                // File name and payload disagree: treat as corrupt.
+                let _ = snap_epoch;
+                snapshots_skipped += 1;
+            }
+            Err(PersistError::UnsupportedVersion { path, version }) => {
+                return Err(PersistError::UnsupportedVersion { path, version })
+            }
+            Err(_) => snapshots_skipped += 1,
+        }
+    }
+    let Some((state, snapshot_epoch)) = recovered else {
+        return Err(PersistError::NoCheckpoint { dir: dir.to_path_buf() });
+    };
+
+    // -- 3. Journal valid prefix (truncate the torn tail) ------------------
+    let journal_path = dir.join(JOURNAL_FILE);
+    let (records, valid_len, file_len) = read_journal(&journal_path)?;
+    let truncated_bytes = file_len - valid_len;
+    if truncated_bytes > 0 {
+        let f = OpenOptions::new().write(true).open(&journal_path)?;
+        f.set_len(valid_len)?;
+        f.sync_all()?;
+    }
+
+    // -- 4. Deterministic replay of committed epochs -----------------------
+    let mut live =
+        LiveRun::from_state(&dc, &header.script, state).map_err(|reason| PersistError::State {
+            reason: format!("snapshot at epoch {snapshot_epoch}: {reason}"),
+        })?;
+    let mut replayed_epochs = 0usize;
+    for rec in &records {
+        let JournalRecord::Commit { epoch, state_crc, .. } = rec else {
+            continue; // a begin without a commit is a crash mid-epoch
+        };
+        if *epoch < live.epoch() {
+            continue; // already covered by the snapshot
+        }
+        if *epoch > live.epoch() {
+            return Err(PersistError::Corrupt {
+                path: journal_path.clone(),
+                reason: format!(
+                    "journal gap: commit for epoch {epoch} but replay is at {}",
+                    live.epoch()
+                ),
+            });
+        }
+        live.step();
+        let json = serde_json::to_string(&live.to_state())
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        if crc32(json.as_bytes()) != *state_crc {
+            return Err(PersistError::Corrupt {
+                path: journal_path.clone(),
+                reason: format!("replay of epoch {epoch} diverged from the committed state CRC"),
+            });
+        }
+        replayed_epochs += 1;
+    }
+
+    // -- 5. Physical invariant check ---------------------------------------
+    let view = live.world_view();
+    let mut pstates = view.pstates.to_vec();
+    for (node, &dead) in view.dead.iter().enumerate() {
+        if dead {
+            let off = dc.node_type(node).core.pstates.off_index();
+            for k in dc.cores_of_node(node) {
+                pstates[k] = off;
+            }
+        }
+    }
+    // A stale plan can carry rates for cores that have since been
+    // throttled to their off state; verifying those against the current
+    // P-states would be meaningless (and trips a debug assertion in
+    // `verify_assignment`). Rates are checked only when they are
+    // consistent with the assignment being verified.
+    let rates_consistent = (0..dc.n_cores()).all(|k| {
+        let nt = dc.core_type(k);
+        (0..dc.n_task_types())
+            .all(|i| view.stage3.tc(i, k) <= 0.0 || dc.workload.ecs.ecs(i, nt, pstates[k]) > 0.0)
+    });
+    let rates = if rates_consistent {
+        Some(view.stage3)
+    } else {
+        None
+    };
+    let report = verify_assignment(&dc, view.outlets, &pstates, rates);
+    let feasible = report.is_feasible();
+    if !feasible && view.believes_healthy() {
+        return Err(PersistError::InvariantViolation {
+            reason: format!(
+                "state claims health but verification found redline {:+.3} °C, headroom {:+.3} kW",
+                report.worst_redline_violation_c, report.power_headroom_kw
+            ),
+        });
+    }
+    let info = RecoveryInfo {
+        snapshot_epoch,
+        snapshots_skipped,
+        replayed_epochs,
+        truncated_bytes,
+        resume_epoch: live.epoch(),
+        feasible,
+        worst_redline_violation_c: report.worst_redline_violation_c,
+        power_headroom_kw: report.power_headroom_kw,
+    };
+    let state = live.to_state();
+    Ok(RecoveredRun {
+        dc,
+        header,
+        state,
+        info,
+    })
+}
+
+/// `(epoch, path)` of every `snap-*.json` in `dir`.
+fn snapshot_paths(dir: &Path) -> Result<Vec<(usize, PathBuf)>, PersistError> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(middle) = name
+            .strip_prefix(SNAP_PREFIX)
+            .and_then(|s| s.strip_suffix(SNAP_SUFFIX))
+        else {
+            continue;
+        };
+        let Ok(epoch) = middle.parse::<usize>() else {
+            continue;
+        };
+        out.push((epoch, entry.path()));
+    }
+    Ok(out)
+}
+
+fn version_of(v: &Value, path: &Path) -> Result<u64, PersistError> {
+    v.get("version")
+        .and_then(|x| x.as_f64())
+        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+        .map(|x| x as u64)
+        .ok_or_else(|| PersistError::Corrupt {
+            path: path.to_path_buf(),
+            reason: "missing or non-integral 'version'".to_string(),
+        })
+}
+
+/// Parse one snapshot file: version gate, CRC check (format ≥ 2), state
+/// decode. Returns the state and the epoch the envelope claims.
+fn load_snapshot(path: &Path) -> Result<(SupervisorState, usize), PersistError> {
+    let corrupt = |reason: String| PersistError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let text = fs::read_to_string(path)?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| corrupt(e.to_string()))?;
+    let version = version_of(&v, path)?;
+    if version > FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+    let epoch = v
+        .get("epoch")
+        .and_then(|x| x.as_f64())
+        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+        .map(|x| x as usize)
+        .ok_or_else(|| corrupt("missing or non-integral 'epoch'".to_string()))?;
+    let state_json = v
+        .get("state")
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| corrupt("missing 'state'".to_string()))?;
+    if version >= 2 {
+        let want = v
+            .get("state_crc")
+            .and_then(|x| x.as_f64())
+            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+            .map(|x| x as u32)
+            .ok_or_else(|| corrupt("missing 'state_crc'".to_string()))?;
+        let got = crc32(state_json.as_bytes());
+        if got != want {
+            return Err(corrupt(format!(
+                "state CRC mismatch: stored {want:08x}, computed {got:08x}"
+            )));
+        }
+    }
+    let state: SupervisorState =
+        serde_json::from_str(state_json).map_err(|e| corrupt(e.to_string()))?;
+    if state.epoch != epoch {
+        return Err(corrupt(format!(
+            "envelope epoch {epoch} disagrees with state epoch {}",
+            state.epoch
+        )));
+    }
+    Ok((state, epoch))
+}
+
+/// Read the journal's valid prefix: every complete, CRC-clean,
+/// well-formed line. Returns the parsed records, the byte length of the
+/// valid prefix, and the file's total length. Missing file = empty
+/// journal.
+fn read_journal(path: &Path) -> Result<(Vec<JournalRecord>, u64, u64), PersistError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0, 0)),
+        Err(e) => return Err(e.into()),
+    };
+    let mut records = Vec::new();
+    let mut valid = 0usize;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            break; // no terminator: torn final line
+        };
+        let line = &bytes[pos..pos + nl];
+        let Some(rec) = parse_journal_line(line) else {
+            break; // bad framing, CRC, or JSON: stop at the last good record
+        };
+        records.push(rec);
+        pos += nl + 1;
+        valid = pos;
+    }
+    Ok((records, valid as u64, bytes.len() as u64))
+}
+
+/// `XXXXXXXX <json>` with a CRC-32 over the JSON bytes, or `None`.
+fn parse_journal_line(line: &[u8]) -> Option<JournalRecord> {
+    if line.len() < 10 || line[8] != b' ' {
+        return None;
+    }
+    let crc_hex = std::str::from_utf8(&line[..8]).ok()?;
+    let want = u32::from_str_radix(crc_hex, 16).ok()?;
+    let json = &line[9..];
+    if crc32(json) != want {
+        return None;
+    }
+    let text = std::str::from_utf8(json).ok()?;
+    serde_json::from_str::<JournalRecord>(text).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn journal_line_round_trips_and_rejects_flips() {
+        let rec = JournalRecord::Begin {
+            epoch: 3,
+            faults: Vec::new(),
+        };
+        let json = serde_json::to_string(&rec).expect("json");
+        let line = format!("{:08x} {json}", crc32(json.as_bytes()));
+        let parsed = parse_journal_line(line.as_bytes()).expect("parse");
+        assert_eq!(parsed, rec);
+        // Flip one payload byte: the CRC must catch it.
+        let mut bad = line.into_bytes();
+        let last = bad.len() - 2;
+        bad[last] ^= 0x01;
+        assert!(parse_journal_line(&bad).is_none());
+    }
+
+    #[test]
+    fn version_gate_rejects_future_formats() {
+        let dir = std::env::temp_dir().join("thermaware-persist-vergate");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("snap-00000001.json");
+        fs::write(&path, br#"{"version":99,"epoch":1,"state_crc":0,"state":"{}"}"#)
+            .expect("write");
+        match load_snapshot(&path) {
+            Err(PersistError::UnsupportedVersion { version, .. }) => assert_eq!(version, 99),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        let _ = fs::remove_file(&path);
+    }
+}

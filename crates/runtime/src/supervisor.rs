@@ -39,10 +39,11 @@ use crate::event::{Action, EventKind, EventLog, Violation};
 use crate::fault::{Fault, FaultScript};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize, Value};
 use thermaware_core::stage3::{solve_stage3, Stage3Solution};
 use thermaware_core::ThreeStageSolution;
 use thermaware_datacenter::DataCenter;
-use thermaware_scheduler::{EpochSim, SimulationResult};
+use thermaware_scheduler::{EpochSim, EpochSimState, SimulationResult};
 use thermaware_workload::TaskArrival;
 
 /// Absolute bound on ladder iterations within one response — a backstop
@@ -90,6 +91,53 @@ impl Default for SupervisorConfig {
             supervise: true,
             seed: 0,
         }
+    }
+}
+
+// The vendored serde routes every integer through `f64`, which silently
+// rounds seeds above 2^53 — so `seed` travels as a 16-digit hex string.
+
+impl Serialize for SupervisorConfig {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("epoch_s".to_string(), self.epoch_s.to_value()),
+            ("horizon_s".to_string(), self.horizon_s.to_value()),
+            (
+                "max_replan_attempts".to_string(),
+                self.max_replan_attempts.to_value(),
+            ),
+            ("outlet_drop_c".to_string(), self.outlet_drop_c.to_value()),
+            ("throttle_steps".to_string(), self.throttle_steps.to_value()),
+            ("trip_margin_c".to_string(), self.trip_margin_c.to_value()),
+            ("redline_tol_c".to_string(), self.redline_tol_c.to_value()),
+            ("power_tol_kw".to_string(), self.power_tol_kw.to_value()),
+            ("supervise".to_string(), self.supervise.to_value()),
+            ("seed".to_string(), format!("{:016x}", self.seed).to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SupervisorConfig {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("SupervisorConfig: expected object"))?;
+        let seed_hex: String = serde::field(entries, "seed")?;
+        let seed = u64::from_str_radix(&seed_hex, 16).map_err(|e| {
+            serde::Error::custom(format!("SupervisorConfig: bad seed '{seed_hex}': {e}"))
+        })?;
+        Ok(SupervisorConfig {
+            epoch_s: serde::field(entries, "epoch_s")?,
+            horizon_s: serde::field(entries, "horizon_s")?,
+            max_replan_attempts: serde::field(entries, "max_replan_attempts")?,
+            outlet_drop_c: serde::field(entries, "outlet_drop_c")?,
+            throttle_steps: serde::field(entries, "throttle_steps")?,
+            trip_margin_c: serde::field(entries, "trip_margin_c")?,
+            redline_tol_c: serde::field(entries, "redline_tol_c")?,
+            power_tol_kw: serde::field(entries, "power_tol_kw")?,
+            supervise: serde::field(entries, "supervise")?,
+            seed,
+        })
     }
 }
 
@@ -150,6 +198,7 @@ impl Health {
 }
 
 /// Mutable world + plan state threaded through the epoch loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct World {
     /// Current per-core P-states (live nodes; dead nodes are masked via
     /// `dead` wherever it matters).
@@ -176,6 +225,7 @@ struct World {
 }
 
 /// The fault-tolerant runtime supervisor for one data center.
+#[derive(Clone, Copy)]
 pub struct Supervisor<'a> {
     dc: &'a DataCenter,
     cfg: SupervisorConfig,
@@ -191,13 +241,23 @@ impl<'a> Supervisor<'a> {
     /// Run the plan against a fault script over the configured horizon.
     /// Never panics: every ending is a typed [`Outcome`].
     pub fn run(&self, plan: &ThreeStageSolution, script: &FaultScript) -> SupervisorReport {
+        let mut live = self.begin(plan, script);
+        while live.step() {}
+        live.conclude()
+    }
+
+    /// Start a resumable run: the returned [`LiveRun`] executes one epoch
+    /// per [`LiveRun::step`] call and can snapshot its complete state at
+    /// any epoch boundary with [`LiveRun::to_state`].
+    pub fn begin(&self, plan: &ThreeStageSolution, script: &FaultScript) -> LiveRun<'a> {
         let dc = self.dc;
-        let cfg = &self.cfg;
+        let cfg = self.cfg;
         // The replanning model: arrival rates carry the surge factor and
         // shed types are zeroed, so Stage 3 plans for the demand the
-        // supervisor believes in.
-        let mut work_dc = dc.clone();
-        let mut world = World {
+        // supervisor believes in. Derived state — reconstructed, never
+        // persisted (see [`LiveRun::from_state`]).
+        let work_dc = dc.clone();
+        let world = World {
             pstates: plan.pstates.clone(),
             outlets: plan.stage1.crac_out_c.clone(),
             stage3: plan.stage3.clone(),
@@ -209,95 +269,22 @@ impl<'a> Supervisor<'a> {
             stale: false,
             meltdown: false,
         };
-        let mut log = EventLog::default();
-        let mut sim = EpochSim::new(dc, &world.pstates, &world.stage3);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut next_event = 0usize;
-        let mut acted = false;
-        let mut backoff_skip = 0u32;
-        let mut backoff_next = 1u32;
-
+        let sim = EpochSim::new(dc, &world.pstates, &world.stage3);
         let n_epochs = (cfg.horizon_s / cfg.epoch_s).ceil().max(1.0) as usize;
-        for e in 0..n_epochs {
-            let t0 = e as f64 * cfg.epoch_s;
-            let t1 = (t0 + cfg.epoch_s).min(cfg.horizon_s);
-
-            // -- 1. Scripted faults due by this boundary ------------------
-            // A fault takes effect at the first epoch boundary at or
-            // after its timestamp (the supervisor's world advances in
-            // epochs), so the log stays time-ordered.
-            while next_event < script.events().len() && script.events()[next_event].at_s <= t0 {
-                let ev = script.events()[next_event];
-                next_event += 1;
-                self.inject(&mut world, &mut work_dc, &mut sim, t0, ev.fault, &mut log);
-            }
-
-            // -- 2. Supervision (before the air catches up) ---------------
-            if cfg.supervise {
-                if backoff_skip > 0 {
-                    backoff_skip -= 1;
-                } else {
-                    let h = self.health(&world);
-                    if !h.ok(cfg) || world.stale {
-                        acted = true;
-                        let recovered =
-                            self.respond(&mut world, &mut work_dc, &mut sim, t0, h, &mut log);
-                        if recovered {
-                            backoff_next = 1;
-                        } else {
-                            backoff_skip = backoff_next;
-                            backoff_next = (backoff_next * 2).min(8);
-                            log.record(t0, EventKind::Backoff { epochs: backoff_skip });
-                        }
-                    }
-                }
-            }
-
-            // -- 3. Physics: thermal trips on the *true* state ------------
-            self.apply_trips(&mut world, &mut sim, t0, &mut log);
-
-            // -- 4. The epoch's arrivals ----------------------------------
-            for a in epoch_arrivals(&mut rng, dc, world.surge, t0, t1) {
-                sim.dispatch(a.task_type, a.time, a.deadline);
-            }
-        }
-
-        // -- Final reckoning on the true steady state ---------------------
-        let powers = self.node_powers(&world);
-        let (final_violation_c, final_power_kw) = match dc.thermal.steady_state_with_failed_cracs(
-            &world.outlets,
-            &powers,
-            &world.failed,
-        ) {
-            Ok(state) => (
-                state.redline_violation(dc.thermal.node_redline_c, dc.thermal.crac_redline_c),
-                powers.iter().sum::<f64>() + dc.thermal.total_crac_power_kw(&state),
-            ),
-            Err(_) => (f64::INFINITY, powers.iter().sum::<f64>()),
-        };
-        let nodes_dead = world.dead.iter().filter(|&&d| d).count();
-        let healthy = final_violation_c <= cfg.redline_tol_c
-            && final_power_kw <= dc.budget.p_const_kw + cfg.power_tol_kw;
-        let outcome = if world.meltdown || !final_violation_c.is_finite() {
-            Outcome::Unrecoverable
-        } else if !healthy {
-            Outcome::Degraded
-        } else if !world.shed.is_empty() {
-            Outcome::Shed
-        } else if acted || nodes_dead > 0 {
-            Outcome::Recovered
-        } else {
-            Outcome::Nominal
-        };
-
-        SupervisorReport {
-            outcome,
-            sim: sim.finish(cfg.horizon_s),
-            log,
-            final_violation_c,
-            final_power_kw,
-            nodes_dead,
-            shed_task_types: world.shed.clone(),
+        LiveRun {
+            dc,
+            cfg,
+            script: script.clone(),
+            work_dc,
+            world,
+            log: EventLog::default(),
+            sim,
+            epoch: 0,
+            n_epochs,
+            next_event: 0,
+            acted: false,
+            backoff_skip: 0,
+            backoff_next: 1,
         }
     }
 
@@ -704,6 +691,374 @@ impl<'a> Supervisor<'a> {
             }
         }
     }
+}
+
+/// A supervised run in flight, advanced one epoch at a time.
+///
+/// `LiveRun` is [`Supervisor::run`] unrolled: [`Supervisor::begin`]
+/// creates one, [`step`](LiveRun::step) executes the next epoch
+/// (faults → supervision → trips → arrivals), and
+/// [`conclude`](LiveRun::conclude) performs the final reckoning. The
+/// arrival RNG is re-seeded deterministically *per epoch* from
+/// `cfg.seed`, so a run restored at any epoch boundary draws exactly
+/// the arrivals the uninterrupted run would have drawn — the property
+/// the `persist` module's crash recovery is built on.
+pub struct LiveRun<'a> {
+    dc: &'a DataCenter,
+    cfg: SupervisorConfig,
+    script: FaultScript,
+    work_dc: DataCenter,
+    world: World,
+    log: EventLog,
+    sim: EpochSim<'a>,
+    epoch: usize,
+    n_epochs: usize,
+    next_event: usize,
+    acted: bool,
+    backoff_skip: u32,
+    backoff_next: u32,
+}
+
+impl<'a> LiveRun<'a> {
+    /// Execute the next epoch. Returns `false` (doing nothing) once the
+    /// horizon is complete.
+    pub fn step(&mut self) -> bool {
+        if self.epoch >= self.n_epochs {
+            return false;
+        }
+        let sup = Supervisor {
+            dc: self.dc,
+            cfg: self.cfg,
+        };
+        let cfg = self.cfg;
+        let e = self.epoch;
+        let t0 = e as f64 * cfg.epoch_s;
+        let t1 = (t0 + cfg.epoch_s).min(cfg.horizon_s);
+
+        // -- 1. Scripted faults due by this boundary ----------------------
+        // A fault takes effect at the first epoch boundary at or after
+        // its timestamp (the supervisor's world advances in epochs), so
+        // the log stays time-ordered.
+        while self.next_event < self.script.events().len()
+            && self.script.events()[self.next_event].at_s <= t0
+        {
+            let ev = self.script.events()[self.next_event];
+            self.next_event += 1;
+            sup.inject(
+                &mut self.world,
+                &mut self.work_dc,
+                &mut self.sim,
+                t0,
+                ev.fault,
+                &mut self.log,
+            );
+        }
+
+        // -- 2. Supervision (before the air catches up) -------------------
+        if cfg.supervise {
+            if self.backoff_skip > 0 {
+                self.backoff_skip -= 1;
+            } else {
+                let h = sup.health(&self.world);
+                if !h.ok(&cfg) || self.world.stale {
+                    self.acted = true;
+                    let recovered = sup.respond(
+                        &mut self.world,
+                        &mut self.work_dc,
+                        &mut self.sim,
+                        t0,
+                        h,
+                        &mut self.log,
+                    );
+                    if recovered {
+                        self.backoff_next = 1;
+                    } else {
+                        self.backoff_skip = self.backoff_next;
+                        self.backoff_next = (self.backoff_next * 2).min(8);
+                        self.log.record(
+                            t0,
+                            EventKind::Backoff {
+                                epochs: self.backoff_skip,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // -- 3. Physics: thermal trips on the *true* state ----------------
+        sup.apply_trips(&mut self.world, &mut self.sim, t0, &mut self.log);
+
+        // -- 4. The epoch's arrivals --------------------------------------
+        let mut rng = epoch_rng(cfg.seed, e);
+        for a in epoch_arrivals(&mut rng, self.dc, self.world.surge, t0, t1) {
+            self.sim.dispatch(a.task_type, a.time, a.deadline);
+        }
+        self.epoch += 1;
+        true
+    }
+
+    /// Final reckoning on the true steady state; consumes the run.
+    pub fn conclude(self) -> SupervisorReport {
+        let dc = self.dc;
+        let cfg = self.cfg;
+        let sup = Supervisor { dc, cfg };
+        let powers = sup.node_powers(&self.world);
+        let (final_violation_c, final_power_kw) = match dc.thermal.steady_state_with_failed_cracs(
+            &self.world.outlets,
+            &powers,
+            &self.world.failed,
+        ) {
+            Ok(state) => (
+                state.redline_violation(dc.thermal.node_redline_c, dc.thermal.crac_redline_c),
+                powers.iter().sum::<f64>() + dc.thermal.total_crac_power_kw(&state),
+            ),
+            Err(_) => (f64::INFINITY, powers.iter().sum::<f64>()),
+        };
+        let nodes_dead = self.world.dead.iter().filter(|&&d| d).count();
+        let healthy = final_violation_c <= cfg.redline_tol_c
+            && final_power_kw <= dc.budget.p_const_kw + cfg.power_tol_kw;
+        let outcome = if self.world.meltdown || !final_violation_c.is_finite() {
+            Outcome::Unrecoverable
+        } else if !healthy {
+            Outcome::Degraded
+        } else if !self.world.shed.is_empty() {
+            Outcome::Shed
+        } else if self.acted || nodes_dead > 0 {
+            Outcome::Recovered
+        } else {
+            Outcome::Nominal
+        };
+
+        SupervisorReport {
+            outcome,
+            sim: self.sim.finish(cfg.horizon_s),
+            log: self.log,
+            final_violation_c,
+            final_power_kw,
+            nodes_dead,
+            shed_task_types: self.world.shed,
+        }
+    }
+
+    /// Epochs fully executed so far.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Total epochs over the configured horizon.
+    pub fn n_epochs(&self) -> usize {
+        self.n_epochs
+    }
+
+    /// Has the horizon been fully executed?
+    pub fn is_done(&self) -> bool {
+        self.epoch >= self.n_epochs
+    }
+
+    /// The typed event history so far.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The scripted faults the *next* [`step`](LiveRun::step) will inject
+    /// — what a write-ahead journal records before the epoch executes.
+    pub fn due_faults(&self) -> Vec<crate::fault::FaultEvent> {
+        let t0 = self.epoch as f64 * self.cfg.epoch_s;
+        self.script.events()[self.next_event..]
+            .iter()
+            .take_while(|e| e.at_s <= t0)
+            .copied()
+            .collect()
+    }
+
+    /// Current per-core P-states, CRAC outlets, failure masks — exposed
+    /// for invariant checks against the physical model after recovery.
+    pub fn world_view(&self) -> WorldView<'_> {
+        WorldView {
+            pstates: &self.world.pstates,
+            outlets: &self.world.outlets,
+            stage3: &self.world.stage3,
+            failed: &self.world.failed,
+            dead: &self.world.dead,
+            shed: &self.world.shed,
+            bias_c: self.world.bias_c,
+            surge: self.world.surge,
+            stale: self.world.stale,
+            meltdown: self.world.meltdown,
+            backoff_skip: self.backoff_skip,
+        }
+    }
+
+    /// Snapshot the complete execution state. Only meaningful at an epoch
+    /// boundary — i.e. between [`step`](LiveRun::step) calls.
+    pub fn to_state(&self) -> SupervisorState {
+        SupervisorState {
+            cfg: self.cfg,
+            epoch: self.epoch,
+            next_event: self.next_event,
+            world: self.world.clone(),
+            sim: self.sim.to_state(),
+            log: self.log.clone(),
+            acted: self.acted,
+            backoff_skip: self.backoff_skip,
+            backoff_next: self.backoff_next,
+        }
+    }
+
+    /// Restore a run from a [`SupervisorState`] snapshot, against the
+    /// same data center and fault script it was taken from. The
+    /// replanning model (`work_dc`) is *derived* state — base arrival
+    /// rates scaled by the surge factor, shed types zeroed — so it is
+    /// rebuilt here bit-identically rather than persisted.
+    pub fn from_state(
+        dc: &'a DataCenter,
+        script: &FaultScript,
+        state: SupervisorState,
+    ) -> Result<LiveRun<'a>, String> {
+        let cfg = state.cfg;
+        if !(cfg.epoch_s > 0.0 && cfg.horizon_s > 0.0) {
+            return Err("supervisor state: non-positive epoch or horizon length".to_string());
+        }
+        let n_epochs = (cfg.horizon_s / cfg.epoch_s).ceil().max(1.0) as usize;
+        if state.epoch > n_epochs {
+            return Err(format!(
+                "supervisor state: epoch {} past the horizon ({n_epochs} epochs)",
+                state.epoch
+            ));
+        }
+        if state.next_event > script.events().len() {
+            return Err(format!(
+                "supervisor state: {} fault events consumed but the script has {}",
+                state.next_event,
+                script.events().len()
+            ));
+        }
+        let w = &state.world;
+        if w.pstates.len() != dc.n_cores()
+            || w.outlets.len() != dc.n_crac()
+            || w.failed.len() != dc.n_crac()
+            || w.dead.len() != dc.n_nodes()
+        {
+            return Err(
+                "supervisor state: world dimensions do not match the data center".to_string(),
+            );
+        }
+        if w.shed.iter().any(|&i| i >= dc.workload.task_types.len()) {
+            return Err("supervisor state: shed task type out of range".to_string());
+        }
+        if !w.surge.is_finite() || w.surge < 0.0 {
+            return Err("supervisor state: non-finite or negative surge factor".to_string());
+        }
+        if state.sim.per_type.len() != dc.workload.task_types.len() {
+            return Err("supervisor state: per-type stats do not match the workload".to_string());
+        }
+        let mut work_dc = dc.clone();
+        for (i, t) in work_dc.workload.task_types.iter_mut().enumerate() {
+            t.arrival_rate = dc.workload.task_types[i].arrival_rate * w.surge;
+        }
+        for &i in &w.shed {
+            work_dc.workload.task_types[i].arrival_rate = 0.0;
+        }
+        let sim = EpochSim::from_state(dc, state.sim);
+        Ok(LiveRun {
+            dc,
+            cfg,
+            script: script.clone(),
+            work_dc,
+            world: state.world,
+            log: state.log,
+            sim,
+            epoch: state.epoch,
+            n_epochs,
+            next_event: state.next_event,
+            acted: state.acted,
+            backoff_skip: state.backoff_skip,
+            backoff_next: state.backoff_next,
+        })
+    }
+}
+
+/// A read-only view of a [`LiveRun`]'s world, for invariant checks and
+/// reporting (e.g. verifying a recovered run against the power cap and
+/// redlines without touching the event log).
+#[derive(Debug, Clone, Copy)]
+pub struct WorldView<'a> {
+    /// Current per-core P-states.
+    pub pstates: &'a [usize],
+    /// Current CRAC outlet set-points, °C.
+    pub outlets: &'a [f64],
+    /// Current Stage-3 rates.
+    pub stage3: &'a Stage3Solution,
+    /// Failed CRAC units.
+    pub failed: &'a [bool],
+    /// Dead nodes.
+    pub dead: &'a [bool],
+    /// Shed task types.
+    pub shed: &'a [usize],
+    /// Observed-minus-true inlet sensor bias, °C.
+    pub bias_c: f64,
+    /// Arrival-rate multiplier.
+    pub surge: f64,
+    /// The plan no longer matches the floor.
+    pub stale: bool,
+    /// The room lost its steady state at some point.
+    pub meltdown: bool,
+    /// Epochs of supervision backoff still pending.
+    pub backoff_skip: u32,
+}
+
+impl WorldView<'_> {
+    /// Is this world undisturbed and *verifiably* healthy? No failures,
+    /// sheds, stale plan, backoff, sensor bias (a biased floor's health
+    /// is believed, not known), or demand surge (the plan targets rates
+    /// the original workload cannot be verified against) — the condition
+    /// under which a recovered run is expected to satisfy every physical
+    /// constraint.
+    pub fn believes_healthy(&self) -> bool {
+        !self.stale
+            && !self.meltdown
+            && self.backoff_skip == 0
+            && self.shed.is_empty()
+            && self.bias_c == 0.0
+            && self.surge == 1.0
+            && !self.failed.iter().any(|&f| f)
+            && !self.dead.iter().any(|&d| d)
+    }
+}
+
+/// The complete, serializable execution state of a [`LiveRun`] at an
+/// epoch boundary — everything beyond the immutable data center and
+/// fault script, which travel separately (see the `persist` module).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorState {
+    /// Configuration of the run (including the arrival seed).
+    pub cfg: SupervisorConfig,
+    /// Epochs fully executed.
+    pub epoch: usize,
+    /// Fault-script events already injected.
+    pub next_event: usize,
+    world: World,
+    sim: EpochSimState,
+    log: EventLog,
+    acted: bool,
+    backoff_skip: u32,
+    backoff_next: u32,
+}
+
+impl SupervisorState {
+    /// The typed event history captured in this state.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+}
+
+/// The arrival RNG for epoch `e`: re-seeded independently per epoch (a
+/// golden-ratio increment decorrelates consecutive epochs), so resuming
+/// at any boundary reproduces the exact arrival stream of an
+/// uninterrupted run without persisting RNG internals.
+fn epoch_rng(seed: u64, e: usize) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_add(((e as u64) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
 /// The epoch's Poisson arrivals at `surge`-scaled rates. Exponential

@@ -1,0 +1,365 @@
+//! Crash-consistency properties of the checkpoint/restore layer:
+//!
+//! * **Kill-and-resume determinism** — a run killed at any epoch and
+//!   recovered from disk finishes with exactly the event log, reward,
+//!   and outcome of a run that was never interrupted.
+//! * **Torn-write tolerance** — truncating the journal at *every byte
+//!   offset* of its tail never panics the recoverer and never loses a
+//!   committed-and-covered epoch beyond the torn record itself.
+//! * **Snapshot fallback** — a corrupted newest snapshot generation is
+//!   skipped; recovery falls back to an older one and replays forward.
+//! * **Format versioning** — version-1 snapshots (no CRC) still load;
+//!   future versions are rejected with a typed error.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use thermaware_core::{solve_three_stage, ThreeStageOptions, ThreeStageSolution};
+use thermaware_datacenter::{DataCenter, ScenarioParams};
+use thermaware_runtime::{
+    resume, run_checkpointed, CheckpointConfig, FaultScript, PersistError, Supervisor,
+    SupervisorConfig,
+};
+use thermaware_runtime::persist::run_checkpointed_until;
+
+const HORIZON_S: f64 = 8.0;
+
+fn scenario() -> &'static (DataCenter, ThreeStageSolution) {
+    static SCENARIO: OnceLock<(DataCenter, ThreeStageSolution)> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        let dc = ScenarioParams {
+            n_nodes: 8,
+            n_crac: 2,
+            ..ScenarioParams::small_test()
+        }
+        .build(1)
+        .expect("scenario");
+        let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+        (dc, plan)
+    })
+}
+
+fn cfg(seed: u64) -> SupervisorConfig {
+    SupervisorConfig {
+        horizon_s: HORIZON_S,
+        seed,
+        ..SupervisorConfig::default()
+    }
+}
+
+/// A fresh, empty checkpoint directory under the target temp dir.
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("thermaware-crash-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn script_for(dc: &DataCenter, script_seed: u64, n_events: usize) -> FaultScript {
+    let mut rng = StdRng::seed_from_u64(script_seed);
+    FaultScript::random(&mut rng, n_events, HORIZON_S, dc.n_crac(), dc.n_nodes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Kill at a random epoch, resume from disk, finish: the final event
+    /// log, reward, and outcome must be bit-identical to an
+    /// uninterrupted run of the same plan, script, and seed.
+    #[test]
+    fn killed_and_resumed_run_matches_uninterrupted(
+        script_seed in 0u64..1_000_000,
+        n_events in 0usize..6,
+        arrival_seed in 0u64..1_000,
+        kill_epoch in 0usize..8,
+        interval in 1usize..4,
+    ) {
+        let (dc, plan) = scenario();
+        let script = script_for(dc, script_seed, n_events);
+        let sup_cfg = cfg(arrival_seed);
+        let baseline = Supervisor::new(dc, sup_cfg).run(plan, &script);
+
+        let dir = temp_dir(&format!(
+            "kill-{script_seed}-{n_events}-{arrival_seed}-{kill_epoch}-{interval}"
+        ));
+        let ckpt = CheckpointConfig {
+            snapshot_interval: interval,
+            ..CheckpointConfig::new(&dir)
+        };
+        let stopped = run_checkpointed_until(dc, sup_cfg, plan, &script, &ckpt, kill_epoch)
+            .expect("checkpointed run");
+        prop_assert!(stopped.is_none(), "kill_epoch below the horizon must stop early");
+
+        let rec = resume(&dir).expect("resume");
+        prop_assert!(rec.info.resume_epoch <= kill_epoch);
+        let report = rec.finish().expect("finish");
+
+        prop_assert_eq!(report.outcome, baseline.outcome);
+        prop_assert_eq!(report.sim.reward_collected, baseline.sim.reward_collected);
+        prop_assert_eq!(report.sim.reward_rate, baseline.sim.reward_rate);
+        prop_assert_eq!(report.final_violation_c, baseline.final_violation_c);
+        prop_assert_eq!(report.final_power_kw, baseline.final_power_kw);
+        prop_assert_eq!(report.nodes_dead, baseline.nodes_dead);
+        prop_assert_eq!(&report.shed_task_types, &baseline.shed_task_types);
+        prop_assert_eq!(&report.log, &baseline.log);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Checkpointed-to-completion runs also reproduce the plain run exactly
+/// (the checkpointer only observes, never perturbs).
+#[test]
+fn checkpointed_run_equals_plain_run() {
+    let (dc, plan) = scenario();
+    let script = FaultScript::new().node_death(3.0, 0).arrival_surge(5.0, 1.5);
+    let sup_cfg = cfg(7);
+    let plain = Supervisor::new(dc, sup_cfg).run(plan, &script);
+
+    let dir = temp_dir("full");
+    let ckpt = CheckpointConfig::new(&dir);
+    let checked = run_checkpointed(dc, sup_cfg, plan, &script, &ckpt).expect("run");
+    assert_eq!(checked.outcome, plain.outcome);
+    assert_eq!(checked.sim.reward_collected, plain.sim.reward_collected);
+    assert_eq!(checked.log, plain.log);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Truncate the journal at every byte offset within its final record
+/// (and the record boundary itself): recovery must never panic, must
+/// repair the file, and must land on an epoch no later than the last
+/// fully committed one.
+#[test]
+fn torn_journal_tail_recovers_at_every_byte_offset() {
+    let (dc, plan) = scenario();
+    let script = FaultScript::new().node_death(2.0, 1).sensor_drift(4.0, 2.0);
+    let sup_cfg = cfg(3);
+    let dir = temp_dir("torn");
+    let ckpt = CheckpointConfig {
+        // One early snapshot only: recovery must lean on the journal.
+        snapshot_interval: 100,
+        ..CheckpointConfig::new(&dir)
+    };
+    let stopped =
+        run_checkpointed_until(dc, sup_cfg, plan, &script, &ckpt, 6).expect("checkpointed run");
+    assert!(stopped.is_none());
+
+    let journal_path = dir.join("journal.jsonl");
+    let full = fs::read(&journal_path).expect("read journal");
+    let full_resume = resume(&dir).expect("resume intact");
+    assert_eq!(full_resume.info.resume_epoch, 6);
+    let expected_full = full_resume.finish().expect("finish intact");
+
+    // Byte offsets spanning the last record, the one before it, and the
+    // very start of the file (0 = empty journal, snapshot-only recovery).
+    let last_line_start = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let mut offsets: Vec<usize> = (last_line_start..=full.len()).collect();
+    offsets.push(0);
+    offsets.push(last_line_start / 2);
+
+    for &cut in &offsets {
+        fs::write(&journal_path, &full[..cut]).expect("truncate journal");
+        let rec = resume(&dir).unwrap_or_else(|e| panic!("resume at cut {cut}: {e}"));
+        assert!(
+            rec.info.resume_epoch <= 6,
+            "cut {cut}: resumed past the stop epoch"
+        );
+        // The torn tail must be physically gone: resuming again sees a
+        // clean journal and reports zero truncation.
+        let again = resume(&dir).expect("second resume");
+        assert_eq!(again.info.truncated_bytes, 0, "cut {cut}: tail not repaired");
+        assert_eq!(again.info.resume_epoch, rec.info.resume_epoch);
+        // And the recovered run still finishes with a typed outcome,
+        // identical to the intact run (the arrivals are epoch-seeded, so
+        // losing journal records only moves the resume point, not the
+        // trajectory).
+        let report = rec.finish().expect("finish after tear");
+        assert_eq!(report.outcome, expected_full.outcome, "cut {cut}");
+        assert_eq!(
+            report.sim.reward_collected, expected_full.sim.reward_collected,
+            "cut {cut}"
+        );
+        assert_eq!(report.log, expected_full.log, "cut {cut}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Corrupting the newest snapshot must fall back to an older generation
+/// and replay the journal across the gap.
+#[test]
+fn corrupt_snapshot_falls_back_to_older_generation() {
+    let (dc, plan) = scenario();
+    let script = FaultScript::new().crac_failure(1.0, 0).crac_recovery(3.0, 0);
+    let sup_cfg = cfg(11);
+    let dir = temp_dir("snapfall");
+    let ckpt = CheckpointConfig {
+        snapshot_interval: 2,
+        retain: 3,
+        ..CheckpointConfig::new(&dir)
+    };
+    let stopped =
+        run_checkpointed_until(dc, sup_cfg, plan, &script, &ckpt, 6).expect("checkpointed run");
+    assert!(stopped.is_none());
+    let expected = resume(&dir).expect("resume intact").finish().expect("finish");
+
+    // Flip one byte inside the newest snapshot's payload.
+    let newest = newest_snapshot(&dir);
+    let mut bytes = fs::read(&newest).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    fs::write(&newest, &bytes).expect("corrupt snapshot");
+
+    let rec = resume(&dir).expect("resume with corrupt newest snapshot");
+    assert!(rec.info.snapshots_skipped >= 1, "corruption went unnoticed");
+    assert!(rec.info.snapshot_epoch < 6);
+    assert_eq!(rec.info.resume_epoch, 6, "journal replay must close the gap");
+    let report = rec.finish().expect("finish");
+    assert_eq!(report.outcome, expected.outcome);
+    assert_eq!(report.sim.reward_collected, expected.sim.reward_collected);
+    assert_eq!(report.log, expected.log);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Deleting every snapshot leaves nothing to recover from — a typed
+/// `NoCheckpoint`, not a panic.
+#[test]
+fn no_snapshots_is_a_typed_error() {
+    let (dc, plan) = scenario();
+    let dir = temp_dir("nosnap");
+    let ckpt = CheckpointConfig::new(&dir);
+    let stopped = run_checkpointed_until(dc, cfg(1), plan, &FaultScript::new(), &ckpt, 3)
+        .expect("checkpointed run");
+    assert!(stopped.is_none());
+    for entry in fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("snap-"))
+        {
+            fs::remove_file(path).expect("remove snapshot");
+        }
+    }
+    match resume(&dir) {
+        Err(PersistError::NoCheckpoint { .. }) => {}
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A version-1 snapshot (no `state_crc`) written by the previous format
+/// still recovers; a future version is rejected.
+#[test]
+fn v1_snapshot_loads_and_future_version_is_rejected() {
+    let (dc, plan) = scenario();
+    let dir = temp_dir("v1");
+    let ckpt = CheckpointConfig {
+        snapshot_interval: 2,
+        ..CheckpointConfig::new(&dir)
+    };
+    let stopped = run_checkpointed_until(dc, cfg(5), plan, &FaultScript::new(), &ckpt, 4)
+        .expect("checkpointed run");
+    assert!(stopped.is_none());
+    let expected = resume(&dir).expect("resume v2").finish().expect("finish");
+
+    // Rewrite the newest snapshot in the v1 format: same state payload,
+    // no CRC field.
+    let newest = newest_snapshot(&dir);
+    let text = fs::read_to_string(&newest).expect("read snapshot");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("parse snapshot");
+    let epoch = v.get("epoch").and_then(|x| x.as_f64()).expect("epoch");
+    let state = v.get("state").and_then(|x| x.as_str()).expect("state");
+    let v1 = serde_json::Value::Object(vec![
+        ("version".to_string(), serde_json::Value::Number(1.0)),
+        ("epoch".to_string(), serde_json::Value::Number(epoch)),
+        ("state".to_string(), serde_json::Value::String(state.to_string())),
+    ]);
+    fs::write(&newest, serde_json::to_string(&v1).expect("encode v1")).expect("write v1");
+
+    let rec = resume(&dir).expect("resume with v1 snapshot");
+    let report = rec.finish().expect("finish");
+    assert_eq!(report.sim.reward_collected, expected.sim.reward_collected);
+    assert_eq!(report.log, expected.log);
+
+    // A snapshot claiming a future format must be refused, not guessed at.
+    let future = serde_json::Value::Object(vec![
+        ("version".to_string(), serde_json::Value::Number(99.0)),
+        ("epoch".to_string(), serde_json::Value::Number(epoch)),
+        ("state_crc".to_string(), serde_json::Value::Number(0.0)),
+        ("state".to_string(), serde_json::Value::String(state.to_string())),
+    ]);
+    fs::write(&newest, serde_json::to_string(&future).expect("encode")).expect("write future");
+    match resume(&dir) {
+        Err(PersistError::UnsupportedVersion { version, .. }) => assert_eq!(version, 99),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn newest_snapshot(dir: &Path) -> PathBuf {
+    let mut snaps: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".json"))
+        })
+        .collect();
+    snaps.sort();
+    snaps.pop().expect("at least one snapshot")
+}
+
+/// A meltdown floor (single CRAC fails, no steady state) logs events
+/// carrying `+inf` observations. Those must journal and snapshot
+/// cleanly: a clean kill mid-meltdown leaves **zero** torn bytes, and
+/// the resumed run still matches the uninterrupted one exactly.
+#[test]
+fn meltdown_events_journal_cleanly_and_resume() {
+    let dc = ScenarioParams {
+        n_nodes: 6,
+        n_crac: 1,
+        ..ScenarioParams::small_test()
+    }
+    .build(3)
+    .expect("scenario");
+    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+    let script = FaultScript::new().crac_failure(2.0, 0);
+    let baseline = Supervisor::new(&dc, cfg(3)).run(&plan, &script);
+    assert!(
+        baseline.log.events().iter().any(|e| {
+            serde_json::to_string(&e.kind)
+                .map(|j| j.contains("\"inf\""))
+                .unwrap_or(false)
+        }),
+        "scenario must actually produce a non-finite observation"
+    );
+
+    let dir = temp_dir("meltdown");
+    let ckpt = CheckpointConfig {
+        snapshot_interval: 2,
+        ..CheckpointConfig::new(&dir)
+    };
+    // Kill well after the meltdown events have been journaled.
+    let stopped =
+        run_checkpointed_until(&dc, cfg(3), &plan, &script, &ckpt, 6).expect("checkpointed run");
+    assert!(stopped.is_none(), "killed mid-horizon");
+
+    let rec = resume(&dir).expect("resume through meltdown events");
+    assert_eq!(
+        rec.info.truncated_bytes, 0,
+        "a cleanly killed journal has no torn tail to repair"
+    );
+    assert_eq!(rec.info.resume_epoch, 6, "every committed epoch recovered");
+    let report = rec.finish().expect("finish recovered run");
+    assert_eq!(report.outcome, baseline.outcome);
+    assert_eq!(report.sim.reward_collected, baseline.sim.reward_collected);
+    assert_eq!(report.log, baseline.log);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -2,6 +2,7 @@
 //! plan-oblivious comparison policies used by the `ablation_dispatch`
 //! experiment.
 
+use serde::{Deserialize, Serialize, Value};
 use thermaware_core::stage3::Stage3Solution;
 use thermaware_datacenter::DataCenter;
 
@@ -28,6 +29,50 @@ pub enum DispatchPolicy {
         /// Decay time constant of the rate estimator, seconds.
         tau_s: f64,
     },
+}
+
+// Hand-written serde: `AtcTcWindowed` carries a payload, which the
+// vendored derive cannot express. Fieldless variants print as plain
+// strings; the windowed rule prints as `{"kind": ..., "tau_s": ...}`.
+impl Serialize for DispatchPolicy {
+    fn to_value(&self) -> Value {
+        match self {
+            DispatchPolicy::AtcTc => Value::String("atc_tc".to_string()),
+            DispatchPolicy::EarliestFinish => Value::String("earliest_finish".to_string()),
+            DispatchPolicy::LeastLoaded => Value::String("least_loaded".to_string()),
+            DispatchPolicy::AtcTcWindowed { tau_s } => Value::Object(vec![
+                ("kind".to_string(), "atc_tc_windowed".to_value()),
+                ("tau_s".to_string(), tau_s.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for DispatchPolicy {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "atc_tc" => Ok(DispatchPolicy::AtcTc),
+                "earliest_finish" => Ok(DispatchPolicy::EarliestFinish),
+                "least_loaded" => Ok(DispatchPolicy::LeastLoaded),
+                other => Err(serde::Error::custom(format!(
+                    "DispatchPolicy: unknown variant '{other}'"
+                ))),
+            };
+        }
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("DispatchPolicy: expected string or object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        match kind.as_str() {
+            "atc_tc_windowed" => Ok(DispatchPolicy::AtcTcWindowed {
+                tau_s: serde::field(entries, "tau_s")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "DispatchPolicy: unknown kind '{other}'"
+            ))),
+        }
+    }
 }
 
 /// Where one task went.
@@ -375,6 +420,90 @@ impl DynamicScheduler {
             .map(|&k| self.busy_time[k].min(horizon))
             .sum::<f64>()
             / (active.len() as f64 * horizon)
+    }
+}
+
+/// Serializable mirror of [`DynamicScheduler`] — the checkpoint form the
+/// runtime's persist layer writes. Service times use `Option<f64>` with
+/// `None` standing for "cannot run" because JSON has no `INFINITY`; every
+/// other field round-trips bit-exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerState {
+    /// The active policy.
+    pub policy: DispatchPolicy,
+    /// Desired rates (per core) from Stage 3.
+    pub tc: Vec<Vec<f64>>,
+    /// AtcTc candidate cores per task type.
+    pub candidates: Vec<Vec<usize>>,
+    /// Cores able to run each type at all.
+    pub runnable: Vec<Vec<usize>>,
+    /// Tasks of each type assigned to each core.
+    pub count: Vec<Vec<u64>>,
+    /// Windowed-rate estimates `(rate, last_update)` per (type, core).
+    pub ewma_rate: Vec<Vec<(f64, f64)>>,
+    /// Time each core becomes free.
+    pub busy_until: Vec<f64>,
+    /// Service time per (type, core); `None` where the type cannot run
+    /// (`INFINITY` in the live scheduler).
+    pub service: Vec<Vec<Option<f64>>>,
+    /// Accumulated busy time per core.
+    pub busy_time: Vec<f64>,
+    /// Core liveness mask.
+    pub alive: Vec<bool>,
+    /// When the current plan took effect.
+    pub plan_start: f64,
+}
+
+impl DynamicScheduler {
+    /// Capture the full dispatch state for checkpointing.
+    pub fn to_state(&self) -> SchedulerState {
+        SchedulerState {
+            policy: self.policy,
+            tc: self.tc.clone(),
+            candidates: self.candidates.clone(),
+            runnable: self.runnable.clone(),
+            count: self.count.clone(),
+            ewma_rate: self.ewma_rate.clone(),
+            busy_until: self.busy_until.clone(),
+            service: self
+                .service
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&s| if s.is_finite() { Some(s) } else { None })
+                        .collect()
+                })
+                .collect(),
+            busy_time: self.busy_time.clone(),
+            alive: self.alive.clone(),
+            plan_start: self.plan_start,
+        }
+    }
+
+    /// Rebuild a scheduler from a checkpointed state (inverse of
+    /// [`DynamicScheduler::to_state`]).
+    pub fn from_state(state: SchedulerState) -> DynamicScheduler {
+        DynamicScheduler {
+            policy: state.policy,
+            tc: state.tc,
+            candidates: state.candidates,
+            runnable: state.runnable,
+            count: state.count,
+            ewma_rate: state.ewma_rate,
+            busy_until: state.busy_until,
+            service: state
+                .service
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|s| s.unwrap_or(f64::INFINITY))
+                        .collect()
+                })
+                .collect(),
+            busy_time: state.busy_time,
+            alive: state.alive,
+            plan_start: state.plan_start,
+        }
     }
 }
 

@@ -1,13 +1,14 @@
 //! Event-driven simulation of the second step over an arrival trace.
 
-use crate::dispatch::{DispatchDecision, DispatchPolicy, DynamicScheduler};
+use crate::dispatch::{DispatchDecision, DispatchPolicy, DynamicScheduler, SchedulerState};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use thermaware_core::stage3::Stage3Solution;
 use thermaware_datacenter::DataCenter;
 use thermaware_workload::ArrivalTrace;
 
 /// Per-task-type outcome counters.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TypeStats {
     /// Tasks that arrived.
     pub arrived: usize,
@@ -173,16 +174,22 @@ fn simulate_inner<R: Rng>(
 }
 
 /// One admitted task awaiting completion accounting.
-#[derive(Debug, Clone, Copy)]
-struct Admitted {
-    core: usize,
-    task_type: usize,
-    arrival: f64,
-    start: f64,
-    finish: f64,
-    deadline: f64,
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Admitted {
+    /// Global core index it ran on.
+    pub core: usize,
+    /// Its task type.
+    pub task_type: usize,
+    /// Arrival instant, seconds.
+    pub arrival: f64,
+    /// Execution start (after the core's backlog).
+    pub start: f64,
+    /// Execution finish.
+    pub finish: f64,
+    /// Absolute deadline.
+    pub deadline: f64,
     /// Its core's node died before it finished: no reward.
-    lost: bool,
+    pub lost: bool,
 }
 
 /// An **interruptible** simulation: the caller feeds arrivals in time
@@ -280,6 +287,28 @@ impl<'a> EpochSim<'a> {
         }
     }
 
+    /// Capture the full simulation state for checkpointing. Everything
+    /// except the `DataCenter` reference (restored separately from the
+    /// scenario snapshot) round-trips.
+    pub fn to_state(&self) -> EpochSimState {
+        EpochSimState {
+            scheduler: self.scheduler.to_state(),
+            per_type: self.per_type.clone(),
+            admitted: self.admitted.clone(),
+        }
+    }
+
+    /// Rebuild a simulation mid-flight from a checkpointed state against
+    /// a (restored) data center.
+    pub fn from_state(dc: &'a DataCenter, state: EpochSimState) -> EpochSim<'a> {
+        EpochSim {
+            dc,
+            scheduler: DynamicScheduler::from_state(state.scheduler),
+            per_type: state.per_type,
+            admitted: state.admitted,
+        }
+    }
+
     /// Close the books over `[0, horizon_s]` and summarize.
     pub fn finish(self, horizon_s: f64) -> SimulationResult {
         let mut per_type = self.per_type;
@@ -317,6 +346,18 @@ impl<'a> EpochSim<'a> {
             response: LatencyStats::from_samples(&mut responses),
         }
     }
+}
+
+/// Serializable mirror of [`EpochSim`] (everything but the `DataCenter`
+/// reference): the checkpoint form the runtime's persist layer writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSimState {
+    /// Dispatch state.
+    pub scheduler: SchedulerState,
+    /// Per-type outcome counters so far.
+    pub per_type: Vec<TypeStats>,
+    /// Admitted tasks awaiting completion accounting.
+    pub admitted: Vec<Admitted>,
 }
 
 #[cfg(test)]
@@ -427,6 +468,37 @@ mod tests {
             .map(|t| t.deadline_slack)
             .fold(0.0_f64, f64::max);
         assert!(r.response.max <= max_slack + 1e-9);
+    }
+
+    #[test]
+    fn epoch_sim_state_round_trips_mid_flight() {
+        let (dc, pstates, s3) = setup(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let trace = ArrivalTrace::generate(&dc.workload, 6.0, &mut rng);
+        let split = trace.arrivals.len() / 2;
+
+        let mut sim = EpochSim::new(&dc, &pstates, &s3);
+        for a in &trace.arrivals[..split] {
+            sim.dispatch(a.task_type, a.time, a.deadline);
+        }
+
+        // Freeze, serialize through JSON, thaw.
+        let state = sim.to_state();
+        let json = serde_json::to_string(&state).expect("serialize");
+        let back: EpochSimState = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, state);
+        let mut resumed = EpochSim::from_state(&dc, back);
+
+        // Both halves must finish bit-identically.
+        for a in &trace.arrivals[split..] {
+            sim.dispatch(a.task_type, a.time, a.deadline);
+            resumed.dispatch(a.task_type, a.time, a.deadline);
+        }
+        let a = sim.finish(trace.horizon_s);
+        let b = resumed.finish(trace.horizon_s);
+        assert_eq!(a.reward_collected, b.reward_collected);
+        assert_eq!(a.per_type, b.per_type);
+        assert_eq!(a.mean_utilization, b.mean_utilization);
     }
 
     #[test]
