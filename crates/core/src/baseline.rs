@@ -37,10 +37,24 @@ pub struct BaselineSolution {
 }
 
 /// Solve the baseline for a data center.
+///
+/// Prefer [`crate::Solver::baseline`] — the builder façade wrapping this
+/// entry point; this free function is kept as a thin shim for existing
+/// call sites and produces bit-identical assignments.
 pub fn solve_baseline(
     dc: &DataCenter,
     search: CracSearchOptions,
 ) -> Result<BaselineSolution, SolveError> {
+    baseline_impl(dc, search)
+}
+
+/// Shared implementation behind [`solve_baseline`] and
+/// [`crate::Solver::baseline`].
+pub(crate) fn baseline_impl(
+    dc: &DataCenter,
+    search: CracSearchOptions,
+) -> Result<BaselineSolution, SolveError> {
+    let _span = thermaware_obs::span("baseline");
     let best = optimize_crac_outlets(&dc.cracs, search, |outlets| {
         solve_fixed_outlets(dc, outlets).map(|(_, obj)| obj)
     })

@@ -37,6 +37,7 @@ pub mod min_power;
 pub mod minlp;
 pub mod pwl;
 pub mod rr;
+pub mod solver;
 pub mod stage1;
 pub mod stage2;
 pub mod stage3;
@@ -49,6 +50,7 @@ pub use baseline::{solve_baseline, BaselineSolution};
 pub use error::SolveError;
 pub use pwl::PiecewiseLinear;
 pub use rr::reward_rate_curve;
+pub use solver::Solver;
 pub use three_stage::{
     solve_three_stage, solve_three_stage_best_of, ThreeStageOptions, ThreeStageSolution,
 };

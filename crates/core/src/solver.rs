@@ -1,0 +1,140 @@
+//! The [`Solver`] builder — the workspace's primary solve entry point.
+//!
+//! The free functions [`crate::solve_three_stage`],
+//! [`crate::solve_three_stage_best_of`] and [`crate::solve_baseline`]
+//! grew one configuration parameter at a time (ψ, the CRAC search
+//! options, now an observability recorder), and every addition rippled
+//! through each signature. The builder gathers the configuration in one
+//! place with defaults matching [`ThreeStageOptions::default`]:
+//!
+//! ```
+//! use thermaware_core::Solver;
+//! use thermaware_datacenter::ScenarioParams;
+//!
+//! let dc = ScenarioParams::small_test().build(1).unwrap();
+//! let plan = Solver::new(&dc).psi(50.0).solve().expect("plan");
+//! assert!(plan.reward_rate() > 0.0);
+//! ```
+//!
+//! Both paths call the same `pub(crate)` implementations, so a builder
+//! solve is **bit-identical** to the equivalent free-function call (a
+//! test in `tests/solver_builder.rs` holds this).
+
+use crate::baseline::{baseline_impl, BaselineSolution};
+use crate::error::SolveError;
+use crate::three_stage::{three_stage_best_of_impl, three_stage_impl};
+use crate::{ThreeStageOptions, ThreeStageSolution};
+use std::sync::Arc;
+use thermaware_datacenter::{CracSearchOptions, DataCenter};
+use thermaware_obs::Recorder;
+
+/// Which ψ policy a [`Solver`] runs.
+#[derive(Debug, Clone)]
+enum PsiPolicy {
+    /// One solve at a single ψ (percent).
+    Single(f64),
+    /// Solve per candidate ψ, keep the best by Stage-3 reward rate.
+    BestOf(Vec<f64>),
+}
+
+/// Builder façade over the three-stage technique and the baseline.
+///
+/// Construct with [`Solver::new`], chain configuration, finish with
+/// [`solve`](Solver::solve) (or [`baseline`](Solver::baseline)). Every
+/// knob has the same default the free functions use, so
+/// `Solver::new(&dc).solve()` equals
+/// `solve_three_stage(&dc, &ThreeStageOptions::default())`.
+pub struct Solver<'a> {
+    dc: &'a DataCenter,
+    psi: PsiPolicy,
+    search: CracSearchOptions,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl<'a> Solver<'a> {
+    /// A solver over `dc` with default configuration (ψ = 50%, default
+    /// coarse-to-fine CRAC search, no recorder).
+    pub fn new(dc: &'a DataCenter) -> Solver<'a> {
+        Solver {
+            dc,
+            psi: PsiPolicy::Single(ThreeStageOptions::default().psi_percent),
+            search: CracSearchOptions::default(),
+            recorder: None,
+        }
+    }
+
+    /// Use a single ψ (percent of task types averaged into the ARR
+    /// curves — paper Section V.B.1).
+    pub fn psi(mut self, percent: f64) -> Solver<'a> {
+        self.psi = PsiPolicy::Single(percent);
+        self
+    }
+
+    /// Solve once per candidate ψ and keep the best plan by Stage-3
+    /// reward rate (the paper's "best of the two" series in Figure 6).
+    /// An empty candidate set fails at [`solve`](Solver::solve) time with
+    /// [`SolveError::InvalidInput`].
+    pub fn psi_best_of(mut self, psis: impl Into<Vec<f64>>) -> Solver<'a> {
+        self.psi = PsiPolicy::BestOf(psis.into());
+        self
+    }
+
+    /// Configure the coarse-to-fine CRAC outlet temperature search.
+    pub fn crac_grid(mut self, search: CracSearchOptions) -> Solver<'a> {
+        self.search = search;
+        self
+    }
+
+    /// Install `recorder` as the process-global observability sink for
+    /// the duration of the solve (spans, counters, histograms from every
+    /// layer down to the simplex pivot loop). The previously installed
+    /// recorder, if any, is restored when the solve returns.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Solver<'a> {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Run the configured three-stage solve.
+    pub fn solve(&self) -> Result<ThreeStageSolution, SolveError> {
+        let _install = self.recorder.as_ref().map(|r| thermaware_obs::install(Arc::clone(r)));
+        match &self.psi {
+            PsiPolicy::Single(psi) => three_stage_impl(
+                self.dc,
+                &ThreeStageOptions {
+                    psi_percent: *psi,
+                    search: self.search,
+                },
+            ),
+            PsiPolicy::BestOf(psis) => three_stage_best_of_impl(self.dc, psis, self.search),
+        }
+    }
+
+    /// Run the Eq.-21 baseline (P0-or-off fractions) under the same CRAC
+    /// search and recorder configuration. The ψ policy does not apply —
+    /// the baseline has no ARR averaging.
+    pub fn baseline(&self) -> Result<BaselineSolution, SolveError> {
+        let _install = self.recorder.as_ref().map(|r| thermaware_obs::install(Arc::clone(r)));
+        baseline_impl(self.dc, self.search)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_datacenter::ScenarioParams;
+
+    #[test]
+    fn defaults_match_three_stage_options() {
+        let dc = ScenarioParams::small_test().build(5).unwrap();
+        let a = Solver::new(&dc).solve().expect("builder");
+        let b = crate::solve_three_stage(&dc, &ThreeStageOptions::default()).expect("legacy");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_best_of_is_invalid_input() {
+        let dc = ScenarioParams::small_test().build(5).unwrap();
+        let err = Solver::new(&dc).psi_best_of(Vec::new()).solve().unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput { .. }));
+    }
+}

@@ -75,6 +75,7 @@ pub fn solve_stage1(
     dc: &DataCenter,
     options: &Stage1Options,
 ) -> Result<Stage1Solution, SolveError> {
+    let _span = thermaware_obs::span("stage1");
     // ARR per node type, lifted to node-level aggregate curves.
     let arr_curves: Vec<ArrCurve> = (0..dc.node_types.len())
         .map(|j| {
@@ -86,6 +87,11 @@ pub fn solve_stage1(
             )
         })
         .collect();
+    if thermaware_obs::enabled() {
+        for c in &arr_curves {
+            thermaware_obs::observe("core.arr_hull_points", c.curve.points().len() as f64);
+        }
+    }
     let node_curves: Vec<crate::pwl::PiecewiseLinear> = (0..dc.node_types.len())
         .map(|j| {
             arr_curves[j]
@@ -102,6 +108,7 @@ pub fn solve_stage1(
 
     let (node_core_power_kw, objective) = solve_fixed_outlets(dc, &node_curves, &crac_out_c)
         .ok_or(SolveError::OutletRecheckFailed { stage: "stage1" })?;
+    thermaware_obs::gauge_set("core.stage1_objective", objective);
 
     // Distribute each node's power to its cores along the per-core hull.
     let mut core_power_kw = vec![0.0; dc.n_cores()];

@@ -53,10 +53,28 @@ impl ThreeStageSolution {
 }
 
 /// Run Stages 1–3 for one ψ.
+///
+/// Prefer [`crate::Solver`] — the builder façade wrapping this entry
+/// point (`Solver::new(&dc).psi(50.0).solve()`); this free function is
+/// kept as a thin shim for existing call sites and produces bit-identical
+/// plans.
 pub fn solve_three_stage(
     dc: &DataCenter,
     options: &ThreeStageOptions,
 ) -> Result<ThreeStageSolution, SolveError> {
+    three_stage_impl(dc, options)
+}
+
+/// Shared implementation behind [`solve_three_stage`] and
+/// [`crate::Solver::solve`] — both paths call this with the same
+/// arguments, which is what makes the builder bit-identical to the
+/// legacy entry point.
+pub(crate) fn three_stage_impl(
+    dc: &DataCenter,
+    options: &ThreeStageOptions,
+) -> Result<ThreeStageSolution, SolveError> {
+    let _span = thermaware_obs::span("three_stage");
+    thermaware_obs::gauge_set("core.psi_percent", options.psi_percent);
     let stage1 = solve_stage1(
         dc,
         &Stage1Options {
@@ -64,8 +82,16 @@ pub fn solve_three_stage(
             search: options.search,
         },
     )?;
-    let pstates = assign_pstates(dc, &stage1);
-    let stage3 = solve_stage3(dc, &pstates)?;
+    let pstates = {
+        let _s2 = thermaware_obs::span("stage2");
+        assign_pstates(dc, &stage1)
+    };
+    let stage3 = {
+        let _s3 = thermaware_obs::span("stage3");
+        solve_stage3(dc, &pstates)?
+    };
+    thermaware_obs::gauge_set("core.reward_rate", stage3.reward_rate);
+    thermaware_obs::observe("core.reward_rate_trajectory", stage3.reward_rate);
     Ok(ThreeStageSolution {
         psi_percent: options.psi_percent,
         stage1,
@@ -77,7 +103,22 @@ pub fn solve_three_stage(
 /// Run the three-stage technique for several ψ values and keep the best
 /// (by Stage-3 reward rate) — the paper's "best of the two" series in
 /// Figure 6.
+///
+/// Prefer [`crate::Solver`] with
+/// [`psi_best_of`](crate::Solver::psi_best_of); this free function is
+/// kept as a thin shim for existing call sites and produces bit-identical
+/// plans.
 pub fn solve_three_stage_best_of(
+    dc: &DataCenter,
+    psis: &[f64],
+    search: CracSearchOptions,
+) -> Result<ThreeStageSolution, SolveError> {
+    three_stage_best_of_impl(dc, psis, search)
+}
+
+/// Shared implementation behind [`solve_three_stage_best_of`] and the
+/// builder's best-of mode.
+pub(crate) fn three_stage_best_of_impl(
     dc: &DataCenter,
     psis: &[f64],
     search: CracSearchOptions,
@@ -85,9 +126,11 @@ pub fn solve_three_stage_best_of(
     if psis.is_empty() {
         return Err(SolveError::invalid_input("best-of: empty ψ candidate set"));
     }
+    let _span = thermaware_obs::span("three_stage_best_of");
     let mut best: Option<ThreeStageSolution> = None;
     let mut last_err: Option<SolveError> = None;
     for &psi in psis {
+        thermaware_obs::counter_add("core.psi_candidates", 1);
         match solve_three_stage(
             dc,
             &ThreeStageOptions {
@@ -103,7 +146,10 @@ pub fn solve_three_stage_best_of(
                     best = Some(sol);
                 }
             }
-            Err(e) => last_err = Some(e),
+            Err(e) => {
+                thermaware_obs::counter_add("core.psi_failures", 1);
+                last_err = Some(e);
+            }
         }
     }
     match (best, last_err) {

@@ -55,10 +55,47 @@ pub fn optimize_crac_outlets<F>(
 where
     F: FnMut(&[f64]) -> Option<f64>,
 {
+    let _span = thermaware_obs::span("crac_search");
+    // Candidate accounting goes through a wrapper so both passes (and
+    // both refinement strategies) are counted uniformly: `evaluated` is
+    // every combination handed to the caller's scorer, `pruned` the
+    // subset the scorer rejected as infeasible.
+    let mut evaluated: u64 = 0;
+    let mut pruned: u64 = 0;
+    let result = search_impl(cracs, options, &mut |combo: &[f64]| {
+        evaluated += 1;
+        let s = score(combo);
+        if s.is_none() {
+            pruned += 1;
+        }
+        s
+    });
+    if thermaware_obs::enabled() {
+        thermaware_obs::counter_add("crac.candidates", evaluated);
+        thermaware_obs::counter_add("crac.pruned", pruned);
+        thermaware_obs::observe("crac.candidates_per_search", evaluated as f64);
+        thermaware_obs::gauge_set("crac.coarse_step_c", options.coarse_step_c);
+        thermaware_obs::gauge_set("crac.fine_step_c", options.fine_step_c);
+        if result.is_none() {
+            thermaware_obs::counter_add("crac.search_exhausted", 1);
+        }
+    }
+    result
+}
+
+fn search_impl<F>(
+    cracs: &[CracUnit],
+    options: CracSearchOptions,
+    score: &mut F,
+) -> Option<(Vec<f64>, f64)>
+where
+    F: FnMut(&[f64]) -> Option<f64>,
+{
     assert!(!cracs.is_empty());
     assert!(options.coarse_step_c > 0.0 && options.fine_step_c > 0.0);
 
     // ---- Coarse pass: full grid ------------------------------------------
+    let coarse_span = thermaware_obs::span("crac_search.coarse");
     let coarse_axes: Vec<Vec<f64>> = cracs
         .iter()
         .map(|c| axis(c.min_outlet_c, c.max_outlet_c, options.coarse_step_c))
@@ -71,9 +108,11 @@ where
             }
         }
     });
+    drop(coarse_span);
     let (mut current, mut current_score) = best?;
 
     // ---- Refinement ------------------------------------------------------
+    let _refine_span = thermaware_obs::span("crac_search.refine");
     let radius = options.refine_radius as f64 * options.fine_step_c;
     if options.exhaustive_refine {
         let fine_axes: Vec<Vec<f64>> = cracs
@@ -101,6 +140,7 @@ where
     // Coordinate descent at fine granularity: sweep each CRAC's axis while
     // holding the others, repeat until a full sweep makes no progress.
     for _ in 0..8 {
+        thermaware_obs::counter_add("crac.descent_sweeps", 1);
         let mut improved = false;
         for i in 0..cracs.len() {
             let lo = (current[i] - radius).max(cracs[i].min_outlet_c);

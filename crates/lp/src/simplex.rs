@@ -73,6 +73,9 @@ struct Tableau {
     art_start: usize,
     iterations: usize,
     degen_run: usize,
+    /// Degenerate pivots over the whole solve (observability statistic;
+    /// `degen_run` is the consecutive-run trigger for Bland's rule).
+    degen_total: usize,
     bland: bool,
 }
 
@@ -208,8 +211,10 @@ impl Tableau {
         self.iterations += 1;
         if t_best <= 1e-12 {
             self.degen_run += 1;
-            if self.degen_run > DEGEN_LIMIT {
+            self.degen_total += 1;
+            if self.degen_run > DEGEN_LIMIT && !self.bland {
                 self.bland = true;
+                thermaware_obs::counter_add("lp.bland_switches", 1);
             }
         } else {
             self.degen_run = 0;
@@ -300,7 +305,44 @@ impl Tableau {
 
 /// Solve `problem`; when `feasibility_only`, stop after phase 1 and report
 /// any feasible point.
+///
+/// Observability wrapper around [`solve_impl`]: per-solve wall time,
+/// iteration/pivot/degeneracy statistics, and outcome counters. The LP
+/// solver is the innermost hot loop of the whole stack (the CRAC search
+/// calls it per candidate), so all metrics of a solve are batched into a
+/// single recorder visit, and no span is opened here — `lp.solve_us` is
+/// the per-solve timing. With no recorder installed this adds one
+/// relaxed atomic load to the solve.
 pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solution, LpError> {
+    let mut degen = 0usize;
+    if !thermaware_obs::enabled() {
+        return solve_impl(problem, feasibility_only, &mut degen);
+    }
+    let start = std::time::Instant::now();
+    let result = solve_impl(problem, feasibility_only, &mut degen);
+    let elapsed_us = start.elapsed().as_micros() as f64;
+    thermaware_obs::with_recorder(|r| {
+        r.counter_add("lp.solves", 1);
+        r.observe("lp.solve_us", elapsed_us);
+        r.observe("lp.degenerate_steps", degen as f64);
+        match &result {
+            Ok(sol) => {
+                r.counter_add("lp.pivots", sol.iterations as u64);
+                r.observe("lp.iterations", sol.iterations as f64);
+            }
+            Err(LpError::Infeasible { .. }) => r.counter_add("lp.infeasible", 1),
+            Err(LpError::Unbounded { .. }) => r.counter_add("lp.unbounded", 1),
+            Err(LpError::IterationLimit { .. }) => r.counter_add("lp.iteration_limit", 1),
+        }
+    });
+    result
+}
+
+fn solve_impl(
+    problem: &Problem,
+    feasibility_only: bool,
+    degen_out: &mut usize,
+) -> Result<Solution, LpError> {
     let nrows = problem.cons.len();
 
     // ---- Build the internal column layout -------------------------------
@@ -452,6 +494,7 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
         art_start: n_slack_end,
         iterations: 0,
         degen_run: 0,
+        degen_total: 0,
         bland: false,
     };
     let cap = 200 * (nrows + n_total + 10);
@@ -494,6 +537,7 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
     if feasibility_only {
         let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign)?;
         let objective = problem.objective_value(&values);
+        *degen_out = tab.degen_total;
         return Ok(Solution {
             status: Status::Feasible,
             objective,
@@ -540,6 +584,7 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
         },
         "objective bookkeeping mismatch"
     );
+    *degen_out = tab.degen_total;
     Ok(Solution {
         status: Status::Optimal,
         objective,

@@ -1,0 +1,242 @@
+//! Lock-free log-scale histograms.
+//!
+//! A [`LogHistogram`] buckets positive values by their binary exponent:
+//! bucket `i` (for `1 <= i < N_BUCKETS`) covers `[2^(i-1+MIN_EXP),
+//! 2^(i+MIN_EXP))`, so with `MIN_EXP = -20` the finest bucket starts at
+//! ~9.5e-7 and the coarsest ends at 2^43 ≈ 8.8e12 — wide enough for both
+//! microsecond timings and simplex iteration counts without configuration.
+//! Bucket 0 collects non-positive and sub-range values. The bucket count
+//! and boundaries are fixed at compile time, which keeps `record` a pure
+//! atomic increment and makes merged snapshots from concurrent writers
+//! well-defined.
+//!
+//! All state is atomic (`AtomicU64` counts, f64-as-bits CAS for sum, min
+//! and max), matching the workspace's scoped-threads + atomics
+//! concurrency pattern: many `parallel_map` workers can record into one
+//! shared histogram with no lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets (one underflow bucket + 63 binary-exponent buckets).
+pub const N_BUCKETS: usize = 64;
+/// Binary exponent of the lower edge of bucket 1: bucket 1 covers
+/// `[2^MIN_EXP, 2^(MIN_EXP+1))`.
+pub const MIN_EXP: i32 = -20;
+
+/// A fixed-bucket, log-scale histogram safe for concurrent recording.
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    /// Sum of recorded values, stored as f64 bits (CAS loop on update).
+    sum_bits: AtomicU64,
+    /// Minimum recorded value as f64 bits; `u64::MAX` when empty.
+    min_bits: AtomicU64,
+    /// Maximum recorded value as f64 bits; `u64::MAX` when empty.
+    max_bits: AtomicU64,
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let e = v.log2().floor() as i64;
+    let idx = e - i64::from(MIN_EXP) + 1;
+    idx.clamp(0, N_BUCKETS as i64 - 1) as usize
+}
+
+/// The exclusive upper edge of a bucket (`f64::INFINITY` for the last).
+pub fn bucket_upper_edge(i: usize) -> f64 {
+    if i >= N_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        // Bucket 0 is the underflow bucket: everything below 2^MIN_EXP.
+        (2.0_f64).powi(MIN_EXP + i as i32)
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: [(); N_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            min_bits: AtomicU64::new(u64::MAX),
+            max_bits: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one observation. Non-finite values are counted in the
+    /// underflow bucket and excluded from sum/min/max, so a stray
+    /// `INFINITY` cannot poison the summary statistics.
+    pub fn record(&self, v: f64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_finite() {
+            return;
+        }
+        // f64 CAS loops for sum/min/max. Relaxed is fine: the histogram
+        // is a statistic, not a synchronization point, and snapshots are
+        // taken after the recording threads have joined.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.min_bits.load(Ordering::Relaxed);
+        while cur == u64::MAX || v < f64::from_bits(cur) {
+            match self
+                .min_bits
+                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while cur == u64::MAX || v > f64::from_bits(cur) {
+            match self
+                .max_bits
+                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// An immutable summary of the current contents.
+    pub fn snapshot(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<(f64, u64)> = (0..N_BUCKETS)
+            .filter_map(|i| {
+                let c = self.counts[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_upper_edge(i), c))
+            })
+            .collect();
+        let unwrap_bits = |bits: u64| if bits == u64::MAX { 0.0 } else { f64::from_bits(bits) };
+        HistogramSummary {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: unwrap_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: unwrap_bits(self.max_bits.load(Ordering::Relaxed)),
+            p50: quantile(&buckets, count, 0.50),
+            p95: quantile(&buckets, count, 0.95),
+            p99: quantile(&buckets, count, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// Bucket-resolution quantile: the upper edge of the first bucket whose
+/// cumulative count reaches `q * count` (an upper bound on the true
+/// quantile, tight to within one binary order of magnitude).
+fn quantile(buckets: &[(f64, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let target = (q * count as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for &(edge, c) in buckets {
+        cum += c;
+        if cum >= target {
+            return edge;
+        }
+    }
+    buckets.last().map(|&(e, _)| e).unwrap_or(0.0)
+}
+
+/// A point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation (0 when empty).
+    pub min: f64,
+    /// Largest finite observation (0 when empty).
+    pub max: f64,
+    /// Bucket-resolution median (upper bound).
+    pub p50: f64,
+    /// Bucket-resolution 95th percentile (upper bound).
+    pub p95: f64,
+    /// Bucket-resolution 99th percentile (upper bound).
+    pub p99: f64,
+    /// Non-empty buckets as `(exclusive upper edge, count)` pairs in
+    /// ascending edge order.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean of finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // 1.0 = 2^0 lands in the bucket whose range starts at 2^0.
+        let i = bucket_index(1.0);
+        assert_eq!(bucket_upper_edge(i), 2.0);
+        // Exactly at a bucket's lower edge -> that bucket, not the one
+        // below: 2.0 belongs to [2, 4).
+        assert_eq!(bucket_index(2.0), i + 1);
+        // Just under the edge stays below.
+        assert_eq!(bucket_index(1.9999999), i);
+    }
+
+    #[test]
+    fn non_positive_and_non_finite_underflow() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        let h = LogHistogram::new();
+        h.record(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 0.0, "non-finite excluded from the sum");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let h = LogHistogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 15.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.mean(), 3.75);
+        // Each value sits alone in its bucket; p50 is the upper edge of
+        // the second bucket (cumulative 2 of 4).
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.buckets.len(), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Minimal JSON emission for the JSONL sink and the `BENCH_obs.json`
+//! report.
+//!
+//! The obs crate is dependency-free by contract (it must be installable
+//! under every crate in the workspace, including the bottom of the
+//! dependency graph), so it cannot use the vendored `serde_json`. What
+//! it emits is plain JSON that the vendored parser reads back — the
+//! golden-file test in `tests/jsonl_golden.rs` holds that compatibility.
+
+/// Append `s` as a JSON string literal (quoted, escaped) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f64` in JSON-legal form. JSON has no number for non-finite
+/// values, so those become the strings `"inf"` / `"-inf"` / `"NaN"` —
+/// the same convention the runtime's event log uses.
+pub(crate) fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{}` on a finite f64 yields a JSON-legal number (digits,
+        // optional '.', optional 'e' exponent).
+        out.push_str(&format!("{x}"));
+    } else {
+        push_str_literal(out, &format!("{x}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(lit("plain/path"), "\"plain/path\"");
+        assert_eq!(lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(lit("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+        let mut out = String::new();
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "\"inf\"");
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "\"NaN\"");
+    }
+}

@@ -1,0 +1,170 @@
+//! The JSONL trace sink: one JSON object per line, written as events
+//! complete, suitable for `results/` artifacts and offline analysis.
+//!
+//! Line schema (`type` discriminates):
+//!
+//! ```text
+//! {"type":"meta","format":"thermaware-obs-trace","version":1,"clock":"us"}
+//! {"type":"span","path":"three_stage/stage1","name":"stage1","depth":1,
+//!  "thread":0,"start_us":12,"dur_us":3456}
+//! {"type":"counter","name":"lp.solves","value":18}
+//! {"type":"gauge","name":"core.reward_rate","value":88.25}
+//! {"type":"hist","name":"lp.iterations","count":18,"sum":412.0,
+//!  "min":4.0,"max":96.0,"mean":22.9,"p50":32.0,"p95":128.0,"p99":128.0,
+//!  "buckets":[[8.0,3],[32.0,9],[128.0,6]]}
+//! ```
+//!
+//! Span lines stream out as spans close; counter/gauge/hist summary
+//! lines are written once by [`JsonlRecorder::finish`]. Non-finite
+//! numbers are encoded as the strings `"inf"`/`"-inf"`/`"NaN"` (the
+//! workspace's event-log convention) — in particular the open upper
+//! edge of a histogram's last bucket.
+
+use crate::json::{push_f64, push_str_literal};
+use crate::registry::{MetricRegistry, MetricsSnapshot};
+use crate::span::SpanRecord;
+use crate::Recorder;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+/// Current trace-format version (the `meta` line's `version` field).
+pub const TRACE_FORMAT_VERSION: u64 = 1;
+
+/// A [`Recorder`] that streams spans to a JSONL file and summarizes
+/// metrics on [`finish`](JsonlRecorder::finish).
+pub struct JsonlRecorder {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    metrics: MetricRegistry,
+    /// First write error, reported by `finish` (span recording itself
+    /// has no error channel — the `Recorder` trait is infallible by
+    /// design so instrumented code never branches on sink health).
+    failed: Mutex<Option<io::Error>>,
+}
+
+impl JsonlRecorder {
+    /// Create (truncate) a trace file and write the `meta` header line.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlRecorder> {
+        Self::from_writer(Box::new(File::create(path)?))
+    }
+
+    /// Wrap any writer (used by tests to trace into a buffer).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> io::Result<JsonlRecorder> {
+        let mut out = BufWriter::new(w);
+        writeln!(
+            out,
+            "{{\"type\":\"meta\",\"format\":\"thermaware-obs-trace\",\
+             \"version\":{TRACE_FORMAT_VERSION},\"clock\":\"us\"}}"
+        )?;
+        Ok(JsonlRecorder {
+            out: Mutex::new(out),
+            metrics: MetricRegistry::default(),
+            failed: Mutex::new(None),
+        })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = out.write_all(line.as_bytes()).and_then(|()| out.write_all(b"\n")) {
+            self.failed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get_or_insert(e);
+        }
+    }
+
+    /// Write the metric summary lines and flush. Returns the first write
+    /// error encountered over the recorder's whole life, so a silently
+    /// truncated trace cannot pass for a complete one.
+    pub fn finish(&self) -> io::Result<()> {
+        let snap = self.metrics.snapshot();
+        for (name, value) in &snap.counters {
+            let mut line = String::from("{\"type\":\"counter\",\"name\":");
+            push_str_literal(&mut line, name);
+            line.push_str(&format!(",\"value\":{value}}}"));
+            self.write_line(&line);
+        }
+        for (name, value) in &snap.gauges {
+            let mut line = String::from("{\"type\":\"gauge\",\"name\":");
+            push_str_literal(&mut line, name);
+            line.push_str(",\"value\":");
+            push_f64(&mut line, *value);
+            line.push('}');
+            self.write_line(&line);
+        }
+        for (name, h) in &snap.histograms {
+            let mut line = String::from("{\"type\":\"hist\",\"name\":");
+            push_str_literal(&mut line, name);
+            line.push_str(&format!(",\"count\":{}", h.count));
+            for (key, v) in [
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("mean", h.mean()),
+                ("p50", h.p50),
+                ("p95", h.p95),
+                ("p99", h.p99),
+            ] {
+                line.push_str(&format!(",\"{key}\":"));
+                push_f64(&mut line, v);
+            }
+            line.push_str(",\"buckets\":[");
+            for (i, (edge, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push('[');
+                push_f64(&mut line, *edge);
+                line.push_str(&format!(",{c}]"));
+            }
+            line.push_str("]}");
+            self.write_line(&line);
+        }
+        let flush_result = self
+            .out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush();
+        match self
+            .failed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(e) => Err(e),
+            None => flush_result,
+        }
+    }
+
+    /// A point-in-time copy of the metric series (spans are on disk).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record_span(&self, span: &SpanRecord) {
+        let mut line = String::from("{\"type\":\"span\",\"path\":");
+        push_str_literal(&mut line, &span.path);
+        line.push_str(",\"name\":");
+        push_str_literal(&mut line, span.name);
+        line.push_str(&format!(
+            ",\"depth\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+            span.depth, span.thread, span.start_us, span.dur_us
+        ));
+        self.write_line(&line);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+}

@@ -1,0 +1,35 @@
+//! The [`Recorder`] sink contract and the zero-overhead no-op sink.
+
+use crate::span::SpanRecord;
+
+/// Where instrumentation events go. Implementations must be shareable
+/// across threads: the solver fan-out (`parallel_map`) records from many
+/// workers into one sink.
+///
+/// Metric names are `&'static str` by design: every instrumentation
+/// point names a fixed, compile-time-known series, which keeps the
+/// disabled path allocation-free and makes the set of series a crate
+/// exports auditable by grep.
+pub trait Recorder: Send + Sync {
+    /// A completed span (emitted at scope exit, children before parents).
+    fn record_span(&self, span: &SpanRecord);
+    /// Add to a monotonically increasing counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Set a point-in-time gauge.
+    fn gauge_set(&self, name: &'static str, value: f64);
+    /// Record one observation into a log-scale histogram.
+    fn observe(&self, name: &'static str, value: f64);
+}
+
+/// The disabled sink: every method is a no-op. Installing it is
+/// equivalent to (and as cheap as) installing nothing — the global
+/// fast path short-circuits before any event is even constructed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record_span(&self, _span: &SpanRecord) {}
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+    fn observe(&self, _name: &'static str, _value: f64) {}
+}

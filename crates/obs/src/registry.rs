@@ -1,0 +1,103 @@
+//! The shared counter/gauge/histogram registry behind the in-memory and
+//! JSONL sinks.
+//!
+//! Series are created lazily on first touch. The registry map is behind
+//! an `RwLock` (insertions are rare — the set of series is the fixed set
+//! of instrumentation points), while the series themselves are atomics,
+//! so steady-state recording takes only a read lock and an atomic op.
+
+use crate::hist::{HistogramSummary, LogHistogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+#[derive(Debug, Default)]
+pub(crate) struct MetricRegistry {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    /// Gauges store f64 bits.
+    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    hists: RwLock<BTreeMap<&'static str, Arc<LogHistogram>>>,
+}
+
+/// Fetch-or-insert a series from one of the maps. Lock poisoning is
+/// survivable here (the maps hold only atomics, never mid-update state),
+/// so a panicking recorder thread does not take observability down.
+fn series<T>(
+    map: &RwLock<BTreeMap<&'static str, Arc<T>>>,
+    name: &'static str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(s) = map
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(name)
+    {
+        return Arc::clone(s);
+    }
+    let mut w = map.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(w.entry(name).or_insert_with(|| Arc::new(make())))
+}
+
+impl MetricRegistry {
+    pub(crate) fn counter_add(&self, name: &'static str, delta: u64) {
+        series(&self.counters, name, || AtomicU64::new(0)).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(crate) fn gauge_set(&self, name: &'static str, value: f64) {
+        series(&self.gauges, name, || AtomicU64::new(0.0_f64.to_bits()))
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe(&self, name: &'static str, value: f64) {
+        series(&self.hists, name, LogHistogram::new).record(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&k, v)| (k.to_string(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .hists
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every metric series a sink has accumulated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's total (0 when the series was never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's summary, if the series exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+}

@@ -1,0 +1,133 @@
+//! Concurrency contract of the span layer: nesting is tracked per
+//! thread, paths never leak across threads, and the in-memory sink sees
+//! every record exactly once no matter how the workers interleave.
+//!
+//! Tests here install process-global recorders, so they serialize on a
+//! static mutex (cargo runs test functions on parallel threads).
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use thermaware_obs::MemoryRecorder;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn spans_nest_per_thread_not_across_threads() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rec = Arc::new(MemoryRecorder::new());
+    let _install = thermaware_obs::install(rec.clone());
+
+    const WORKERS: usize = 4;
+    const INNER: usize = 8;
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            s.spawn(|| {
+                let _outer = thermaware_obs::span("worker");
+                for _ in 0..INNER {
+                    let _inner = thermaware_obs::span("inner");
+                }
+            });
+        }
+    });
+
+    let spans = rec.spans();
+    assert_eq!(spans.len(), WORKERS * (1 + INNER));
+
+    let outers: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+    let inners: Vec<_> = spans.iter().filter(|s| s.name == "inner").collect();
+    assert_eq!(outers.len(), WORKERS);
+    assert_eq!(inners.len(), WORKERS * INNER);
+
+    // A worker's span stack starts at its own thread, not at whatever the
+    // spawning thread had open: every outer is a root.
+    for o in &outers {
+        assert_eq!(o.depth, 0, "worker spans must be roots");
+        assert_eq!(o.path, "worker");
+    }
+    // And inner spans nest under *their* thread's outer only.
+    for i in &inners {
+        assert_eq!(i.depth, 1);
+        assert_eq!(i.path, "worker/inner");
+        assert!(
+            outers.iter().any(|o| o.thread == i.thread),
+            "inner span on thread {} has no outer there",
+            i.thread
+        );
+    }
+    // Each worker thread carries exactly its own share of the records.
+    for o in &outers {
+        let mine = inners.iter().filter(|i| i.thread == o.thread).count();
+        assert_eq!(mine, INNER, "thread {} saw {mine} inner spans", o.thread);
+    }
+}
+
+#[test]
+fn children_record_before_parents_and_within_them() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rec = Arc::new(MemoryRecorder::new());
+    let _install = thermaware_obs::install(rec.clone());
+
+    {
+        let _a = thermaware_obs::span("a");
+        let _b = thermaware_obs::span("b");
+        let _c = thermaware_obs::span("c");
+    }
+
+    let spans = rec.spans();
+    let order: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    assert_eq!(order, ["c", "b", "a"], "guards drop innermost-first");
+    let find = |n: &str| spans.iter().find(|s| s.name == n).expect("span");
+    let (a, c) = (find("a"), find("c"));
+    assert_eq!(c.path, "a/b/c");
+    // The child's interval lies inside the parent's.
+    assert!(c.start_us >= a.start_us);
+    assert!(c.start_us + c.dur_us <= a.start_us + a.dur_us);
+}
+
+/// A random tree of nested/sequential spans, driven as a sequence of
+/// "push" and "pop" moves; the recorded paths and depths must match the
+/// stack discipline exactly, whichever shape the tree takes.
+fn span_moves() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 1..40)
+}
+
+// The span layer only accepts 'static names; the property needs names
+// keyed by depth, so use a fixed palette (depth is capped by its size).
+const NAMES: [&str; 8] = ["d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"];
+
+proptest! {
+    #[test]
+    fn random_span_trees_respect_the_stack_discipline(moves in span_moves()) {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = Arc::new(MemoryRecorder::new());
+        let _install = thermaware_obs::install(rec.clone());
+
+        // Replay the moves: true pushes a span (unless at max depth),
+        // false pops one (unless empty). Track the expected paths.
+        let mut stack: Vec<thermaware_obs::SpanGuard> = Vec::new();
+        let mut expected: Vec<(String, usize)> = Vec::new();
+        for push in moves {
+            if push && stack.len() < NAMES.len() {
+                let depth = stack.len();
+                stack.push(thermaware_obs::span(NAMES[depth]));
+            } else if let Some(guard) = stack.pop() {
+                let depth = stack.len();
+                let path = NAMES[..=depth].join("/");
+                expected.push((path, depth));
+                drop(guard);
+            }
+        }
+        while let Some(guard) = stack.pop() {
+            let depth = stack.len();
+            expected.push((NAMES[..=depth].join("/"), depth));
+            drop(guard);
+        }
+
+        let got: Vec<(String, usize)> = rec
+            .spans()
+            .iter()
+            .map(|s| (s.path.clone(), s.depth))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

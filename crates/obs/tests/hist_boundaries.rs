@@ -1,0 +1,100 @@
+//! The log-scale histogram's bucket function is pure, so its contract is
+//! checked exhaustively by property: every finite positive value lands in
+//! exactly one bucket, edges are a partition (half-open intervals), and
+//! the recorded summaries bound the true quantiles from above.
+
+use proptest::prelude::*;
+use thermaware_obs::{bucket_index, bucket_upper_edge, LogHistogram, N_BUCKETS};
+
+#[test]
+fn edges_are_strictly_increasing_powers_of_two() {
+    let mut prev = f64::NEG_INFINITY;
+    for i in 0..N_BUCKETS {
+        let e = bucket_upper_edge(i);
+        assert!(e > prev, "edge {i} not increasing: {e} after {prev}");
+        if i + 1 < N_BUCKETS {
+            assert!(e.is_finite() && e > 0.0);
+            assert_eq!(e.log2().fract(), 0.0, "edge {i} = {e} is not a power of two");
+        } else {
+            assert_eq!(e, f64::INFINITY, "last bucket is open-ended");
+        }
+        prev = e;
+    }
+}
+
+#[test]
+fn degenerate_values_land_in_the_underflow_bucket() {
+    // Non-finite values (either sign) and non-positive values all count
+    // in the underflow bucket — recorded, excluded from sum/min/max.
+    for v in [0.0, -0.0, -1.5, f64::NEG_INFINITY, f64::INFINITY, f64::NAN] {
+        assert_eq!(bucket_index(v), 0, "bucket of {v}");
+    }
+}
+
+#[test]
+fn upper_edges_are_exclusive() {
+    // Buckets are half-open [lower, upper): a value exactly equal to an
+    // upper edge belongs to the *next* bucket; a value clearly inside
+    // the bucket belongs to this one. (Values within ~1 ulp of an edge
+    // may round across it — `log2` cannot resolve finer, and bucket
+    // resolution is a binary order of magnitude anyway.)
+    for i in 1..N_BUCKETS - 1 {
+        let edge = bucket_upper_edge(i);
+        assert_eq!(bucket_index(edge), (i + 1).min(N_BUCKETS - 1), "edge {edge} is exclusive");
+        assert_eq!(bucket_index(edge * 0.75), i, "inside the bucket below {edge}");
+    }
+}
+
+fn positive_values() -> impl Strategy<Value = f64> {
+    // Spread across the full dynamic range, not just around 1.0:
+    // mantissa in [1, 2), exponent across the clamp range and beyond.
+    // Reaches past both clamp points: below 2^MIN_EXP (underflow bucket)
+    // and above the top bucket's lower edge.
+    (1.0f64..2.0, -30i32..50).prop_map(|(m, e)| m * (e as f64).exp2())
+}
+
+proptest! {
+    #[test]
+    fn every_positive_value_lands_inside_its_bucket(v in positive_values()) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        // Up to 1 ulp of edge fuzz from `log2` rounding — see
+        // `upper_edges_are_exclusive`.
+        let tol = 1.0 + 4.0 * f64::EPSILON;
+        prop_assert!(v < bucket_upper_edge(i) * tol, "{} not below its exclusive edge", v);
+        if i > 0 {
+            prop_assert!(v * tol >= bucket_upper_edge(i - 1), "{} below its bucket's lower edge", v);
+        }
+    }
+
+    #[test]
+    fn summary_quantiles_bound_the_true_quantiles(
+        values in prop::collection::vec(positive_values(), 1..200)
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let true_p50 = sorted[(sorted.len() - 1) / 2];
+        // The reported quantile is a bucket upper edge, so it is an upper
+        // bound on the true quantile and within one bucket (2x) of it.
+        prop_assert!(s.p50 >= true_p50 * 0.999_999, "p50 {} < true {}", s.p50, true_p50);
+        prop_assert!(s.p95 >= s.p50);
+        prop_assert!(s.p99 >= s.p95);
+
+        // min/max/sum track the exact values, not bucket resolution.
+        prop_assert_eq!(s.min, sorted[0]);
+        prop_assert_eq!(s.max, sorted[sorted.len() - 1]);
+        let sum: f64 = values.iter().sum();
+        prop_assert!((s.sum - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+
+        // Bucket counts in the summary add back up to the observations.
+        let bucketed: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucketed, values.len() as u64);
+    }
+}

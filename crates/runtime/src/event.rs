@@ -115,6 +115,36 @@ impl EventLog {
     /// timestamp position (after existing entries with the same time, so
     /// same-instant causality is preserved).
     pub fn record(&mut self, at_s: f64, kind: EventKind) {
+        // The log is the supervisor's single chokepoint for detections,
+        // ladder actions, trips, and recoveries — counting here gives the
+        // obs layer a complete degradation-transition census for free.
+        if thermaware_obs::enabled() {
+            let counter = match &kind {
+                EventKind::FaultInjected(_) => "runtime.faults_injected",
+                EventKind::NodeTripped { .. } => "runtime.node_trips",
+                EventKind::NoSteadyState => "runtime.no_steady_state",
+                EventKind::ViolationDetected(Violation::Redline { .. }) => {
+                    "runtime.violation.redline"
+                }
+                EventKind::ViolationDetected(Violation::PowerCap { .. }) => {
+                    "runtime.violation.power_cap"
+                }
+                EventKind::ViolationDetected(Violation::StalePlan) => {
+                    "runtime.violation.stale_plan"
+                }
+                EventKind::ActionTaken(Action::Replan) => "runtime.action.replan",
+                EventKind::ActionTaken(Action::OutletDrop { .. }) => "runtime.action.outlet_drop",
+                EventKind::ActionTaken(Action::Throttle { .. }) => "runtime.action.throttle",
+                EventKind::ActionTaken(Action::ShedTaskType { .. }) => "runtime.action.shed",
+                EventKind::ReplanFailed { .. } => "runtime.replan_failed",
+                EventKind::Backoff { .. } => "runtime.backoffs",
+                EventKind::Recovered { .. } => "runtime.recoveries",
+            };
+            thermaware_obs::counter_add(counter, 1);
+            if let EventKind::ActionTaken(Action::Throttle { steps }) = &kind {
+                thermaware_obs::counter_add("runtime.throttle_steps", *steps as u64);
+            }
+        }
         let idx = self.events.partition_point(|e| e.at_s <= at_s);
         if idx == self.events.len() {
             self.events.push(Event { at_s, kind });

@@ -126,7 +126,14 @@ impl fmt::Display for PersistError {
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for PersistError {
     fn from(e: io::Error) -> Self {
@@ -300,9 +307,17 @@ impl Checkpointer {
         let json = serde_json::to_string(rec)
             .map_err(|e| PersistError::State { reason: e.to_string() })?;
         let line = format!("{:08x} {json}\n", crc32(json.as_bytes()));
+        let start = thermaware_obs::enabled().then(std::time::Instant::now);
         self.journal.write_all(line.as_bytes())?;
         if self.cfg.durable {
+            let fsync_start = start.map(|_| std::time::Instant::now());
             self.journal.sync_all()?;
+            if let Some(t) = fsync_start {
+                thermaware_obs::observe("persist.fsync_us", t.elapsed().as_micros() as f64);
+            }
+        }
+        if let Some(t) = start {
+            thermaware_obs::observe("persist.journal_append_us", t.elapsed().as_micros() as f64);
         }
         Ok(())
     }
@@ -324,7 +339,12 @@ impl Checkpointer {
         let json = serde_json::to_string(&envelope)
             .map_err(|e| PersistError::State { reason: e.to_string() })?;
         let name = format!("{SNAP_PREFIX}{epoch:08}{SNAP_SUFFIX}");
+        let start = thermaware_obs::enabled().then(std::time::Instant::now);
         atomic_write(&self.cfg.dir.join(name), json.as_bytes(), self.cfg.durable)?;
+        if let Some(t) = start {
+            thermaware_obs::counter_add("persist.snapshots", 1);
+            thermaware_obs::observe("persist.snapshot_write_us", t.elapsed().as_micros() as f64);
+        }
         // Retention: newest `retain` generations survive.
         let mut snaps = snapshot_paths(&self.cfg.dir)?;
         let retain = self.cfg.retain.max(1);

@@ -241,6 +241,7 @@ impl<'a> Supervisor<'a> {
     /// Run the plan against a fault script over the configured horizon.
     /// Never panics: every ending is a typed [`Outcome`].
     pub fn run(&self, plan: &ThreeStageSolution, script: &FaultScript) -> SupervisorReport {
+        let _span = thermaware_obs::span("supervisor.run");
         let mut live = self.begin(plan, script);
         while live.step() {}
         live.conclude()
@@ -726,6 +727,8 @@ impl<'a> LiveRun<'a> {
         if self.epoch >= self.n_epochs {
             return false;
         }
+        let _span = thermaware_obs::span("supervisor.epoch");
+        thermaware_obs::counter_add("runtime.epochs", 1);
         let sup = Supervisor {
             dc: self.dc,
             cfg: self.cfg,

@@ -148,6 +148,7 @@ fn simulate_inner<R: Rng>(
         .as_ref()
         .map(|(cv, _)| (1.0 + cv * cv).ln().sqrt())
         .unwrap_or(0.0);
+    let _span = thermaware_obs::span("sim");
     let mut sim = EpochSim::with_policy(dc, pstates, stage3, policy);
 
     for a in &trace.arrivals {
@@ -247,6 +248,7 @@ impl<'a> EpochSim<'a> {
         factor: Option<f64>,
     ) -> DispatchDecision {
         self.per_type[task_type].arrived += 1;
+        thermaware_obs::counter_add("sched.arrived", 1);
         let decision = match factor {
             None => self.scheduler.dispatch(task_type, now, deadline),
             Some(f) => self
@@ -254,8 +256,17 @@ impl<'a> EpochSim<'a> {
                 .dispatch_with_realized_factor(task_type, now, deadline, f),
         };
         match decision {
-            DispatchDecision::Dropped => self.per_type[task_type].dropped += 1,
+            DispatchDecision::Dropped => {
+                self.per_type[task_type].dropped += 1;
+                thermaware_obs::counter_add("sched.dropped", 1);
+            }
             DispatchDecision::Assigned { core, start, finish } => {
+                if thermaware_obs::enabled() {
+                    thermaware_obs::counter_add("sched.admitted", 1);
+                    // Queue depth expressed in time: how long the task
+                    // waits behind the winning core's backlog.
+                    thermaware_obs::observe("sched.wait_s", start - now);
+                }
                 self.admitted.push(Admitted {
                     core,
                     task_type,
@@ -273,12 +284,14 @@ impl<'a> EpochSim<'a> {
     /// Replace the active plan at time `now` (see
     /// [`DynamicScheduler::apply_plan`]).
     pub fn replan(&mut self, pstates: &[usize], stage3: &Stage3Solution, now: f64) {
+        thermaware_obs::counter_add("sched.replans", 1);
         self.scheduler.apply_plan(self.dc, pstates, stage3, now);
     }
 
     /// Kill cores at time `at`: they stop accepting work, and admitted
     /// tasks still running on them at `at` are lost (no reward).
     pub fn kill_cores(&mut self, cores: &[usize], at: f64) {
+        thermaware_obs::counter_add("sched.cores_killed", cores.len() as u64);
         self.scheduler.kill_cores(cores);
         for a in &mut self.admitted {
             if !a.lost && a.finish > at && cores.contains(&a.core) {
@@ -336,6 +349,13 @@ impl<'a> EpochSim<'a> {
         }
 
         let reward_collected: f64 = per_type.iter().map(|t| t.reward).sum();
+        if thermaware_obs::enabled() {
+            let late: usize = per_type.iter().map(|t| t.late).sum();
+            let lost: usize = per_type.iter().map(|t| t.lost).sum();
+            thermaware_obs::counter_add("sched.deadline_misses", late as u64);
+            thermaware_obs::counter_add("sched.lost", lost as u64);
+            thermaware_obs::gauge_set("sched.reward_rate", reward_collected / horizon_s);
+        }
         SimulationResult {
             reward_collected,
             reward_rate: reward_collected / horizon_s,

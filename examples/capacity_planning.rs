@@ -8,8 +8,7 @@
 //! ```
 
 use thermaware::core::min_power::{solve_min_power, MinPowerOptions};
-use thermaware::core::{solve_three_stage, ThreeStageOptions};
-use thermaware::datacenter::ScenarioParams;
+use thermaware::prelude::*;
 use thermaware::thermal::cop::cop;
 
 fn main() {
@@ -38,7 +37,7 @@ fn main() {
     }
 
     // The budgeted optimum, then the dual sweep.
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+    let plan = Solver::new(&dc).solve().expect("plan");
     println!(
         "\n== budgeted operation: reward {:.1} within {:.1} kW ==",
         plan.reward_rate(),

@@ -8,10 +8,8 @@
 //! cargo run --release --example checkpoint_restore
 //! ```
 
-use thermaware::core::{solve_three_stage, ThreeStageOptions};
-use thermaware::datacenter::ScenarioParams;
+use thermaware::prelude::*;
 use thermaware::runtime::persist::run_checkpointed_until;
-use thermaware::runtime::{resume, CheckpointConfig, FaultScript, Supervisor, SupervisorConfig};
 
 fn main() {
     let params = ScenarioParams {
@@ -21,7 +19,7 @@ fn main() {
         ..ScenarioParams::paper(0.2, 0.3)
     };
     let dc = params.build(7).expect("scenario");
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("first step");
+    let plan = Solver::new(&dc).solve().expect("first step");
 
     // The same eventful script as the fault_recovery example.
     let script = FaultScript::new()

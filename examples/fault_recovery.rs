@@ -8,9 +8,7 @@
 //! cargo run --release --example fault_recovery
 //! ```
 
-use thermaware::core::{solve_three_stage, ThreeStageOptions};
-use thermaware::datacenter::ScenarioParams;
-use thermaware::runtime::{FaultScript, Supervisor, SupervisorConfig};
+use thermaware::prelude::*;
 
 fn main() {
     let params = ScenarioParams {
@@ -20,7 +18,7 @@ fn main() {
         ..ScenarioParams::paper(0.2, 0.3)
     };
     let dc = params.build(7).expect("scenario");
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("first step");
+    let plan = Solver::new(&dc).solve().expect("first step");
     println!("plan: steady-state reward rate {:.1}/s", plan.reward_rate());
 
     // CRAC 0 dies at 10 s; a node dies at 15 s; demand surges 1.3x at 20 s.

@@ -9,10 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use thermaware::core::{solve_three_stage, ThreeStageOptions};
-use thermaware::datacenter::ScenarioParams;
-use thermaware::scheduler::simulate;
-use thermaware::workload::ArrivalTrace;
+use thermaware::prelude::*;
 
 fn main() {
     let params = ScenarioParams {
@@ -23,7 +20,7 @@ fn main() {
     let dc = params.build(7).expect("scenario");
 
     // First step: P-states, CRAC outlets, desired rates TC(i, k).
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("first step");
+    let plan = Solver::new(&dc).solve().expect("first step");
     println!(
         "first step planned a steady-state reward rate of {:.1}",
         plan.reward_rate()

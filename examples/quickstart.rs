@@ -6,10 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use thermaware::core::{
-    solve_baseline, solve_three_stage, verify_assignment, ThreeStageOptions,
-};
-use thermaware::datacenter::{CracSearchOptions, ScenarioParams};
+use thermaware::prelude::*;
 
 fn main() {
     // A 20-node, 1-CRAC floor from the paper's third simulation set
@@ -36,7 +33,7 @@ fn main() {
 
     // The paper's technique: Stage 1 (continuous power + CRAC outlets),
     // Stage 2 (P-state rounding), Stage 3 (execution-rate LP).
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("three-stage");
+    let plan = Solver::new(&dc).psi(50.0).solve().expect("three-stage");
     println!("\nthree-stage assignment (psi = 50):");
     println!("  CRAC outlets: {:?} °C", plan.crac_out_c());
     println!("  reward rate:  {:.1}", plan.reward_rate());
@@ -57,7 +54,7 @@ fn main() {
     );
 
     // The baseline the paper compares against: P-state 0 or off.
-    let base = solve_baseline(&dc, CracSearchOptions::default()).expect("baseline");
+    let base = Solver::new(&dc).baseline().expect("baseline");
     println!("\nEq.-21 baseline (P0 or off): reward rate {:.1}", base.reward_rate);
     println!(
         "\nimprovement: {:+.2}%",

@@ -8,8 +8,7 @@
 //! cargo run --release --example sensor_calibration
 //! ```
 
-use thermaware::core::{solve_three_stage, ThreeStageOptions};
-use thermaware::datacenter::ScenarioParams;
+use thermaware::prelude::*;
 use thermaware::thermal::calibration::{estimate_a_matrix, probe};
 
 fn main() {
@@ -43,7 +42,7 @@ fn main() {
     }
 
     // The plan built on the true model, for reference.
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+    let plan = Solver::new(&dc).solve().expect("plan");
     println!(
         "\nground-truth plan: reward {:.1} at CRAC outlets {:?} °C",
         plan.reward_rate(),

@@ -7,8 +7,7 @@
 //! cargo run --release --example thermal_what_if
 //! ```
 
-use thermaware::core::{solve_three_stage, ThreeStageOptions};
-use thermaware::datacenter::ScenarioParams;
+use thermaware::prelude::*;
 use thermaware::thermal::transient::TransientSim;
 
 fn main() {
@@ -18,7 +17,7 @@ fn main() {
         ..ScenarioParams::paper(0.3, 0.1)
     };
     let dc = params.build(11).expect("scenario");
-    let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+    let plan = Solver::new(&dc).solve().expect("plan");
     let outlets = plan.crac_out_c().to_vec();
 
     // Idle floor: every core off.

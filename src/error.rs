@@ -1,0 +1,104 @@
+//! The facade's unified error type.
+//!
+//! Each workspace layer owns a typed error (`SolveError` in the solvers,
+//! `ScenarioError` in scenario assembly, `PersistError` in the runtime's
+//! durability layer). Application code driving several layers through the
+//! facade previously had to invent its own union or fall back to
+//! `Box<dyn Error>`; [`enum@Error`] is that union, with `From` impls so
+//! `?` converts automatically and [`std::error::Error::source`] chains
+//! preserved down to the leaf cause (e.g.
+//! `thermaware::Error` → `SolveError::Lp` → `LpError::Infeasible`).
+
+use std::fmt;
+use thermaware_core::SolveError;
+use thermaware_datacenter::ScenarioError;
+use thermaware_runtime::PersistError;
+
+/// Any failure a facade-level workflow can produce.
+#[derive(Debug)]
+pub enum Error {
+    /// A stage solver could not produce a plan.
+    Solve(SolveError),
+    /// A scenario description could not be assembled into a data center.
+    Scenario(ScenarioError),
+    /// Checkpoint/restore durability failure.
+    Persist(PersistError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Solve(e) => write!(f, "solve failed: {e}"),
+            Error::Scenario(e) => write!(f, "scenario assembly failed: {e}"),
+            Error::Persist(e) => write!(f, "persistence failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Solve(e) => Some(e),
+            Error::Scenario(e) => Some(e),
+            Error::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolveError> for Error {
+    fn from(e: SolveError) -> Error {
+        Error::Solve(e)
+    }
+}
+
+impl From<ScenarioError> for Error {
+    fn from(e: ScenarioError) -> Error {
+        Error::Scenario(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Error {
+        Error::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+    use thermaware_lp::LpError;
+
+    #[test]
+    fn source_chain_reaches_the_leaf_cause() {
+        let err: Error = SolveError::Lp {
+            stage: "stage3",
+            source: LpError::Infeasible { residual: 0.25 },
+        }
+        .into();
+        let solve = err.source().expect("level 1");
+        assert!(solve.to_string().contains("stage3"));
+        let lp = solve.source().expect("level 2");
+        assert!(lp.to_string().contains("infeasible"), "{lp}");
+    }
+
+    #[test]
+    fn io_failures_chain_through_persist() {
+        let err: Error = PersistError::from(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "read-only checkpoint dir",
+        ))
+        .into();
+        let persist = err.source().expect("level 1");
+        let io = persist.source().expect("level 2");
+        assert!(io.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn question_mark_converts() {
+        fn run() -> Result<(), Error> {
+            Err(SolveError::invalid_input("probe"))?
+        }
+        assert!(matches!(run().unwrap_err(), Error::Solve(_)));
+    }
+}

@@ -18,9 +18,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use thermaware::datacenter::ScenarioParams;
-//! use thermaware::core::{solve_three_stage, solve_baseline, ThreeStageOptions};
-//! use thermaware::datacenter::CracSearchOptions;
+//! use thermaware::prelude::*;
 //!
 //! // A small data center: 1 CRAC, 10 nodes, the paper's third
 //! // simulation set (static share 20%, Vprop 0.3).
@@ -29,14 +27,34 @@
 //!     n_crac: 1,
 //!     ..ScenarioParams::paper(0.2, 0.3)
 //! };
-//! let dc = params.build(42).expect("scenario");
+//! let dc = params.build(42)?;
 //!
 //! // The paper's three-stage thermal-aware assignment...
-//! let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("plan");
+//! let plan = Solver::new(&dc).psi(50.0).solve()?;
 //! // ...against the P0-or-off baseline it is evaluated against.
-//! let base = solve_baseline(&dc, CracSearchOptions::default()).expect("baseline");
+//! let base = Solver::new(&dc).baseline()?;
 //! assert!(plan.reward_rate() > 0.0 && base.reward_rate > 0.0);
+//! # Ok::<(), thermaware::Error>(())
 //! ```
+//!
+//! To profile a solve, hand the builder a recorder:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use thermaware::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dc = ScenarioParams::small_test().build(7)?;
+//! let rec = Arc::new(JsonlRecorder::create("results/trace.jsonl")?);
+//! let plan = Solver::new(&dc).recorder(rec.clone()).solve()?;
+//! rec.finish()?; // metric summary lines + flush
+//! # Ok(()) }
+//! ```
+
+mod error;
+pub mod prelude;
+
+pub use error::Error;
 
 /// The paper's contribution: RR/ARR curves, the three-stage assignment,
 /// the baseline, the exact reference solver, and verification.
@@ -45,6 +63,8 @@ pub use thermaware_core as core;
 pub use thermaware_datacenter as datacenter;
 /// Dense linear algebra (matrices, LU).
 pub use thermaware_linalg as linalg;
+/// Zero-dependency observability: spans, counters, histograms, sinks.
+pub use thermaware_obs as obs;
 /// The two-phase bounded-variable simplex LP solver.
 pub use thermaware_lp as lp;
 /// P-state tables and CMOS power models.

@@ -1,0 +1,45 @@
+//! One-import surface for the common workflow: build a scenario, solve a
+//! plan, simulate it, supervise it, observe everything.
+//!
+//! ```
+//! use thermaware::prelude::*;
+//!
+//! let dc = ScenarioParams::small_test().build(7)?;
+//! let plan = Solver::new(&dc).psi(50.0).solve()?;
+//! assert!(plan.reward_rate() > 0.0);
+//! # Ok::<(), thermaware::Error>(())
+//! ```
+//!
+//! The prelude re-exports the *workflow* types only — the entry points a
+//! typical example or bench touches. Substrate internals (LP modeling,
+//! thermal coefficients, PWL curves) stay behind their module paths:
+//! `thermaware::lp`, `thermaware::thermal`, ….
+
+pub use crate::Error;
+
+// Scenario assembly.
+pub use thermaware_datacenter::{
+    CracSearchOptions, DataCenter, ScenarioError, ScenarioParams, ScenarioSnapshot,
+};
+
+// Workload and arrival traces.
+pub use thermaware_workload::{ArrivalTrace, Workload};
+
+// The solvers: builder façade first, legacy free functions alongside.
+pub use thermaware_core::{
+    solve_baseline, solve_three_stage, solve_three_stage_best_of, verify_assignment,
+    BaselineSolution, SolveError, Solver, ThreeStageOptions, ThreeStageSolution,
+    VerificationReport,
+};
+
+// The second-step dynamic scheduler.
+pub use thermaware_scheduler::{simulate, DispatchPolicy, EpochSim, SimulationResult};
+
+// The runtime supervisor and its durability layer.
+pub use thermaware_runtime::{
+    resume, run_checkpointed, CheckpointConfig, FaultScript, Outcome, PersistError, Supervisor,
+    SupervisorConfig, SupervisorReport,
+};
+
+// Observability sinks and the install entry point.
+pub use thermaware_obs::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};
