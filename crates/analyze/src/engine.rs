@@ -1,0 +1,86 @@
+//! Orchestration: run the rules, apply the two suppression layers
+//! (inline `// lint: allow(...)` escapes, then the tracked allowlist),
+//! and classify the result for `--check` / `--bless`.
+
+use crate::allowlist::{self, Entry};
+use crate::rules::{self, Finding};
+use crate::workspace::Workspace;
+use std::path::Path;
+
+/// Outcome of a full analysis pass.
+pub struct Analysis {
+    /// Findings not covered by an inline allow or an allowlist entry —
+    /// each one fails `--check`.
+    pub unsuppressed: Vec<Finding>,
+    /// Findings suppressed by the tracked allowlist (reported for
+    /// visibility; the debt ledger).
+    pub allowlisted: Vec<Finding>,
+    /// Findings suppressed at the site by `// lint: allow(<rule>)`.
+    pub inline_allowed: Vec<Finding>,
+    /// Allowlist entries that matched nothing — stale debt records;
+    /// each one fails `--check`.
+    pub stale_entries: Vec<Entry>,
+    /// Malformed allowlist lines; fail `--check`.
+    pub malformed: Vec<String>,
+}
+
+impl Analysis {
+    pub fn clean(&self) -> bool {
+        self.unsuppressed.is_empty() && self.stale_entries.is_empty() && self.malformed.is_empty()
+    }
+
+    pub fn total_raw(&self) -> usize {
+        self.unsuppressed.len() + self.allowlisted.len() + self.inline_allowed.len()
+    }
+}
+
+/// Run every rule over the workspace at `root` and apply suppressions.
+pub fn analyze(root: &Path) -> Analysis {
+    let ws = Workspace::load(root);
+    analyze_workspace(&ws, root)
+}
+
+/// Same as [`analyze`] but over an already-loaded workspace (the tests
+/// drive fixture trees through this).
+pub fn analyze_workspace(ws: &Workspace, root: &Path) -> Analysis {
+    let findings = rules::run_all(ws);
+    let (entries, malformed) = allowlist::load(root);
+
+    let mut unsuppressed = Vec::new();
+    let mut allowlisted = Vec::new();
+    let mut inline_allowed = Vec::new();
+    let mut entry_used = vec![false; entries.len()];
+
+    for f in findings {
+        let inline = ws
+            .files
+            .iter()
+            .find(|file| file.path == f.path)
+            .is_some_and(|file| file.inline_allowed(f.rule, f.line));
+        if inline {
+            inline_allowed.push(f);
+            continue;
+        }
+        if let Some(i) = entries.iter().position(|e| e.matches(&f)) {
+            entry_used[i] = true;
+            allowlisted.push(f);
+            continue;
+        }
+        unsuppressed.push(f);
+    }
+
+    let stale_entries = entries
+        .into_iter()
+        .zip(entry_used)
+        .filter(|(_, used)| !used)
+        .map(|(e, _)| e)
+        .collect();
+
+    Analysis {
+        unsuppressed,
+        allowlisted,
+        inline_allowed,
+        stale_entries,
+        malformed,
+    }
+}

@@ -1,0 +1,476 @@
+//! A hand-rolled, total Rust lexer.
+//!
+//! The rule engine needs just enough token structure to tell code from
+//! comments and strings, to spot `==` between float operands, and to walk
+//! `#[cfg(test)]` regions — not a full parse. This lexer produces a flat
+//! token stream with byte spans that **exactly tile the input**: the
+//! concatenation of every token's text equals the source verbatim
+//! (whitespace and comments are tokens too). That property is what the
+//! proptest suite pins down, together with totality: the lexer never
+//! panics, on any input, including invalid Rust and binary garbage run
+//! through [`String::from_utf8_lossy`].
+//!
+//! The classically fiddly corners are handled explicitly:
+//!
+//! - **Nested block comments** — `/* a /* b */ c */` is one comment
+//!   (Rust block comments nest, unlike C). Unterminated comments extend
+//!   to end of input instead of erroring.
+//! - **Raw strings** — `r"..."`, `r#"..."#` with any number of hashes,
+//!   and the byte/raw-byte forms `b"..."`, `br#"..."#`. The closing
+//!   delimiter must match the opening hash count.
+//! - **Lifetimes vs. char literals** — `'a'` is a char literal while
+//!   `'a` in `&'a str` is a lifetime; the disambiguation is one char of
+//!   lookahead past the quote (a quote right after a single ident char
+//!   means char literal).
+//! - **Float vs. range** — `0.5` is one float token but `0..5` is an
+//!   integer and a `..` operator; a `.` only glues to the number when a
+//!   digit (or `e` exponent) follows.
+//!
+//! Everything unrecognized becomes a one-char [`TokenKind::Unknown`]
+//! token, so the cursor always advances and the lexer is total by
+//! construction.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included).
+    Lifetime,
+    /// Character literal, e.g. `'x'` or `'\n'`.
+    CharLit,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// Numeric literal. `is_float` on the token distinguishes `1.5`/`1e3`
+    /// from `42`/`0xff`.
+    Num,
+    /// `// …` line comment (newline not included).
+    LineComment,
+    /// `/* … */` block comment, nesting handled; may be unterminated.
+    BlockComment,
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// Operator or punctuation; multi-char operators the rules care
+    /// about (`==`, `!=`, `<=`, `>=`, `::`, `->`, `=>`, `..`, `&&`,
+    /// `||`) are single tokens, everything else is one char.
+    Punct,
+    /// Any byte sequence the lexer has no rule for (kept one char at a
+    /// time so progress is guaranteed).
+    Unknown,
+}
+
+/// One lexed token: classification plus the byte span it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// For [`TokenKind::Num`]: whether the literal is a float.
+    pub is_float: bool,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lex `src` completely. Total: never panics, and the returned spans
+/// tile `src` exactly (`tokens[i].end == tokens[i+1].start`, first
+/// starts at 0, last ends at `src.len()`).
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let (kind, end, is_float) = next_token(src, bytes, i);
+        // Defensive: every branch of `next_token` advances, but a lexer
+        // that ever loops forever would hang CI, so enforce progress.
+        // `start < bytes.len()` by the loop condition, so the clamp
+        // bounds are always ordered.
+        let end = end.clamp(start + 1, bytes.len());
+        tokens.push(Token {
+            kind,
+            start,
+            end,
+            is_float,
+        });
+        i = end;
+    }
+    tokens
+}
+
+/// Lex one token starting at byte `i`. Returns (kind, end, is_float).
+fn next_token(src: &str, bytes: &[u8], i: usize) -> (TokenKind, usize, bool) {
+    let b = bytes[i];
+    match b {
+        b' ' | b'\t' | b'\r' | b'\n' => {
+            let mut j = i + 1;
+            while j < bytes.len() && matches!(bytes[j], b' ' | b'\t' | b'\r' | b'\n') {
+                j += 1;
+            }
+            (TokenKind::Whitespace, j, false)
+        }
+        b'/' if bytes.get(i + 1) == Some(&b'/') => {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\n' {
+                j += 1;
+            }
+            (TokenKind::LineComment, j, false)
+        }
+        b'/' if bytes.get(i + 1) == Some(&b'*') => (TokenKind::BlockComment, block_comment(bytes, i), false),
+        b'r' | b'b' => {
+            // Possible raw/byte string prefix: r", r#", b", br", br#", b'.
+            if let Some(end) = raw_or_byte_string(bytes, i) {
+                (TokenKind::StrLit, end, false)
+            } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                // Byte char literal b'x'.
+                let (kind, end) = char_or_lifetime(bytes, i + 1);
+                (kind, end, false)
+            } else {
+                (TokenKind::Ident, ident_end(bytes, i), false)
+            }
+        }
+        b'"' => (TokenKind::StrLit, string_end(bytes, i + 1), false),
+        b'\'' => {
+            let (kind, end) = char_or_lifetime(bytes, i);
+            (kind, end, false)
+        }
+        b'0'..=b'9' => {
+            let (end, is_float) = number_end(bytes, i);
+            (TokenKind::Num, end, is_float)
+        }
+        b'_' | b'a'..=b'z' | b'A'..=b'Z' => (TokenKind::Ident, ident_end(bytes, i), false),
+        _ if b >= 0x80 => {
+            // Multi-byte UTF-8 scalar: consume the whole scalar so spans
+            // stay on char boundaries, classify as Ident (covers
+            // non-ASCII identifiers) — close enough for the rules.
+            let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+            (TokenKind::Ident, i + ch_len, false)
+        }
+        _ => {
+            // Operators: glue the two-char forms the rules care about.
+            const TWO: &[&[u8; 2]] = &[
+                b"==", b"!=", b"<=", b">=", b"::", b"->", b"=>", b"..", b"&&", b"||",
+            ];
+            if let Some(n) = bytes.get(i + 1) {
+                let pair = [b, *n];
+                if TWO.iter().any(|t| **t == pair) {
+                    return (TokenKind::Punct, i + 2, false);
+                }
+            }
+            (TokenKind::Punct, i + 1, false)
+        }
+    }
+}
+
+fn ident_end(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    j
+}
+
+/// Nested block comment starting at `/*` (position `i`). Unterminated
+/// comments run to end of input.
+fn block_comment(bytes: &[u8], i: usize) -> usize {
+    let mut depth = 1usize;
+    let mut j = i + 2;
+    while j + 1 < bytes.len() && depth > 0 {
+        if bytes[j] == b'/' && bytes[j + 1] == b'*' {
+            depth += 1;
+            j += 2;
+        } else if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+            depth -= 1;
+            j += 2;
+        } else {
+            j += 1;
+        }
+    }
+    if depth > 0 {
+        bytes.len()
+    } else {
+        j
+    }
+}
+
+/// Ordinary (escaped) string body; `i` points one past the opening
+/// quote. Unterminated strings run to end of input.
+fn string_end(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(bytes.len()),
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Raw / byte / raw-byte string starting at `i` (which points at `r` or
+/// `b`). Returns `None` when this is not actually a string prefix (plain
+/// identifier starting with r/b).
+fn raw_or_byte_string(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Optional order: b, then r (br"…"), or r alone, or b alone before ".
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    if !raw {
+        if hashes > 0 {
+            return None; // b#"…" is not a thing
+        }
+        // b"…" — escaped like an ordinary string.
+        return Some(string_end(bytes, j + 1));
+    }
+    // Raw: scan for `"` followed by `hashes` hashes; no escapes.
+    let mut k = j + 1;
+    while k < bytes.len() {
+        if bytes[k] == b'"' {
+            let mut h = 0usize;
+            while h < hashes && bytes.get(k + 1 + h) == Some(&b'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return Some(k + 1 + hashes);
+            }
+        }
+        k += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime); `i` points at
+/// the opening quote.
+fn char_or_lifetime(bytes: &[u8], i: usize) -> (TokenKind, usize) {
+    let next = bytes.get(i + 1).copied();
+    match next {
+        // `'_` or `'ident…` not closed by a quote right after one char
+        // is a lifetime: `'a` in `&'a str`, `'static`, `'_`.
+        Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+            if bytes.get(i + 2) == Some(&b'\'') {
+                // 'x' — single ident char then closing quote: char literal.
+                (TokenKind::CharLit, i + 3)
+            } else {
+                (TokenKind::Lifetime, ident_end(bytes, i + 1))
+            }
+        }
+        // Escape: '\n', '\u{…}', '\''.
+        Some(b'\\') => {
+            let mut j = i + 2;
+            if j < bytes.len() {
+                j += 1; // the escaped char itself
+            }
+            if bytes.get(j - 1) == Some(&b'u') && bytes.get(j) == Some(&b'{') {
+                while j < bytes.len() && bytes[j] != b'}' {
+                    j += 1;
+                }
+                j = (j + 1).min(bytes.len());
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                (TokenKind::CharLit, j + 1)
+            } else {
+                // Malformed escape — consume through the next quote on
+                // this line if any, else just the opening quote.
+                (TokenKind::CharLit, malformed_char_end(bytes, j))
+            }
+        }
+        // Any other single char (punct, digit, multi-byte): char literal
+        // if a closing quote shows up within one scalar's reach.
+        Some(_) => {
+            // Find the closing quote within the next 6 bytes (longest
+            // UTF-8 scalar is 4, plus slack); otherwise treat the quote
+            // as a lone Unknown to keep progress.
+            let mut j = i + 1;
+            let limit = (i + 7).min(bytes.len());
+            while j < limit {
+                if bytes[j] == b'\'' {
+                    return (TokenKind::CharLit, j + 1);
+                }
+                j += 1;
+            }
+            (TokenKind::Unknown, i + 1)
+        }
+        None => (TokenKind::Unknown, i + 1),
+    }
+}
+
+fn malformed_char_end(bytes: &[u8], from: usize) -> usize {
+    let mut j = from;
+    let limit = (from + 16).min(bytes.len());
+    while j < limit {
+        if bytes[j] == b'\'' {
+            return j + 1;
+        }
+        if bytes[j] == b'\n' {
+            break;
+        }
+        j += 1;
+    }
+    from.min(bytes.len())
+}
+
+/// Numeric literal starting at a digit. Returns (end, is_float).
+///
+/// Handles `_` separators, `0x`/`0o`/`0b` prefixes, `.5` fractions
+/// (only when a digit follows the dot — `0..5` stays an int plus `..`),
+/// `e`/`E` exponents with optional sign, and type suffixes (`f64`,
+/// `u32`, …) which are consumed as part of the literal.
+fn number_end(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut is_float = false;
+    // Radix prefix: the body is then hex/oct/bin digits, never float.
+    if bytes[j] == b'0' && matches!(bytes.get(j + 1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')) {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j.max(i + 1), false);
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // Fraction: dot glued only when followed by a digit, or when at end /
+    // followed by something that can't continue an expression path
+    // (`1.` is a float, `1.max(…)` and `0..n` are not).
+    if bytes.get(j) == Some(&b'.') {
+        match bytes.get(j + 1) {
+            Some(d) if d.is_ascii_digit() => {
+                is_float = true;
+                j += 1;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                    j += 1;
+                }
+            }
+            Some(b'.') => {}                                  // range `0..n`
+            Some(c) if c.is_ascii_alphabetic() || *c == b'_' => {} // method call `1.max(2)`
+            _ => {
+                // `1.` terminal float (followed by `)`, `,`, space, EOF…).
+                is_float = true;
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(j), Some(b'e' | b'E')) {
+        let mut k = j + 1;
+        if matches!(bytes.get(k), Some(b'+' | b'-')) {
+            k += 1;
+        }
+        if matches!(bytes.get(k), Some(d) if d.is_ascii_digit()) {
+            is_float = true;
+            j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix: f64/f32 force float; integer suffixes consumed silently.
+    let suf_start = j;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    if bytes[suf_start..j].starts_with(b"f32") || bytes[suf_start..j].starts_with(b"f64") {
+        is_float = true;
+    }
+    (j.max(i + 1), is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_input_exactly() {
+        for src in [
+            "fn main() { let x = 1.0; }",
+            "r#\"raw \" string\"# 'a' 'static /* a /* b */ c */ // tail",
+            "let r = b\"bytes\"; let s = br##\"x\"# y\"##;",
+            "0..10 1.5e-3 0xff_u32 'x' '\\n' '\\u{1F600}'",
+            "",
+            "/* unterminated",
+            "\"unterminated",
+        ] {
+            let toks = lex(src);
+            let mut pos = 0usize;
+            for t in &toks {
+                assert_eq!(t.start, pos, "gap in {src:?}");
+                assert!(t.end > t.start);
+                pos = t.end;
+            }
+            assert_eq!(pos, src.len(), "didn't reach end of {src:?}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a str 'static 'x' '\\t' b'z'");
+        assert_eq!(ks[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(ks[3], (TokenKind::Lifetime, "'static"));
+        assert_eq!(ks[4], (TokenKind::CharLit, "'x'"));
+        assert_eq!(ks[5], (TokenKind::CharLit, "'\\t'"));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let ks = kinds("before /* a /* nested */ b */ after");
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ks = kinds(r###"r#"contains " quote"# x"###);
+        assert_eq!(ks[0].0, TokenKind::StrLit);
+        assert_eq!(ks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        let ks = kinds("0..10");
+        assert_eq!(ks[0], (TokenKind::Num, "0"));
+        assert_eq!(ks[1], (TokenKind::Punct, ".."));
+        let ks = kinds("1.5 1e9 2.0f64 7 0xff");
+        let floats: Vec<bool> = lex("1.5 1e9 2.0f64 7 0xff")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.is_float)
+            .collect();
+        assert_eq!(ks.iter().filter(|k| k.0 == TokenKind::Num).count(), 5);
+        assert_eq!(floats, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn double_eq_is_one_token() {
+        let ks = kinds("a == b != c :: d");
+        assert_eq!(ks[1], (TokenKind::Punct, "=="));
+        assert_eq!(ks[3], (TokenKind::Punct, "!="));
+        assert_eq!(ks[5], (TokenKind::Punct, "::"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Report rendering: human-readable text for the terminal and a small
+//! hand-rolled JSON document for the CI artifact (the analyzer is
+//! dependency-free, so no serde here — the escaping below covers the
+//! strings findings actually contain).
+
+use crate::engine::Analysis;
+use crate::rules::{Finding, RULES};
+
+/// Terminal report: findings grouped with locations, then a per-rule
+/// summary table.
+pub fn text(a: &Analysis) -> String {
+    let mut out = String::new();
+    for f in &a.unsuppressed {
+        out.push_str(&format!("{}: {}:{}: {}\n", f.rule, f.path, f.line, f.message));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    for e in &a.stale_entries {
+        out.push_str(&format!(
+            "stale-allowlist: crates/analyze/allowlist.txt:{}: entry `{} {}:{}` matches no finding — drop it (or --bless)\n",
+            e.at, e.rule, e.path, e.line
+        ));
+    }
+    for m in &a.malformed {
+        out.push_str(m);
+        out.push('\n');
+    }
+
+    out.push_str("\nrule           unsuppressed  allowlisted  inline-allowed\n");
+    for rule in RULES {
+        let c = |v: &[Finding]| v.iter().filter(|f| f.rule == rule).count();
+        out.push_str(&format!(
+            "{rule:<14} {:>12} {:>12} {:>15}\n",
+            c(&a.unsuppressed),
+            c(&a.allowlisted),
+            c(&a.inline_allowed),
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} finding(s) total; {} unsuppressed, {} stale allowlist entr(ies), {} malformed line(s)\n",
+        a.total_raw(),
+        a.unsuppressed.len(),
+        a.stale_entries.len(),
+        a.malformed.len()
+    ));
+    out
+}
+
+/// JSON report for the CI artifact.
+pub fn json(a: &Analysis) -> String {
+    let mut out = String::from("{\n  \"schema\": \"thermaware-analyze/v1\",\n");
+    out.push_str(&format!("  \"clean\": {},\n", a.clean()));
+    out.push_str("  \"unsuppressed\": [");
+    out.push_str(&findings_json(&a.unsuppressed));
+    out.push_str("],\n  \"allowlisted\": [");
+    out.push_str(&findings_json(&a.allowlisted));
+    out.push_str("],\n  \"inline_allowed\": [");
+    out.push_str(&findings_json(&a.inline_allowed));
+    out.push_str("],\n  \"stale_allowlist_entries\": [");
+    let stale: Vec<String> = a
+        .stale_entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"rule\": {}, \"path\": {}, \"line\": {}}}",
+                quote(&e.rule),
+                quote(&e.path),
+                e.line
+            )
+        })
+        .collect();
+    out.push_str(&stale.join(", "));
+    out.push_str("]\n}\n");
+    out
+}
+
+fn findings_json(fs: &[Finding]) -> String {
+    let items: Vec<String> = fs
+        .iter()
+        .map(|f| {
+            format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                quote(f.rule),
+                quote(&f.path),
+                f.line,
+                quote(&f.message),
+                quote(&f.snippet)
+            )
+        })
+        .collect();
+    if items.is_empty() {
+        String::new()
+    } else {
+        format!("{}\n  ", items.join(","))
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

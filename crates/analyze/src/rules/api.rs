@@ -1,0 +1,228 @@
+//! `api-snapshot`: the `pub` surface of every crate is committed under
+//! `results/api/<crate>.txt` and drift fails CI until the snapshot is
+//! refreshed with `thermaware-analyze --bless`.
+//!
+//! The point is not to freeze the API — it is to make API change a
+//! *reviewed* act: a PR that adds, removes or re-types a public item
+//! carries the one-line snapshot diff, so the facade, the examples and
+//! downstream users never discover surface changes by build breakage.
+//!
+//! Extraction is token-level, not a full parse: every `pub` item outside
+//! test regions contributes one normalized signature line —
+//!
+//! - `pub fn` / `pub const` / `pub static` / `pub type` / `pub trait` /
+//!   `pub mod` / `pub use` / `pub struct`: tokens up to the body brace,
+//!   terminating `;`, or initializer `=`;
+//! - `pub enum`: the **full body** (variants are all implicitly public,
+//!   so variant changes are API changes);
+//! - `pub` struct fields: the `name: Type` pair.
+//!
+//! `pub(crate)` / `pub(super)` / `pub(in …)` are not public API and are
+//! skipped. Trait *bodies* (default methods) and enum discriminant
+//! values are deliberately out of scope — token-level extraction cannot
+//! attribute them reliably, and the item headers already catch the
+//! drift that matters for review.
+
+use super::Finding;
+use crate::lexer::Token;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+use std::fs;
+
+/// Directory (workspace-relative) holding the committed snapshots.
+pub const SNAPSHOT_DIR: &str = "results/api";
+
+/// Snapshot file stem for a crate (the facade's package is
+/// `thermaware`).
+pub fn snapshot_name(crate_name: &str) -> String {
+    if crate_name == "." {
+        "thermaware.txt".to_string()
+    } else {
+        format!("{crate_name}.txt")
+    }
+}
+
+/// Extract the current `pub` surface of every crate: crate → sorted,
+/// deduplicated signature lines.
+pub fn extract(ws: &Workspace) -> BTreeMap<String, Vec<String>> {
+    let mut surfaces: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for info in &ws.crates {
+        surfaces.entry(info.name.clone()).or_default();
+    }
+    for file in &ws.files {
+        if file.test_target {
+            continue;
+        }
+        let entry = surfaces.entry(file.crate_name.clone()).or_default();
+        extract_file(file, entry);
+    }
+    for sigs in surfaces.values_mut() {
+        sigs.sort();
+        sigs.dedup();
+    }
+    surfaces
+}
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (crate_name, current) in extract(ws) {
+        let snap_rel = format!("{SNAPSHOT_DIR}/{}", snapshot_name(&crate_name));
+        let snap_path = ws.root.join(&snap_rel);
+        let committed: Vec<String> = match fs::read_to_string(&snap_path) {
+            Ok(text) => {
+                let mut lines: Vec<String> = text
+                    .lines()
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .map(str::to_string)
+                    .collect();
+                // `diff` binary-searches; a hand-edited snapshot may be
+                // out of order.
+                lines.sort();
+                lines
+            }
+            Err(_) => {
+                out.push(Finding {
+                    rule: "api-snapshot",
+                    path: snap_rel,
+                    line: 0,
+                    message: format!(
+                        "missing API snapshot for `{crate_name}` ({} pub items) — run `thermaware-analyze --bless`",
+                        current.len()
+                    ),
+                    snippet: String::new(),
+                });
+                continue;
+            }
+        };
+        for added in diff(&current, &committed) {
+            out.push(Finding {
+                rule: "api-snapshot",
+                path: snap_rel.clone(),
+                line: 0,
+                message: format!("undocumented API addition in `{crate_name}` — run `thermaware-analyze --bless` to record it"),
+                snippet: added.clone(),
+            });
+        }
+        for removed in diff(&committed, &current) {
+            out.push(Finding {
+                rule: "api-snapshot",
+                path: snap_rel.clone(),
+                line: 0,
+                message: format!("undocumented API removal in `{crate_name}` — run `thermaware-analyze --bless` to record it"),
+                snippet: removed.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Lines in `a` that are not in `b` (both sorted).
+fn diff<'a>(a: &'a [String], b: &[String]) -> Vec<&'a String> {
+    a.iter().filter(|l| b.binary_search(l).is_err()).collect()
+}
+
+fn extract_file(file: &SourceFile, out: &mut Vec<String>) {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    // Byte ranges already swallowed by a full-body capture (enum
+    // bodies); `pub` tokens inside them would double-report.
+    let mut consumed_until = 0usize;
+    for (i, tok) in code.iter().enumerate() {
+        if tok.start < consumed_until {
+            continue;
+        }
+        if tok.text(&file.text) != "pub" || file.in_test_region(tok.start) {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)` etc.) is not public API.
+        if code.get(i + 1).map(|t| t.text(&file.text)) == Some("(") {
+            continue;
+        }
+        let kind = code.get(i + 1).map(|t| t.text(&file.text)).unwrap_or("");
+        let full_body = kind == "enum";
+        let (sig, end) = capture(&code, i, file, full_body);
+        if !sig.is_empty() {
+            out.push(sig);
+        }
+        if full_body {
+            consumed_until = end;
+        }
+    }
+}
+
+/// Capture a signature starting at the `pub` token `code[i]`. Returns
+/// the normalized signature and the byte offset where capture stopped.
+///
+/// Stops at the first `{` (exclusive), `;`, `=` or `,` at bracket depth
+/// zero — unless `full_body`, which brace-matches through the item body.
+fn capture(code: &[&Token], i: usize, file: &SourceFile, full_body: bool) -> (String, usize) {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut depth = 0i32;
+    let mut j = i;
+    let mut end = code[i].end;
+    while j < code.len() {
+        let t = code[j];
+        let text = t.text(&file.text);
+        match text {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => {
+                // A closer at depth 0 belongs to an *enclosing* group —
+                // e.g. the `)` of a tuple struct around a `pub` field —
+                // so the signature ends here.
+                if depth <= 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            "{" if depth <= 0 => {
+                if !full_body {
+                    break;
+                }
+                // Brace-match the body, including it in the signature.
+                let mut braces = 0i32;
+                while j < code.len() {
+                    let bt = code[j].text(&file.text);
+                    if bt == "{" {
+                        braces += 1;
+                    } else if bt == "}" {
+                        braces -= 1;
+                    }
+                    parts.push(bt);
+                    end = code[j].end;
+                    if braces == 0 && bt == "}" {
+                        return (normalize(&parts), end);
+                    }
+                    j += 1;
+                }
+                return (normalize(&parts), end);
+            }
+            ";" | "=" | "," if depth <= 0 => break,
+            _ => {}
+        }
+        parts.push(text);
+        end = t.end;
+        // Cap runaway captures (malformed input): the signature is for
+        // humans diffing, not a parser.
+        if parts.len() > 400 {
+            break;
+        }
+        j += 1;
+    }
+    (normalize(&parts), end)
+}
+
+fn normalize(parts: &[&str]) -> String {
+    let mut s = String::new();
+    for (i, p) in parts.iter().enumerate() {
+        // Glue path/field/generic punctuation without spaces so the
+        // snapshot lines stay readable and whitespace-insensitive.
+        let no_space_before = matches!(*p, "::" | "." | "," | ")" | "]" | ">" | ";" | "(");
+        let no_space_after_prev =
+            i > 0 && matches!(parts[i - 1], "::" | "." | "(" | "[" | "<" | "&");
+        if i > 0 && !no_space_before && !no_space_after_prev {
+            s.push(' ');
+        }
+        s.push_str(p);
+    }
+    s
+}

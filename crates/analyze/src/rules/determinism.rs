@@ -1,0 +1,100 @@
+//! `determinism`: no ambient nondeterminism in crates on the replay
+//! path.
+//!
+//! PR 2's crash recovery re-executes epochs from a snapshot and requires
+//! the replay to be **bit-identical** to the original run (the journal
+//! commits carry a CRC of the post-step state). Anything that reads
+//! ambient entropy or wall-clock time inside the replayed computation —
+//! `Instant::now`, `SystemTime`, `thread_rng`, `from_entropy` — breaks
+//! that, as does iterating a `HashMap`/`HashSet` (std's `RandomState`
+//! seeds per-process, so iteration order differs between the original
+//! run and the resumed one). The fix is a seeded RNG threaded through
+//! the call graph, `BTreeMap`/`BTreeSet`, or — for timing only — an
+//! obs-gated block.
+//!
+//! **Obs-gated timing blocks are exempt**: `Instant::now` behind a
+//! `thermaware_obs::enabled()` check (within the preceding ten lines)
+//! only measures, never feeds the computation, and is how the
+//! observability layer keeps its no-recorder overhead at one atomic
+//! load (DESIGN.md §8).
+//!
+//! Scope: the replay-path crates (`core`, `lp`, `linalg`, `thermal`,
+//! `power`, `scheduler`, `workload`) plus `runtime`'s persistence module
+//! — non-test code only; tests may time things freely.
+
+use super::Finding;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Crates whose entire non-test source is on the replay path.
+const REPLAY_CRATES: [&str; 7] = ["core", "lp", "linalg", "thermal", "power", "scheduler", "workload"];
+
+/// How many lines above a timing call an `obs::enabled()` gate may sit.
+const GATE_WINDOW: usize = 10;
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let in_scope = REPLAY_CRATES.contains(&file.crate_name.as_str())
+            || (file.crate_name == "runtime" && file.path.ends_with("/persist.rs"));
+        if !in_scope || file.test_target {
+            continue;
+        }
+        check_file(file, &mut out);
+    }
+    out
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code: Vec<_> = file.code_tokens().collect();
+    for (i, tok) in code.iter().enumerate() {
+        let text = tok.text(&file.text);
+        let (what, gateable) = match text {
+            // `Instant` alone may appear in types (`Option<Instant>`);
+            // only the actual clock read is nondeterministic.
+            "Instant" => {
+                let a = code.get(i + 1).map(|t| t.text(&file.text));
+                let b = code.get(i + 2).map(|t| t.text(&file.text));
+                if a == Some("::") && b == Some("now") {
+                    ("Instant::now — wall-clock read on the replay path", true)
+                } else {
+                    continue;
+                }
+            }
+            "SystemTime" => ("SystemTime — wall-clock read on the replay path", true),
+            "thread_rng" => ("thread_rng — ambient entropy; thread a seeded RNG instead", false),
+            "from_entropy" => ("from_entropy — ambient entropy; seed from the run's seed instead", false),
+            "HashMap" | "HashSet" => (
+                "HashMap/HashSet — RandomState iteration order varies per process; use BTreeMap/BTreeSet",
+                false,
+            ),
+            _ => continue,
+        };
+        if file.in_test_region(tok.start) {
+            continue;
+        }
+        let line = file.line_of(tok.start);
+        if gateable && obs_gated(file, line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "determinism",
+            path: file.path.clone(),
+            line,
+            message: what.to_string(),
+            snippet: file.line_text(line).to_string(),
+        });
+    }
+}
+
+/// A timing call is obs-gated when `obs::enabled()` appears on the same
+/// line or within the preceding [`GATE_WINDOW`] lines — covering both
+/// the `enabled().then(Instant::now)` idiom and the early-return form
+/// `if !thermaware_obs::enabled() { return …; }`.
+fn obs_gated(file: &SourceFile, line: usize) -> bool {
+    let from = line.saturating_sub(GATE_WINDOW).max(1);
+    (from..=line).any(|l| {
+        let t = file.line_text(l);
+        t.contains("obs::enabled()") || t.contains("enabled().then")
+    })
+}

@@ -1,0 +1,173 @@
+//! `float-eq`: no `==`/`!=` between computed `f64` expressions.
+//!
+//! Two computed floating-point values that are mathematically equal are
+//! rarely bit-equal (DESIGN.md §5's numerical conventions), so an exact
+//! compare is either a latent flaky assert or a real logic bug — the
+//! reward-reclamation assert fixed in this PR compared two
+//! independently-accumulated reward rates with `==` and held only
+//! because the loop currently terminates on the same iteration path.
+//! Use `thermaware_linalg::approx::{eq_abs, eq_ulps}` for tolerant
+//! comparison, or `f64::to_bits` when *exact bit* equality is the
+//! specified contract (checkpoint replay).
+//!
+//! Without type information the rule is a token heuristic, tuned to this
+//! workspace; it flags a comparison when either operand
+//!
+//! - contains a **float literal** (`x == 0.0`, `1.5 != y`), or
+//! - ends in one of the workspace's known-`f64` **domain fields**
+//!   (`reward_rate`, `total_power_kw`, …).
+//!
+//! An operand that passes through `to_bits` is exempt (the compare is
+//! then `u64` and exactness is the point). Deliberate exact compares —
+//! sparsity skips against a stored `0.0`, sentinel checks — carry an
+//! inline `// lint: allow(float-eq): <reason>` at the site.
+//!
+//! Scope: every crate, tests included (a flaky assert in a test is
+//! still a bug).
+
+use super::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Fields/idents known to be `f64` domain quantities in this workspace.
+/// A comparison whose operand chain ends at one of these is flagged even
+/// without a float literal on either side.
+const F64_FIELDS: [&str; 9] = [
+    "reward_rate",
+    "reward_collected",
+    "total_power_kw",
+    "power_kw",
+    "tout_c",
+    "tin_c",
+    "crac_out_c",
+    "bias_c",
+    "surge",
+];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        check_file(file, &mut out);
+    }
+    out
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let code: Vec<_> = file.code_tokens().collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        let op = tok.text(&file.text);
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let left = operand(&code, i, Dir::Left, file);
+        let right = operand(&code, i, Dir::Right, file);
+        if left.to_bits || right.to_bits {
+            continue; // u64 compare; bit-exactness is the contract
+        }
+        if !(left.floaty || right.floaty) {
+            continue;
+        }
+        let line = file.line_of(tok.start);
+        out.push(Finding {
+            rule: "float-eq",
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "exact {op} on computed f64 — use approx::eq_abs/eq_ulps, or to_bits() if bit equality is the contract"
+            ),
+            snippet: file.line_text(line).to_string(),
+        });
+    }
+}
+
+enum Dir {
+    Left,
+    Right,
+}
+
+struct Operand {
+    /// Operand looks like an f64 expression (float literal or known
+    /// domain field in the chain).
+    floaty: bool,
+    /// Operand passes through `to_bits` (so the compared value is u64).
+    to_bits: bool,
+}
+
+/// Inspect the operand chain adjacent to the comparison operator at
+/// `code[at]`. The chain is the contiguous run of idents, numbers,
+/// field/path separators and balanced brackets; scanning stops at any
+/// token that ends an expression operand (`;`, `,`, `&&`, `{`, an
+/// unbalanced bracket, …) or after a bounded number of tokens.
+fn operand(code: &[&Token], at: usize, dir: Dir, file: &SourceFile) -> Operand {
+    let mut floaty = false;
+    let mut to_bits = false;
+    // Balance counts brackets opened *within* the operand; going
+    // negative means we've left the operand's bracket context.
+    let mut balance: i32 = 0;
+    let mut steps = 0usize;
+    let mut idx = at;
+    loop {
+        let next = match dir {
+            Dir::Left => idx.checked_sub(1),
+            Dir::Right => idx.checked_add(1).filter(|&j| j < code.len()),
+        };
+        let Some(j) = next else { break };
+        steps += 1;
+        if steps > 24 {
+            break;
+        }
+        let t = code[j];
+        let text = t.text(&file.text);
+        match t.kind {
+            TokenKind::Num => {
+                if t.is_float {
+                    floaty = true;
+                }
+            }
+            TokenKind::Ident => {
+                if F64_FIELDS.contains(&text) {
+                    floaty = true;
+                }
+                if text == "to_bits" {
+                    to_bits = true;
+                }
+            }
+            TokenKind::Punct => {
+                // Walking leftwards, `)`/`]` open a bracket group and
+                // `(`/`[` close it; rightwards it's the usual way round.
+                let opens = match dir {
+                    Dir::Left => matches!(text, ")" | "]"),
+                    Dir::Right => matches!(text, "(" | "["),
+                };
+                let closes = match dir {
+                    Dir::Left => matches!(text, "(" | "["),
+                    Dir::Right => matches!(text, ")" | "]"),
+                };
+                if opens {
+                    balance += 1;
+                } else if closes {
+                    balance -= 1;
+                    if balance < 0 {
+                        break;
+                    }
+                } else if matches!(text, "." | "::" | "-" | "&" | "*" | "!") {
+                    // path/field separators and unary prefixes: continue
+                } else if balance == 0 {
+                    // Any other operator at depth 0 ends the operand.
+                    break;
+                }
+            }
+            _ => {
+                if balance == 0 {
+                    break;
+                }
+            }
+        }
+        idx = j;
+    }
+    Operand { floaty, to_bits }
+}

@@ -1,0 +1,55 @@
+//! The rule set. Each rule is a function from the loaded [`Workspace`]
+//! to a list of [`Finding`]s; the engine (in [`crate::engine`]) applies
+//! inline-allow escapes and the tracked allowlist afterwards, so rules
+//! themselves only report raw violations.
+//!
+//! | rule          | invariant it fences                                        |
+//! |---------------|------------------------------------------------------------|
+//! | `determinism` | bit-identical checkpoint replay (DESIGN.md §7)             |
+//! | `float-eq`    | numerical conventions — no exact compares on computed f64  |
+//! | `panic-free`  | panic-free solver paths (DESIGN.md §6)                     |
+//! | `layering`    | the crate DAG: obs at the bottom, facade-only re-exports   |
+//! | `api-snapshot`| reviewable `pub` surface drift under `results/api/`        |
+
+pub mod api;
+pub mod determinism;
+pub mod float_eq;
+pub mod layering;
+pub mod panic_free;
+
+use crate::workspace::Workspace;
+
+/// Rule names, in report order.
+pub const RULES: [&str; 5] = ["determinism", "float-eq", "panic-free", "layering", "api-snapshot"];
+
+/// One violation at a specific line of a workspace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line (0 for file-level findings such as a missing API
+    /// snapshot).
+    pub line: usize,
+    /// Human-oriented explanation, including the fix direction.
+    pub message: String,
+    /// Trimmed text of the offending line (used by the allowlist to
+    /// detect stale entries when the code under an entry changes).
+    pub snippet: String,
+}
+
+/// Run every rule over the workspace. Findings are sorted by
+/// (path, line, rule) for stable reports.
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(determinism::check(ws));
+    findings.extend(float_eq::check(ws));
+    findings.extend(panic_free::check(ws));
+    findings.extend(layering::check(ws));
+    findings.extend(api::check(ws));
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    findings
+}

@@ -1,0 +1,307 @@
+//! Per-file analysis context: lexed tokens, line mapping, `#[cfg(test)]`
+//! regions, and inline `// lint: allow(<rule>)` escapes.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A source file prepared for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (e.g.
+    /// `crates/core/src/pwl.rs`).
+    pub path: String,
+    /// Short crate name (`core`, `lp`, …) or `"."` for the facade.
+    pub crate_name: String,
+    /// Whether the file lives under a `tests/`, `benches/` or
+    /// `examples/` directory (whole file is test-adjacent code).
+    pub test_target: bool,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Byte offset of the start of each line (line 1 at index 0).
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// `(line, rule)` pairs from `// lint: allow(rule)` comments; an
+    /// entry on line N suppresses findings on line N and N+1 (so a
+    /// standalone comment line covers the line below it).
+    allows: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    pub fn new(path: String, crate_name: String, text: String) -> Self {
+        let tokens = lex(&text);
+        let line_starts = line_starts(&text);
+        let test_regions = test_regions(&text, &tokens);
+        let allows = allow_directives(&text, &tokens, &line_starts);
+        let test_target = path.split('/').any(|c| c == "tests" || c == "benches" || c == "examples");
+        SourceFile {
+            path,
+            crate_name,
+            test_target,
+            text,
+            tokens,
+            line_starts,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, byte: usize) -> usize {
+        match self.line_starts.binary_search(&byte) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point = count of starts <= byte
+        }
+    }
+
+    /// The trimmed text of a 1-based line (empty for out-of-range).
+    pub fn line_text(&self, line: usize) -> &str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.text.len());
+        self.text[start..end].trim_end_matches(['\n', '\r']).trim()
+    }
+
+    /// Whether `byte` falls inside a `#[cfg(test)]` item or `#[test]` fn.
+    pub fn in_test_region(&self, byte: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    /// Whether a finding of `rule` on 1-based `line` is suppressed by an
+    /// inline `// lint: allow(rule)` on the same or preceding line.
+    pub fn inline_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+
+    /// Code tokens only (no whitespace or comments), with their indices
+    /// into `self.tokens` preserved via enumeration by the caller.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+    }
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Find `#[cfg(test)]` / `#[test]` attributes and mark the byte range of
+/// the item they decorate (through the matching close brace, or the
+/// terminating `;` for brace-less items).
+fn test_regions(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(after_attr) = match_test_attr(text, &code, i) {
+            let start = code[i].start;
+            let end = item_end(text, &code, after_attr);
+            regions.push((start, end));
+            // Continue scanning *after* the region so nested attributes
+            // inside it don't double-count.
+            while i < code.len() && code[i].start < end {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// If `code[i..]` starts with `#[cfg(test)]` or `#[test]` (or a
+/// `cfg_attr(test, …)`), return the index one past the closing `]`.
+fn match_test_attr(text: &str, code: &[&Token], i: usize) -> Option<usize> {
+    if text_of(text, code, i) != "#" || text_of(text, code, i + 1) != "[" {
+        return None;
+    }
+    // Collect the attribute tokens up to the matching `]`.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut has_test = false;
+    let mut first_ident = None;
+    while j < code.len() {
+        let t = text_of(text, code, j);
+        match t {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if first_ident.is_none() && code[j].kind == TokenKind::Ident {
+                    first_ident = Some(t.to_string());
+                }
+                if t == "test" {
+                    has_test = true;
+                }
+            }
+        }
+        j += 1;
+    }
+    let head = first_ident.unwrap_or_default();
+    let is_test_attr = match head.as_str() {
+        "test" => true,
+        "cfg" | "cfg_attr" => has_test,
+        _ => false,
+    };
+    if is_test_attr {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// End byte of the item starting at `code[i]`: skip any further
+/// attributes, then scan to the first `{`/`;` at depth 0 and
+/// brace-match.
+fn item_end(text: &str, code: &[&Token], mut i: usize) -> usize {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod t { … }`).
+    while text_of(text, code, i) == "#" && text_of(text, code, i + 1) == "[" {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < code.len() {
+            match text_of(text, code, j) {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    let mut j = i;
+    while j < code.len() {
+        match text_of(text, code, j) {
+            ";" => return code[j].end,
+            "{" => {
+                let mut depth = 1usize;
+                let mut k = j + 1;
+                while k < code.len() && depth > 0 {
+                    match text_of(text, code, k) {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return code.get(k.saturating_sub(1)).map(|t| t.end).unwrap_or_else(|| text.len());
+            }
+            _ => j += 1,
+        }
+    }
+    text.len()
+}
+
+fn text_of<'s>(text: &'s str, code: &[&Token], i: usize) -> &'s str {
+    code.get(i).map(|t| t.text(text)).unwrap_or("")
+}
+
+/// Extract `// lint: allow(rule)` directives (an optional `: reason`
+/// tail is permitted and ignored). Only line comments are honored; the
+/// directive must be the comment's leading content.
+fn allow_directives(text: &str, tokens: &[Token], line_starts: &[usize]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text(text).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let line = match line_starts.binary_search(&t.start) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push((line, rule.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_covers_mod() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::new("crates/core/src/x.rs".into(), "core".into(), src.into());
+        let live = src.find("x.unwrap").expect("live site");
+        let test = src.find("y.unwrap").expect("test site");
+        let tail = src.find("tail").expect("tail site");
+        assert!(!f.in_test_region(live));
+        assert!(f.in_test_region(test));
+        assert!(!f.in_test_region(tail));
+    }
+
+    #[test]
+    fn stacked_attrs_and_test_fn() {
+        let src = "#[test]\n#[ignore]\nfn t() { a.unwrap() }\nfn live() {}\n";
+        let f = SourceFile::new("p.rs".into(), "core".into(), src.into());
+        let inside = src.find("a.unwrap").expect("site");
+        assert!(f.in_test_region(inside));
+        assert!(!f.in_test_region(src.find("live").expect("live")));
+    }
+
+    #[test]
+    fn allow_directive_same_and_next_line() {
+        let src = "let a = b; // lint: allow(float-eq): exact sentinel\n// lint: allow(determinism)\nlet c = d;\n";
+        let f = SourceFile::new("p.rs".into(), "core".into(), src.into());
+        assert!(f.inline_allowed("float-eq", 1));
+        assert!(f.inline_allowed("determinism", 3));
+        assert!(!f.inline_allowed("float-eq", 3));
+    }
+
+    #[test]
+    fn line_mapping() {
+        let f = SourceFile::new("p.rs".into(), "x".into(), "a\nbb\nccc\n".into());
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+        assert_eq!(f.line_text(2), "bb");
+    }
+}

@@ -1,0 +1,57 @@
+//! Seeded violations for the analyzer golden tests
+//! (crates/analyze/tests/fixtures.rs asserts the exact flagged lines).
+
+use std::time::Instant;
+use thermaware_core as _dag_edge_used;
+
+pub fn entropy_ns() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn histogram(xs: &[u64]) -> std::collections::HashMap<u64, u64> {
+    let mut m = std::collections::HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn converged(a: f64) -> bool {
+    a == 0.0 || a != 1.5
+}
+
+pub fn bit_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn first(xs: &[f64]) -> f64 {
+    let v = xs.first().unwrap();
+    if xs.len() > 9 {
+        unreachable!("seeded violation");
+    }
+    *v
+}
+
+pub fn sentinel(x: f64) -> f64 {
+    // lint: allow(float-eq): seeded escape — must not be reported
+    if x == 0.5 {
+        return 1.0;
+    }
+    x
+}
+
+pub fn allowlisted_site(y: f64) -> bool {
+    y != 0.25
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_from_panic_free_and_determinism() {
+        let v: Option<f64> = Some(1.0);
+        v.unwrap();
+        let _ = std::time::Instant::now();
+        assert!(v.expect("set") == 1.0);
+    }
+}

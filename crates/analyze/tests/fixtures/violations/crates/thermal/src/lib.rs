@@ -1,0 +1,2 @@
+//! Facade-rule fixture: a cross-layer re-export outside the root.
+pub use thermaware_lp::converged;

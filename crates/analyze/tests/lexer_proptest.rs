@@ -1,0 +1,121 @@
+//! Totality of the hand-rolled lexer: for *any* input — arbitrary
+//! bytes, lossy-decoded, or adversarial concatenations of the trickiest
+//! Rust fragments — `lex` must not panic and its token spans must tile
+//! the input exactly (every byte covered once, in order).
+//!
+//! The tiling property is what the rest of the analyzer leans on:
+//! line mapping, test-region detection and snippet extraction all
+//! assume spans are contiguous and exhaustive.
+
+use proptest::prelude::*;
+use thermaware_analyze::lexer::lex;
+
+/// Assert the tiling invariant for one input.
+fn assert_tiles(src: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(src);
+    if src.is_empty() {
+        prop_assert!(tokens.is_empty(), "empty input must yield no tokens");
+        return Ok(());
+    }
+    prop_assert!(!tokens.is_empty(), "non-empty input yielded no tokens");
+    prop_assert_eq!(tokens[0].start, 0, "first token must start at byte 0");
+    prop_assert_eq!(
+        tokens[tokens.len() - 1].end,
+        src.len(),
+        "last token must end at the input length"
+    );
+    for w in tokens.windows(2) {
+        prop_assert_eq!(
+            w[0].end,
+            w[1].start,
+            "gap or overlap between consecutive tokens"
+        );
+    }
+    for t in &tokens {
+        prop_assert!(t.start < t.end, "empty token span at byte {}", t.start);
+        // Spans must land on char boundaries or `Token::text` would
+        // panic when slicing.
+        prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Arbitrary bytes, lossy-decoded: exercises unknown tokens, stray
+    // control characters, multi-byte UTF-8 replacement chars, and
+    // unterminated everything.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(0usize..256, 0..120)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src)?;
+    }
+
+    // Adversarial fragments: every construct with lexer special-casing,
+    // concatenated in random orders so openers are routinely left
+    // unterminated or doubled.
+    #[test]
+    fn tricky_fragment_soup_never_panics(
+        picks in prop::collection::vec(
+            prop::sample::select(vec![
+                "r#\"", "\"#", "r\"", "br#\"", "b\"", "\"", "\\\"", "\\",
+                "/*", "*/", "//", "/**/", "/* /* */",
+                "'a", "'a'", "'\\n'", "'", "b'x'",
+                "0.5", "0..5", "1.", "1e9", "1e", "0x_f", "..", "..=",
+                "==", "!=", "::", "->", "=>", "<=", ">=", "&&", "||",
+                "fn", "pub", "#[cfg(test)]", "{", "}", "(", ")",
+                "é", "日", "\u{FFFD}", "\n", "\t", " ",
+            ]),
+            0..24,
+        ),
+    ) {
+        let src: String = picks.concat();
+        assert_tiles(&src)?;
+    }
+
+    // Same soup inside an (possibly unterminated) enclosing construct —
+    // raw strings and block comments must consume arbitrary tails
+    // without ever stepping past the end.
+    #[test]
+    fn fragments_inside_openers_never_panic(
+        opener in prop::sample::select(vec!["r#\"", "/*", "\"", "'", "br\""]),
+        picks in prop::collection::vec(
+            prop::sample::select(vec!["\"#", "*/", "\"", "\\", "#", "*", "/", "x", "\n"]),
+            0..16,
+        ),
+    ) {
+        let src = format!("{opener}{}", picks.concat());
+        assert_tiles(&src)?;
+    }
+}
+
+/// Known-hard deterministic cases, kept explicit so a regression names
+/// the construct instead of a shrunken byte soup.
+#[test]
+fn deterministic_edge_cases_tile() {
+    for src in [
+        "",
+        "'",
+        "'a",
+        "'a'",
+        "r",
+        "r#",
+        "r#\"unterminated",
+        "br##\"x\"#",
+        "/* /* nested */ still open",
+        "0.",
+        "0..",
+        "0..=1",
+        "1.0e",
+        "let x = 'static",
+        "\"ends with backslash \\",
+        "b'",
+        "r#\"\"#",
+        "🦀",
+        "a\u{0}b",
+    ] {
+        assert_tiles(src).expect(src);
+    }
+}

@@ -1,0 +1,63 @@
+//! Self-check: the analyzer's own `--check` contract holds for the tree
+//! this test is running from. Equivalent to the CI gate, but as a plain
+//! `cargo test` so a dirty tree fails fast locally with the findings in
+//! the assertion message.
+//!
+//! Clean means: zero unsuppressed findings, zero stale allowlist
+//! entries (the shipped `crates/analyze/allowlist.txt` matches the tree
+//! *exactly* — every entry still corresponds to a real finding), zero
+//! malformed allowlist lines, and every `results/api/<crate>.txt`
+//! snapshot matching the current pub surface.
+
+use std::path::PathBuf;
+use thermaware_analyze::engine;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn shipped_tree_is_clean_and_allowlist_is_exact() {
+    let root = workspace_root();
+    assert!(root.join("Cargo.toml").is_file(), "not a workspace root: {}", root.display());
+    let a = engine::analyze(&root);
+
+    let mut problems = String::new();
+    for f in &a.unsuppressed {
+        problems.push_str(&format!("  {}: {}:{}: {}\n", f.rule, f.path, f.line, f.message));
+    }
+    for e in &a.stale_entries {
+        problems.push_str(&format!(
+            "  stale allowlist entry (allowlist.txt:{}): {} {}:{}\n",
+            e.at, e.rule, e.path, e.line
+        ));
+    }
+    for m in &a.malformed {
+        problems.push_str(&format!("  {m}\n"));
+    }
+    assert!(
+        a.clean(),
+        "tree is not analyze-clean — fix the sites, add `// lint: allow(<rule>): <reason>`, \
+         or run `cargo run -p thermaware-analyze -- --bless`:\n{problems}"
+    );
+}
+
+#[test]
+fn analyzer_actually_scanned_the_workspace() {
+    // Guard against a silently-empty walk (wrong root, renamed dirs):
+    // the real tree has hundreds of findings *before* suppression and
+    // a known tracked-debt ledger.
+    let a = engine::analyze(&workspace_root());
+    assert!(
+        a.total_raw() >= 10,
+        "implausibly few raw findings ({}) — did the walker find the sources?",
+        a.total_raw()
+    );
+    assert!(
+        !a.allowlisted.is_empty() || !a.inline_allowed.is_empty(),
+        "the shipped tree carries known suppressed findings; zero means the walk went wrong"
+    );
+}

@@ -146,8 +146,11 @@ fn main() {
     );
 
     let report = rec.finish().expect("finish recovered run");
+    // Resume must be *bit-identical* to the uninterrupted run (DESIGN.md
+    // §7) — compare the reward's bit pattern, which is stricter than
+    // `==` (distinguishes -0.0, survives NaN) and states the contract.
     let identical = report.outcome == baseline.outcome
-        && report.sim.reward_collected == baseline.sim.reward_collected
+        && report.sim.reward_collected.to_bits() == baseline.sim.reward_collected.to_bits()
         && report.log == baseline.log;
     println!(
         "\nacceptance: resumed run identical to uninterrupted run: {} \

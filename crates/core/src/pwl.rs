@@ -62,12 +62,12 @@ impl PiecewiseLinear {
 
     /// Largest x (the curve's domain end).
     pub fn x_max(&self) -> f64 {
-        self.points.last().unwrap().0
+        self.points.last().expect("PiecewiseLinear is non-empty by construction").0
     }
 
     /// Value at the last breakpoint.
     pub fn y_max(&self) -> f64 {
-        self.points.last().unwrap().1
+        self.points.last().expect("PiecewiseLinear is non-empty by construction").1
     }
 
     /// Evaluate at `x`, clamping outside the domain to the end values

@@ -262,7 +262,7 @@ pub fn solve_stage3_task_aware(
             for i in 0..t {
                 if let Some(v) = vars[gi][i] {
                     let c = gn * power_coeff(gi, i);
-                    if c != 0.0 {
+                    if c != 0.0 { // lint: allow(float-eq): skip exactly-zero computed coefficients; a zero term is harmless either way
                         terms.push((v, c));
                     }
                 }
@@ -570,8 +570,10 @@ mod tests {
             .zip(&plan.pstates)
             .filter(|(a, b)| a != b)
             .count();
+        // Both rates come out of independent stage-3 accumulations, so
+        // "unchanged" means equal up to rounding, not bit-equal.
         assert!(
-            changed > 0 || reclaimed.reward_rate == fixed.reward_rate,
+            changed > 0 || thermaware_linalg::approx::eq_ulps(reclaimed.reward_rate, fixed.reward_rate, 4),
             "no upgrades despite headroom"
         );
     }

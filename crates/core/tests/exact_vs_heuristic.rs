@@ -41,7 +41,8 @@ fn tiny_dc(lambda: [f64; 2]) -> DataCenter {
         &[1.0, 0.0, 0.0],
     ]);
     let ci = CrossInterference::from_matrix(1, alpha);
-    let thermal = ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0).unwrap();
+    let thermal = ThermalModel::new(&layout, &flows, &ci, 25.0, 40.0)
+        .expect("hand-built two-node model is valid");
     let cracs = vec![CracUnit {
         flow_m3s: 1.66,
         min_outlet_c: 10.0,
@@ -67,7 +68,8 @@ fn tiny_dc(lambda: [f64; 2]) -> DataCenter {
     };
     let node_types = vec![node_type.clone()];
     let node_type_of = vec![0, 0];
-    let budget = PowerBudget::compute(&thermal, &cracs, &node_types, &node_type_of).unwrap();
+    let budget = PowerBudget::compute(&thermal, &cracs, &node_types, &node_type_of)
+        .expect("budget computes for the hand-built model");
     DataCenter::new(
         layout,
         node_types,

@@ -20,7 +20,7 @@ fn small_dc(seed: u64) -> DataCenter {
         ..ScenarioParams::small_test()
     }
     .build(seed)
-    .unwrap()
+    .expect("small_test scenario builds")
 }
 use thermaware_lp::{Problem, RowOp, Sense, VarId};
 

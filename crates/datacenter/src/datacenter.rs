@@ -81,7 +81,10 @@ impl DataCenter {
 
     /// Total number of cores `NCORES`.
     pub fn n_cores(&self) -> usize {
-        *self.core_offsets.last().unwrap()
+        *self
+            .core_offsets
+            .last()
+            .expect("core_offsets has n_nodes+1 entries by construction")
     }
 
     /// Number of task types `T`.

@@ -1,0 +1,92 @@
+//! Tolerant `f64` comparison helpers.
+//!
+//! The workspace's numerical conventions (DESIGN.md §5) forbid exact
+//! `==`/`!=` between computed floating-point values — two mathematically
+//! equal results of different evaluation orders are rarely bit-equal,
+//! so an exact compare is either a latent flaky assert or a logic bug.
+//! The `float-eq` rule of `thermaware-analyze` enforces the ban; these
+//! helpers are the sanctioned replacements. Pick by what the comparison
+//! means:
+//!
+//! - [`eq_abs`] — "equal to within a physical tolerance". Use when the
+//!   scale is known (temperatures in °C, power in kW): an absolute
+//!   epsilon reads as a unit-bearing statement.
+//! - [`eq_ulps`] — "equal up to accumulated rounding". Use for
+//!   scale-free quantities (reward rates, ratios) where the admissible
+//!   error is a few representable steps regardless of magnitude.
+//! - `f64::to_bits` equality (no helper needed) — "bit-identical is the
+//!   contract". That is the checkpoint-replay guarantee of DESIGN.md §7
+//!   and deliberately *stricter* than `==` (it distinguishes `-0.0`
+//!   from `0.0` and treats equal NaN payloads as equal).
+
+/// `a` and `b` within `tol` of each other (absolute difference).
+///
+/// NaN compares unequal to everything, matching IEEE semantics; both
+/// infinities of the same sign compare equal.
+#[inline]
+pub fn eq_abs(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        // lint: allow(float-eq): fast path; equality of identical bits or infinities is exact by definition
+        return true;
+    }
+    (a - b).abs() <= tol
+}
+
+/// `a` and `b` within `max_ulps` representable steps of each other.
+///
+/// Equality "up to rounding": adjacent `f64` values differ by one ULP
+/// (unit in the last place), so `max_ulps = 4` accepts results that
+/// diverged by at most four rounding steps. Values of opposite sign
+/// (other than `±0.0`) never compare equal, and NaN compares unequal to
+/// everything.
+#[inline]
+pub fn eq_ulps(a: f64, b: f64, max_ulps: u64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if a == b {
+        // lint: allow(float-eq): fast path; also the only way ±0.0 compare equal across signs
+        return true;
+    }
+    if a.is_sign_positive() != b.is_sign_positive() {
+        return false;
+    }
+    // Same sign: the bit patterns of finite f64s are monotone in value,
+    // so the ULP distance is the difference of the raw patterns.
+    let (ua, ub) = (a.to_bits(), b.to_bits());
+    ua.abs_diff(ub) <= max_ulps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_tolerance() {
+        assert!(eq_abs(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!eq_abs(1.0, 1.0 + 1e-9, 1e-12));
+        assert!(eq_abs(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!eq_abs(f64::NAN, f64::NAN, 1.0));
+        assert!(eq_abs(-0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn ulps_adjacency() {
+        let a = 1.0f64;
+        let next = f64::from_bits(a.to_bits() + 1);
+        assert!(eq_ulps(a, next, 1));
+        assert!(!eq_ulps(a, f64::from_bits(a.to_bits() + 5), 4));
+        // Sums evaluated in different orders land within a few ulps.
+        let s1 = 0.1 + 0.2 + 0.3;
+        let s2 = 0.3 + 0.2 + 0.1;
+        assert!(eq_ulps(s1, s2, 4));
+    }
+
+    #[test]
+    fn ulps_signs_and_nan() {
+        assert!(eq_ulps(0.0, -0.0, 0));
+        assert!(!eq_ulps(1.0, -1.0, u64::MAX));
+        assert!(!eq_ulps(f64::NAN, f64::NAN, u64::MAX));
+        assert!(eq_ulps(f64::INFINITY, f64::INFINITY, 0));
+    }
+}

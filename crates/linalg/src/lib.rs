@@ -25,6 +25,7 @@
 //! assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
 //! ```
 
+pub mod approx;
 mod error;
 mod lu;
 mod matrix;

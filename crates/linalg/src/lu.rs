@@ -64,7 +64,7 @@ impl Lu {
             for i in k + 1..n {
                 let m = lu[(i, k)] / pivot;
                 lu[(i, k)] = m;
-                if m == 0.0 {
+                if m == 0.0 { // lint: allow(float-eq): exact-zero multiplier skips a no-op elimination row
                     continue;
                 }
                 // Row update on the contiguous tail of row i.

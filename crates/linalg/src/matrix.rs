@@ -150,7 +150,7 @@ impl Matrix {
         let mut y = vec![0.0; self.cols];
         for i in 0..self.rows {
             let xi = x[i];
-            if xi == 0.0 {
+            if xi == 0.0 { // lint: allow(float-eq): sparsity skip on a stored coefficient; exact zeros only
                 continue;
             }
             for (yj, aij) in y.iter_mut().zip(self.row(i)) {
@@ -176,7 +176,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                if aik == 0.0 { // lint: allow(float-eq): sparsity skip on a stored coefficient; exact zeros only
                     continue;
                 }
                 let brow = other.row(k);
@@ -323,7 +323,7 @@ mod tests {
     fn zeros_and_identity() {
         let z = Matrix::zeros(3, 4);
         assert_eq!(z.shape(), (3, 4));
-        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0)); // lint: allow(float-eq): freshly zeroed buffer is exactly 0.0 by construction
 
         let id = Matrix::identity(3);
         for i in 0..3 {

@@ -33,7 +33,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    if alpha == 0.0 {
+    if alpha == 0.0 { // lint: allow(float-eq): exact-zero fast path; any nonzero alpha takes the full path
         return;
     }
     for (yi, xi) in y.iter_mut().zip(x) {

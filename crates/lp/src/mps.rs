@@ -46,20 +46,20 @@ pub fn to_mps(problem: &Problem, name: &str) -> String {
     let mut per_var: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nvars];
     for (i, c) in problem.cons.iter().enumerate() {
         for &(j, a) in &c.terms {
-            if a != 0.0 {
+            if a != 0.0 { // lint: allow(float-eq): MPS writer omits exactly-zero stored coefficients
                 per_var[j].push((i, a));
             }
         }
     }
     for (j, v) in problem.vars.iter().enumerate() {
         let vn = var_name(problem, j);
-        if v.objective != 0.0 {
+        if v.objective != 0.0 { // lint: allow(float-eq): MPS writer omits exactly-zero stored objectives
             let _ = writeln!(out, " {vn} COST {}", fmt_num(flip * v.objective));
         }
         for &(i, a) in &per_var[j] {
             let _ = writeln!(out, " {vn} {} {}", row_name(problem, i), fmt_num(a));
         }
-        if v.objective == 0.0 && per_var[j].is_empty() {
+        if v.objective == 0.0 && per_var[j].is_empty() { // lint: allow(float-eq): MPS writer omits exactly-zero stored objectives
             // MPS requires every column to appear; emit a zero objective
             // entry for columns no row touches.
             let _ = writeln!(out, " {vn} COST 0");
@@ -69,7 +69,7 @@ pub fn to_mps(problem: &Problem, name: &str) -> String {
     // RHS.
     out.push_str("RHS\n");
     for (i, c) in problem.cons.iter().enumerate() {
-        if c.rhs != 0.0 {
+        if c.rhs != 0.0 { // lint: allow(float-eq): MPS writer omits exactly-zero stored RHS values
             let _ = writeln!(out, " RHS {} {}", row_name(problem, i), fmt_num(c.rhs));
         }
     }

@@ -44,7 +44,7 @@ pub(crate) fn solve_presolved(problem: &Problem) -> Result<Solution, LpError> {
     let mut used_in_rows = vec![false; n];
     for c in &problem.cons {
         for &(j, coef) in &c.terms {
-            if coef != 0.0 {
+            if coef != 0.0 { // lint: allow(float-eq): sparsity skip on a stored coefficient; exact zeros only
                 used_in_rows[j] = true;
             }
         }
@@ -60,7 +60,7 @@ pub(crate) fn solve_presolved(problem: &Problem) -> Result<Solution, LpError> {
                 Sense::Maximize => v.objective > 0.0,
                 Sense::Minimize => v.objective < 0.0,
             };
-            let value = if v.objective == 0.0 {
+            let value = if v.objective == 0.0 { // lint: allow(float-eq): objective coefficient is stored, not computed; exact-zero test intended
                 // Indifferent: any feasible value; prefer a finite bound.
                 if v.lower.is_finite() {
                     v.lower

@@ -83,6 +83,9 @@ enum StepResult {
     Optimal,
     Progress,
     Unbounded(usize),
+    /// A tableau invariant broke mid-step — solver bug, surfaced as
+    /// [`LpError::Internal`] rather than a panic (DESIGN.md §6).
+    Broken(&'static str),
 }
 
 impl Tableau {
@@ -118,7 +121,7 @@ impl Tableau {
         self.d.copy_from_slice(costs);
         for i in 0..self.m() {
             let cb = costs[self.basis[i]];
-            if cb != 0.0 {
+            if cb != 0.0 { // lint: allow(float-eq): sparsity skip on a stored basis cost; exact zeros only
                 let row = self.t.row(i);
                 for (dj, tij) in self.d.iter_mut().zip(row) {
                     *dj -= cb * tij;
@@ -221,7 +224,7 @@ impl Tableau {
         }
 
         // Update basic values along the direction.
-        if t_best != 0.0 {
+        if t_best != 0.0 { // lint: allow(float-eq): degenerate step detection wants exact zero, not a tolerance
             for i in 0..self.m() {
                 let delta = dir * t_best * self.t[(i, q)];
                 self.xb[i] -= delta;
@@ -235,7 +238,10 @@ impl Tableau {
                 self.state[q] = match self.state[q] {
                     VarState::Lower => VarState::Upper,
                     VarState::Upper => VarState::Lower,
-                    VarState::Basic => unreachable!("entering column was basic"),
+                    // `choose_entering` only returns nonbasic columns, so
+                    // a basic entering column means the tableau state is
+                    // corrupt — report it instead of panicking.
+                    VarState::Basic => return StepResult::Broken("entering column was basic"),
                 };
             }
             Some((r, hit)) => {
@@ -260,7 +266,7 @@ impl Tableau {
                         continue;
                     }
                     let f = self.t[(i, q)];
-                    if f == 0.0 {
+                    if f == 0.0 { // lint: allow(float-eq): sparsity skip on a stored column entry; exact zeros only
                         continue;
                     }
                     let (row_r, row_i) = self.t.two_rows_mut(r, i);
@@ -272,7 +278,7 @@ impl Tableau {
                     row_i[q] = 0.0;
                 }
                 let f = self.d[q];
-                if f != 0.0 {
+                if f != 0.0 { // lint: allow(float-eq): sparsity skip on a stored column entry; exact zeros only
                     let row_r = self.t.row(r);
                     for (dj, vr) in self.d.iter_mut().zip(row_r) {
                         *dj -= f * vr;
@@ -298,6 +304,9 @@ impl Tableau {
                 StepResult::Optimal => return Ok(None),
                 StepResult::Progress => {}
                 StepResult::Unbounded(q) => return Ok(Some(q)),
+                StepResult::Broken(what) => {
+                    return Err(LpError::Internal { what: what.to_string() })
+                }
             }
         }
     }
@@ -333,6 +342,7 @@ pub(crate) fn solve(problem: &Problem, feasibility_only: bool) -> Result<Solutio
             Err(LpError::Infeasible { .. }) => r.counter_add("lp.infeasible", 1),
             Err(LpError::Unbounded { .. }) => r.counter_add("lp.unbounded", 1),
             Err(LpError::IterationLimit { .. }) => r.counter_add("lp.iteration_limit", 1),
+            Err(LpError::Internal { .. }) => r.counter_add("lp.internal_error", 1),
         }
     });
     result

@@ -69,6 +69,15 @@ pub enum LpError {
         /// The cap that was exceeded.
         limit: usize,
     },
+    /// A tableau invariant the solver relies on was violated — a solver
+    /// bug, not a property of the model. Formerly an `unreachable!`;
+    /// the solver paths are panic-free (DESIGN.md §6), so internal
+    /// inconsistency surfaces as a typed error the supervisor can
+    /// degrade on instead of a crash.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -80,6 +89,9 @@ impl fmt::Display for LpError {
             LpError::Unbounded { var } => write!(f, "LP unbounded along variable '{var}'"),
             LpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit {limit} exceeded")
+            }
+            LpError::Internal { what } => {
+                write!(f, "simplex internal invariant violated: {what}")
             }
         }
     }
@@ -96,6 +108,7 @@ impl Serialize for LpError {
             LpError::Infeasible { residual } => ("infeasible", "residual", residual.to_value()),
             LpError::Unbounded { var } => ("unbounded", "var", var.to_value()),
             LpError::IterationLimit { limit } => ("iteration_limit", "limit", limit.to_value()),
+            LpError::Internal { what } => ("internal", "what", what.to_value()),
         };
         Value::Object(vec![
             ("kind".to_string(), Value::String(kind.to_string())),
@@ -119,6 +132,9 @@ impl Deserialize for LpError {
             }),
             "iteration_limit" => Ok(LpError::IterationLimit {
                 limit: serde::field(entries, "limit")?,
+            }),
+            "internal" => Ok(LpError::Internal {
+                what: serde::field(entries, "what")?,
             }),
             other => Err(serde::Error::custom(format!(
                 "LpError: unknown kind '{other}'"

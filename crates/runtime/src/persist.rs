@@ -716,7 +716,7 @@ fn snapshot_paths(dir: &Path) -> Result<Vec<(usize, PathBuf)>, PersistError> {
 fn version_of(v: &Value, path: &Path) -> Result<u64, PersistError> {
     v.get("version")
         .and_then(|x| x.as_f64())
-        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0) // lint: allow(float-eq): integrality check on a parsed JSON number; exactness is the point
         .map(|x| x as u64)
         .ok_or_else(|| PersistError::Corrupt {
             path: path.to_path_buf(),
@@ -743,7 +743,7 @@ fn load_snapshot(path: &Path) -> Result<(SupervisorState, usize), PersistError> 
     let epoch = v
         .get("epoch")
         .and_then(|x| x.as_f64())
-        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+        .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0) // lint: allow(float-eq): integrality check on a parsed JSON number; exactness is the point
         .map(|x| x as usize)
         .ok_or_else(|| corrupt("missing or non-integral 'epoch'".to_string()))?;
     let state_json = v
@@ -754,7 +754,7 @@ fn load_snapshot(path: &Path) -> Result<(SupervisorState, usize), PersistError> 
         let want = v
             .get("state_crc")
             .and_then(|x| x.as_f64())
-            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+            .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0) // lint: allow(float-eq): integrality check on a parsed JSON number; exactness is the point
             .map(|x| x as u32)
             .ok_or_else(|| corrupt("missing 'state_crc'".to_string()))?;
         let got = crc32(state_json.as_bytes());

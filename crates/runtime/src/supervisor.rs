@@ -1023,8 +1023,8 @@ impl WorldView<'_> {
             && !self.meltdown
             && self.backoff_skip == 0
             && self.shed.is_empty()
-            && self.bias_c == 0.0
-            && self.surge == 1.0
+            && self.bias_c == 0.0 // lint: allow(float-eq): bias_c is only ever assigned literals; exact no-fault test
+            && self.surge == 1.0 // lint: allow(float-eq): surge is only ever assigned literals; exact no-fault test
             && !self.failed.iter().any(|&f| f)
             && !self.dead.iter().any(|&d| d)
     }

@@ -120,7 +120,7 @@ pub fn probe(
             // Deterministic "sensor noise": a cheap hash-driven dither so
             // tests stay reproducible without threading an RNG through.
             let dither = |u: usize| -> f64 {
-                if noise_c == 0.0 {
+                if noise_c == 0.0 { // lint: allow(float-eq): noise_c is a literal-set parameter, never computed
                     return 0.0;
                 }
                 let h = (u.wrapping_mul(2654435761) ^ s.wrapping_mul(40503)) % 1000;

@@ -163,8 +163,11 @@ impl Layout {
         // not a multiple of the rack capacity) get balance-aware label
         // sets — see [`Label::for_partial_rack`] for why straight ladder
         // interpolation breaks Table II's feasibility.
-        let mut occupancy: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: layout construction is on the replay
+        // path, and std's RandomState makes HashMap iteration order a
+        // per-process coin flip (the `determinism` lint bans it here).
+        let mut occupancy: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
         for p in &nodes {
             *occupancy.entry((p.rack_col, p.rack_index)).or_default() += 1;
         }
