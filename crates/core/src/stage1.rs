@@ -29,7 +29,7 @@ use crate::arr::ArrCurve;
 use crate::error::SolveError;
 use serde::{Deserialize, Serialize};
 use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
-use thermaware_lp::{Problem, RowOp, Sense, VarId};
+use thermaware_lp::{Basis, Problem, RowOp, Sense, VarId};
 use thermaware_thermal::{cop, RHO_CP};
 
 /// Options for Stage 1.
@@ -39,6 +39,12 @@ pub struct Stage1Options {
     pub psi_percent: f64,
     /// CRAC outlet search strategy.
     pub search: CracSearchOptions,
+    /// Warm-start each fixed-outlet LP from the previous grid point's
+    /// optimal basis. Adjacent grid points share structure and differ only
+    /// in coefficients, so the previous basis is usually a few pivots from
+    /// optimal. Off restores the cold-solve-per-point behaviour (used by
+    /// the benchmark baseline).
+    pub warm_start: bool,
 }
 
 impl Default for Stage1Options {
@@ -46,6 +52,7 @@ impl Default for Stage1Options {
         Stage1Options {
             psi_percent: 50.0,
             search: CracSearchOptions::default(),
+            warm_start: true,
         }
     }
 }
@@ -100,14 +107,22 @@ pub fn solve_stage1(
         })
         .collect();
 
+    let mut warm: Option<Basis> = None;
     let best = optimize_crac_outlets(&dc.cracs, options.search, |outlets| {
-        solve_fixed_outlets(dc, &node_curves, outlets).map(|(_, obj)| obj)
+        if !options.warm_start {
+            warm = None;
+        }
+        solve_fixed_outlets(dc, &node_curves, outlets, &mut warm).map(|(_, obj)| obj)
     })
     .ok_or(SolveError::NoFeasibleOutlets { stage: "stage1" })?;
     let (crac_out_c, _) = best;
 
-    let (node_core_power_kw, objective) = solve_fixed_outlets(dc, &node_curves, &crac_out_c)
-        .ok_or(SolveError::OutletRecheckFailed { stage: "stage1" })?;
+    if !options.warm_start {
+        warm = None;
+    }
+    let (node_core_power_kw, objective) =
+        solve_fixed_outlets(dc, &node_curves, &crac_out_c, &mut warm)
+            .ok_or(SolveError::OutletRecheckFailed { stage: "stage1" })?;
     thermaware_obs::gauge_set("core.stage1_objective", objective);
 
     // Distribute each node's power to its cores along the per-core hull.
@@ -136,10 +151,16 @@ pub fn solve_stage1(
 /// Solve the fixed-outlet LP. Returns per-node core power and the
 /// objective, or `None` when infeasible (including when the exact clamped
 /// power model rejects the linearized solution).
+///
+/// `warm` carries the optimal basis between calls: the solve starts from
+/// it when present and structurally compatible, and on success it is
+/// replaced with this solve's basis. Infeasible outlets leave the last
+/// good basis in place for the next grid point.
 fn solve_fixed_outlets(
     dc: &DataCenter,
     node_curves: &[crate::pwl::PiecewiseLinear],
     outlets: &[f64],
+    warm: &mut Option<Basis>,
 ) -> Option<(Vec<f64>, f64)> {
     let nn = dc.n_nodes();
     let coeff = dc.thermal.coefficients(outlets);
@@ -214,7 +235,8 @@ fn solve_fixed_outlets(
         dc.budget.p_const_kw - fixed_power,
     );
 
-    let sol = p.solve().ok()?;
+    let mut sol = p.solve_warm(warm.as_ref()).ok()?;
+    *warm = sol.take_basis();
 
     // Recover per-node core power.
     let node_core_power: Vec<f64> = node_vars

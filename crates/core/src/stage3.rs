@@ -29,6 +29,19 @@ pub struct Stage3Solution {
     pub groups: Vec<(usize, usize)>,
 }
 
+/// Opaque warm-start handle for Stage-3 re-solves.
+///
+/// Wraps the LP engine's [`thermaware_lp::Basis`] so downstream crates
+/// (the runtime supervisor) can persist and replay it without taking a
+/// direct dependency on the LP crate. The handle is only honoured when
+/// the rebuilt LP has the same structure (same groups, same rows); a
+/// structural change — e.g. a fault creating a new `(type, off)` group —
+/// silently degrades to a cold solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage3Basis {
+    inner: thermaware_lp::Basis,
+}
+
 impl Stage3Solution {
     /// Desired execution rate `TC(i, k)` of task type `i` on core `k`.
     pub fn tc(&self, task_type: usize, core: usize) -> f64 {
@@ -43,6 +56,20 @@ impl Stage3Solution {
 
 /// Solve Stage 3 for a concrete P-state assignment (global core order).
 pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution, SolveError> {
+    solve_stage3_warm(dc, pstates, None).map(|(sol, _)| sol)
+}
+
+/// [`solve_stage3`] with basis reuse: start from `warm` when compatible
+/// and hand back this solve's basis for the next re-solve.
+///
+/// The supervisor's post-fault replans perturb only a few capacities, so
+/// the pre-fault basis is typically a handful of dual-simplex pivots from
+/// the new optimum instead of a full cold solve.
+pub fn solve_stage3_warm(
+    dc: &DataCenter,
+    pstates: &[usize],
+    warm: Option<&Stage3Basis>,
+) -> Result<(Stage3Solution, Option<Stage3Basis>), SolveError> {
     if pstates.len() != dc.n_cores() {
         return Err(SolveError::invalid_input(format!(
             "stage 3: {} P-states for {} cores",
@@ -131,10 +158,13 @@ pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution
         }
     }
 
-    let sol = p.solve().map_err(|e| SolveError::Lp {
-        stage: "stage3",
-        source: e,
-    })?;
+    let mut sol = p
+        .solve_warm(warm.map(|b| &b.inner))
+        .map_err(|e| SolveError::Lp {
+            stage: "stage3",
+            source: e,
+        })?;
+    let next_basis = sol.take_basis().map(|inner| Stage3Basis { inner });
 
     let rate_per_core: Vec<Vec<f64>> = (0..groups.len())
         .map(|g| {
@@ -147,12 +177,15 @@ pub fn solve_stage3(dc: &DataCenter, pstates: &[usize]) -> Result<Stage3Solution
         })
         .collect();
 
-    Ok(Stage3Solution {
-        reward_rate: sol.objective,
-        rate_per_core,
-        group_of_core,
-        groups,
-    })
+    Ok((
+        Stage3Solution {
+            reward_rate: sol.objective,
+            rate_per_core,
+            group_of_core,
+            groups,
+        },
+        next_basis,
+    ))
 }
 
 #[cfg(test)]
@@ -230,6 +263,28 @@ mod tests {
         let r2 = solve_stage3(&dc, &p2).unwrap().reward_rate;
         assert!(r2 < r0, "P2 reward {r2} !< P0 reward {r0}");
         assert!(r2 > 0.0);
+    }
+
+    #[test]
+    fn warm_replan_matches_cold_after_pstate_change() {
+        let dc = dc();
+        // First solve at a mixed assignment yields a reusable basis.
+        let pstates: Vec<usize> = (0..dc.n_cores()).map(|k| k % 2).collect();
+        let (_, basis) = solve_stage3_warm(&dc, &pstates, None).unwrap();
+        assert!(basis.is_some(), "optimal solve must return a basis");
+        // Same structure, re-solved warm: identical answer, and the
+        // resumed basis is already optimal so no pivots are spent.
+        let (warm, _) = solve_stage3_warm(&dc, &pstates, basis.as_ref()).unwrap();
+        let cold = solve_stage3(&dc, &pstates).unwrap();
+        assert!((warm.reward_rate - cold.reward_rate).abs() < 1e-9);
+        assert_eq!(warm.rate_per_core.len(), cold.rate_per_core.len());
+        // A structural change (new off group) must degrade gracefully to
+        // a cold solve rather than corrupting the answer.
+        let off: Vec<usize> = (0..dc.n_cores())
+            .map(|k| dc.node_type(dc.node_of_core(k)).core.pstates.off_index())
+            .collect();
+        let (changed, _) = solve_stage3_warm(&dc, &off, basis.as_ref()).unwrap();
+        assert_eq!(changed.reward_rate, 0.0);
     }
 
     #[test]

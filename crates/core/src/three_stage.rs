@@ -3,7 +3,7 @@
 use crate::error::SolveError;
 use crate::stage1::{solve_stage1, Stage1Options, Stage1Solution};
 use crate::stage2::assign_pstates;
-use crate::stage3::{solve_stage3, Stage3Solution};
+use crate::stage3::{solve_stage3_warm, Stage3Basis, Stage3Solution};
 use serde::{Deserialize, Serialize};
 use thermaware_datacenter::{CracSearchOptions, DataCenter};
 
@@ -37,6 +37,9 @@ pub struct ThreeStageSolution {
     pub pstates: Vec<usize>,
     /// Stage-3 desired execution rates.
     pub stage3: Stage3Solution,
+    /// Optimal basis of the Stage-3 LP, a warm-start seed for runtime
+    /// replans of the same structure.
+    pub stage3_basis: Option<Stage3Basis>,
 }
 
 impl ThreeStageSolution {
@@ -80,15 +83,16 @@ pub(crate) fn three_stage_impl(
         &Stage1Options {
             psi_percent: options.psi_percent,
             search: options.search,
+            ..Stage1Options::default()
         },
     )?;
     let pstates = {
         let _s2 = thermaware_obs::span("stage2");
         assign_pstates(dc, &stage1)
     };
-    let stage3 = {
+    let (stage3, stage3_basis) = {
         let _s3 = thermaware_obs::span("stage3");
-        solve_stage3(dc, &pstates)?
+        solve_stage3_warm(dc, &pstates, None)?
     };
     thermaware_obs::gauge_set("core.reward_rate", stage3.reward_rate);
     thermaware_obs::observe("core.reward_rate_trajectory", stage3.reward_rate);
@@ -97,6 +101,7 @@ pub(crate) fn three_stage_impl(
         stage1,
         pstates,
         stage3,
+        stage3_basis,
     })
 }
 

@@ -115,6 +115,47 @@ impl Lu {
         Ok(x)
     }
 
+    /// Solve `A^T x = b` for a single right-hand side.
+    ///
+    /// With `P A = L U` the transpose factors as `A^T = U^T L^T P`, so the
+    /// solve runs `U^T z = b` (forward), `L^T w = z` (backward), then
+    /// un-permutes `x[perm[i]] = w[i]`. The revised simplex uses this for
+    /// BTRAN (pricing) against the same factorization FTRAN uses, so both
+    /// directions share one `factor` call per basis.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_transposed",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut w: Vec<f64> = b.to_vec();
+        // U^T z = b: U^T is lower triangular with U's diagonal.
+        for i in 0..n {
+            let mut s = w[i];
+            for j in 0..i {
+                s -= self.lu[(j, i)] * w[j];
+            }
+            w[i] = s / self.lu[(i, i)];
+        }
+        // L^T w = z: L^T is unit upper triangular.
+        for i in (0..n).rev() {
+            let mut s = w[i];
+            for j in i + 1..n {
+                s -= self.lu[(j, i)] * w[j];
+            }
+            w[i] = s;
+        }
+        // P x = w.
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            x[self.perm[i]] = w[i];
+        }
+        Ok(x)
+    }
+
     /// Solve `A X = B` column by column.
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
         let n = self.dim();
@@ -232,5 +273,39 @@ mod tests {
         let a = Matrix::identity(3);
         let lu = Lu::factor(&a).unwrap();
         assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert!(lu.solve_transposed(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn transposed_solve_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0, 0.5],
+            &[-3.0, -1.0, 2.0, 1.0],
+            &[-2.0, 1.0, 2.0, -0.5],
+            &[1.0, 4.0, 0.0, 3.0],
+        ]);
+        let lu = Lu::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5, 3.0];
+        let x = lu.solve_transposed(&b).unwrap();
+        let via_t = Lu::factor(&a.transpose()).unwrap().solve(&b).unwrap();
+        assert_close(&x, &via_t, 1e-12);
+        // Residual check against A^T x = b directly.
+        for j in 0..4 {
+            let s: f64 = (0..4).map(|i| a[(i, j)] * x[i]).sum();
+            assert!((s - b[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transposed_solve_handles_permutations() {
+        // A matrix that forces row swaps in the factorization.
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0], &[4.0, 1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let b = [5.0, -1.0, 2.0];
+        let x = lu.solve_transposed(&b).unwrap();
+        for j in 0..3 {
+            let s: f64 = (0..3).map(|i| a[(i, j)] * x[i]).sum();
+            assert!((s - b[j]).abs() < 1e-12);
+        }
     }
 }

@@ -1,0 +1,296 @@
+//! Shared internal form of an LP: the rewriting both simplex engines
+//! (dense tableau and sparse revised) run on.
+//!
+//! Internal form: `min c·x  s.t.  A x = b,  0 <= x_j <= u_j` (each `u_j`
+//! possibly infinite). User problems are rewritten into this form: finite
+//! lower bounds are shifted to zero, `(-inf, ub]` variables are mirrored,
+//! free variables are split, inequality rows gain slack/surplus columns,
+//! rows with negative right-hand sides are negated, and `Ge`/`Eq` rows get
+//! artificial columns for the phase-1 cold start.
+//!
+//! The constraint matrix is stored **column-major and sparse** — the
+//! revised simplex only ever touches whole columns (FTRAN of the entering
+//! column, pricing dot products), and the dense tableau assembles its
+//! `m × n` matrix from the same columns. Keeping one builder guarantees the
+//! two engines agree on column indexing, which is what makes a [`Basis`]
+//! handle produced by either engine consumable by the other.
+//!
+//! [`Basis`]: crate::Basis
+
+use crate::model::{Problem, RowOp, Sense};
+
+/// Where an internal column currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarState {
+    Basic,
+    /// Nonbasic at its lower bound (0 in internal coordinates).
+    Lower,
+    /// Nonbasic at its upper bound `u_j`.
+    Upper,
+}
+
+/// How a user variable maps onto internal columns.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum VarMap {
+    /// `x_user = x_col + lb`
+    Shift { col: usize, lb: f64 },
+    /// `x_user = ub - x_col`
+    Mirror { col: usize, ub: f64 },
+    /// `x_user = x_pos - x_neg`
+    Split { pos: usize, neg: usize },
+}
+
+/// One sparse internal column: `(row, coefficient)` pairs, row-sorted.
+pub(crate) type SparseCol = Vec<(usize, f64)>;
+
+/// The rewritten problem both engines solve.
+pub(crate) struct InternalForm {
+    /// `-1` for maximization (internally always minimize), `+1` otherwise.
+    pub sense_sign: f64,
+    /// Per user variable: how it lands in internal columns.
+    pub maps: Vec<VarMap>,
+    /// Upper bound of every internal column (>= 0, possibly infinite).
+    pub upper: Vec<f64>,
+    /// Phase-2 (real) internal cost of every column.
+    pub cost: Vec<f64>,
+    /// Constant folded out of shifts/mirrors (internal objective offset).
+    pub obj_const: f64,
+    /// Normalized right-hand sides, all >= 0.
+    pub rhs: Vec<f64>,
+    /// Normalized row operators (after any negative-rhs flip).
+    pub ops: Vec<RowOp>,
+    /// Whether row `i` was negated during normalization.
+    pub flipped: Vec<bool>,
+    /// Sparse columns, including slack and artificial columns.
+    pub cols: Vec<SparseCol>,
+    /// Slack column of each row (`Le`/`Ge` rows only).
+    pub slack_col: Vec<Option<usize>>,
+    /// Artificial column of each row (`Ge`/`Eq` rows only).
+    pub art_col: Vec<Option<usize>>,
+    /// First artificial column (artificials occupy `art_start..n_total`).
+    pub art_start: usize,
+    /// Total internal columns (structural + slack + artificial).
+    pub n_total: usize,
+    /// Structural signature for warm-start validation (48-bit).
+    pub signature: u64,
+}
+
+impl InternalForm {
+    pub(crate) fn m(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Build the internal form of `problem`.
+    pub(crate) fn build(problem: &Problem) -> InternalForm {
+        let nrows = problem.cons.len();
+
+        // ---- Column layout of user variables ----------------------------
+        let mut maps: Vec<VarMap> = Vec::with_capacity(problem.vars.len());
+        let mut upper: Vec<f64> = Vec::new();
+        let mut cost: Vec<f64> = Vec::new();
+        let mut obj_const = 0.0;
+        let sense_sign = match problem.sense {
+            Sense::Maximize => -1.0,
+            Sense::Minimize => 1.0,
+        };
+        for v in &problem.vars {
+            if v.lower.is_finite() {
+                maps.push(VarMap::Shift {
+                    col: upper.len(),
+                    lb: v.lower,
+                });
+                upper.push(v.upper - v.lower);
+                cost.push(sense_sign * v.objective);
+                obj_const += sense_sign * v.objective * v.lower;
+            } else if v.upper.is_finite() {
+                maps.push(VarMap::Mirror {
+                    col: upper.len(),
+                    ub: v.upper,
+                });
+                upper.push(f64::INFINITY);
+                cost.push(-sense_sign * v.objective);
+                obj_const += sense_sign * v.objective * v.upper;
+            } else {
+                maps.push(VarMap::Split {
+                    pos: upper.len(),
+                    neg: upper.len() + 1,
+                });
+                upper.push(f64::INFINITY);
+                upper.push(f64::INFINITY);
+                cost.push(sense_sign * v.objective);
+                cost.push(-sense_sign * v.objective);
+            }
+        }
+        let n_struct = upper.len();
+
+        // ---- Rows in internal coordinates --------------------------------
+        // Structural coefficients land in a scratch row first (terms are
+        // already deduplicated by the model), then scatter into columns.
+        let mut rhs = Vec::with_capacity(nrows);
+        let mut ops = Vec::with_capacity(nrows);
+        let mut flipped = Vec::with_capacity(nrows);
+        let mut row_coeffs: Vec<Vec<(usize, f64)>> = Vec::with_capacity(nrows);
+        for c in &problem.cons {
+            let mut b = c.rhs;
+            let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 2);
+            for &(uj, a) in &c.terms {
+                match maps[uj] {
+                    VarMap::Shift { col, lb } => {
+                        b -= a * lb;
+                        coeffs.push((col, a));
+                    }
+                    VarMap::Mirror { col, ub } => {
+                        b -= a * ub;
+                        coeffs.push((col, -a));
+                    }
+                    VarMap::Split { pos, neg } => {
+                        coeffs.push((pos, a));
+                        coeffs.push((neg, -a));
+                    }
+                }
+            }
+            let mut op = c.op;
+            let flip = b < 0.0;
+            if flip {
+                b = -b;
+                for (_, a) in &mut coeffs {
+                    *a = -*a;
+                }
+                op = match op {
+                    RowOp::Le => RowOp::Ge,
+                    RowOp::Ge => RowOp::Le,
+                    RowOp::Eq => RowOp::Eq,
+                };
+            }
+            rhs.push(b);
+            ops.push(op);
+            flipped.push(flip);
+            row_coeffs.push(coeffs);
+        }
+
+        // ---- Slack then artificial columns -------------------------------
+        let mut slack_col: Vec<Option<usize>> = vec![None; nrows];
+        let mut next = n_struct;
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, RowOp::Le | RowOp::Ge) {
+                slack_col[i] = Some(next);
+                next += 1;
+            }
+        }
+        let art_start = next;
+        let mut art_col: Vec<Option<usize>> = vec![None; nrows];
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, RowOp::Ge | RowOp::Eq) {
+                art_col[i] = Some(next);
+                next += 1;
+            }
+        }
+        let n_total = next;
+        upper.resize(n_total, f64::INFINITY);
+        cost.resize(n_total, 0.0);
+
+        // ---- Scatter into sparse columns ---------------------------------
+        let mut cols: Vec<SparseCol> = vec![Vec::new(); n_total];
+        for (i, coeffs) in row_coeffs.iter().enumerate() {
+            for &(j, a) in coeffs {
+                cols[j].push((i, a));
+            }
+        }
+        // Rows are scanned in order and maps are injective, so each column
+        // ends up row-sorted with unique row indices.
+        for (i, (&s, &a)) in slack_col.iter().zip(&art_col).enumerate() {
+            if let Some(sc) = s {
+                let coef = if matches!(ops[i], RowOp::Le) { 1.0 } else { -1.0 };
+                cols[sc].push((i, coef));
+            }
+            if let Some(ac) = a {
+                cols[ac].push((i, 1.0));
+            }
+        }
+
+        let signature = signature(sense_sign, &maps, problem, &ops, &flipped);
+
+        InternalForm {
+            sense_sign,
+            maps,
+            upper,
+            cost,
+            obj_const,
+            rhs,
+            ops,
+            flipped,
+            cols,
+            slack_col,
+            art_col,
+            art_start,
+            n_total,
+            signature,
+        }
+    }
+
+    /// Map an unbounded internal column back to a user variable name.
+    pub(crate) fn unbounded_var_name(&self, problem: &Problem, q: usize) -> String {
+        self.maps
+            .iter()
+            .enumerate()
+            .find_map(|(ui, vm)| match *vm {
+                VarMap::Shift { col, .. } | VarMap::Mirror { col, .. } if col == q => {
+                    Some(problem.vars[ui].name.clone())
+                }
+                VarMap::Split { pos, neg } if pos == q || neg == q => {
+                    Some(problem.vars[ui].name.clone())
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| format!("slack#{q}"))
+    }
+}
+
+/// Structural signature of the internal form, for warm-start validation.
+///
+/// A warm [`crate::Basis`] is only meaningful when the perturbed problem
+/// maps to the *same column layout*: same sense, same per-variable
+/// bound-finiteness pattern (Shift/Mirror/Split), same row count, same
+/// normalized ops and rhs-flip pattern (slack signs and artificial
+/// allocation depend on them). Coefficient *values* are deliberately
+/// excluded — perturbing costs/RHS/coefficients is exactly the warm-start
+/// use case. FNV-1a, masked to 48 bits so the value survives an f64-backed
+/// JSON round trip exactly.
+fn signature(
+    sense_sign: f64,
+    maps: &[VarMap],
+    problem: &Problem,
+    ops: &[RowOp],
+    flipped: &[bool],
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(if sense_sign < 0.0 { 1 } else { 0 });
+    eat_usize(&mut eat, problem.vars.len());
+    for m in maps {
+        eat(match m {
+            VarMap::Shift { .. } => 0,
+            VarMap::Mirror { .. } => 1,
+            VarMap::Split { .. } => 2,
+        });
+    }
+    eat_usize(&mut eat, ops.len());
+    for (op, &f) in ops.iter().zip(flipped) {
+        let opb = match op {
+            RowOp::Le => 0u8,
+            RowOp::Ge => 1,
+            RowOp::Eq => 2,
+        };
+        eat(opb << 1 | u8::from(f));
+    }
+    h & 0x0000_ffff_ffff_ffff
+}
+
+fn eat_usize(eat: &mut impl FnMut(u8), x: usize) {
+    for b in (x as u64).to_le_bytes() {
+        eat(b);
+    }
+}

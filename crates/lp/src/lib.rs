@@ -1,4 +1,4 @@
-//! A dense linear-programming solver for the `thermaware` workspace.
+//! The linear-programming solver of the `thermaware` workspace.
 //!
 //! The paper's optimization problems — Stage 1 with fixed CRAC outlet
 //! temperatures, Stage 3, the Eq.-21 baseline, the Eq.-17 power-bounds
@@ -7,17 +7,28 @@
 //! temperatures are fixed, exactly as the paper observes in Section V.B.2.
 //! This crate provides the LP solver those problems run on.
 //!
-//! The solver is a **two-phase primal simplex on a dense tableau with
-//! implicit variable bounds**: variables may be nonbasic at either their
-//! lower or upper bound, so box constraints (e.g. the piecewise-linear
-//! segment lengths of the Stage-1 aggregate-reward-rate curves, or the
-//! `FRAC(i,j) ∈ [0,1]` fractions of the baseline) never become tableau
-//! rows. Anti-cycling falls back to Bland's rule after a run of degenerate
-//! steps.
+//! Two engines share one internal problem form ([`internal`]):
 //!
-//! Problem sizes in this workspace top out around ~300 rows × ~2000 columns
-//! (the Eq.-21 baseline on a 150-node data center), where a dense tableau
-//! is both fast and simple to reason about.
+//! * The default is a **sparse revised simplex** ([`revised`]): the basis
+//!   matrix is LU-factorized (`thermaware-linalg`), pivots append
+//!   product-form eta updates with periodic refactorization, and bounded
+//!   variables are handled implicitly (nonbasic columns rest at either
+//!   bound, so box constraints never become rows). Its defining feature
+//!   is **warm-starting**: [`Solution::basis`] hands back an opaque
+//!   [`Basis`]; passing it into [`Problem::solve_warm`] on a structurally
+//!   identical, perturbed problem resumes from the previous optimum —
+//!   via the primal when still feasible, via a dual-simplex re-entry when
+//!   an RHS change broke feasibility. The CRAC outlet grid sweep and the
+//!   runtime supervisor's post-fault replans live on this path.
+//! * The original **dense two-phase tableau** ([`simplex`]) remains as
+//!   the fallback oracle: [`Problem::solve`] retries on it after revised
+//!   pathologies, and tests cross-check the engines against each other
+//!   through [`Problem::solve_dense`].
+//!
+//! Anti-cycling falls back to Bland's rule after a run of degenerate
+//! steps in both engines. Problem sizes in this workspace top out around
+//! ~300 rows × ~2000 columns (the Eq.-21 baseline on a 150-node data
+//! center).
 //!
 //! # Example
 //!
@@ -29,17 +40,28 @@
 //! let x = p.add_var("x", 0.0, 2.0, 3.0);
 //! let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
 //! p.add_row("cap", &[(x, 1.0), (y, 1.0)], RowOp::Le, 4.0);
-//! let sol = p.solve().unwrap();
+//! let mut sol = p.solve().unwrap();
 //! assert_eq!(sol.status, Status::Optimal);
 //! assert!((sol.objective - 10.0).abs() < 1e-9); // x = 2, y = 2
+//!
+//! // Perturb the budget and re-solve warm from the previous basis.
+//! let basis = sol.take_basis();
+//! let mut p2 = p.clone();
+//! p2.set_var_bounds(x, 0.0, 3.0);
+//! let warm = p2.solve_warm(basis.as_ref()).unwrap();
+//! assert!((warm.objective - 11.0).abs() < 1e-9); // x = 3, y = 1
 //! ```
 
+mod basis;
+mod internal;
 mod model;
 pub mod mps;
 mod presolve;
+mod revised;
 mod simplex;
 mod solution;
 
+pub use basis::Basis;
 pub use model::{ConstraintId, Problem, RowOp, Sense, VarId};
 pub use mps::to_mps;
 pub use solution::{LpError, Solution, Status};

@@ -1,5 +1,6 @@
-use crate::simplex;
+use crate::basis::Basis;
 use crate::solution::{LpError, Solution};
+use crate::{revised, simplex};
 
 /// Optimization direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,10 +105,40 @@ impl Problem {
         for &(VarId(j), c) in terms {
             assert!(j < self.vars.len(), "row '{name}' references unknown variable");
             assert!(!c.is_nan(), "NaN coefficient in row '{name}'");
-            match dense.iter_mut().find(|(jj, _)| *jj == j) {
-                Some((_, acc)) => *acc += c,
-                None => dense.push((j, c)),
+            dense.push((j, c));
+        }
+        // Merge duplicate columns. Small rows keep the original linear
+        // scan (first-occurrence order, no sort overhead); larger rows
+        // switch to sort-then-merge so a row with hundreds of terms costs
+        // O(k log k) instead of the old quadratic scan. The sort is
+        // stable, so repeated columns still sum in caller order.
+        const SCAN_LIMIT: usize = 32;
+        if dense.len() <= SCAN_LIMIT {
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(dense.len());
+            for (j, c) in dense {
+                match merged.iter_mut().find(|(jj, _)| *jj == j) {
+                    Some((_, acc)) => *acc += c,
+                    None => merged.push((j, c)),
+                }
             }
+            dense = merged;
+        } else {
+            // Remember first-occurrence rank so the merged row preserves
+            // the caller's column order, like the small-row path.
+            let mut first_rank: Vec<(usize, usize, f64)> = Vec::with_capacity(dense.len());
+            for (rank, &(j, c)) in dense.iter().enumerate() {
+                first_rank.push((j, rank, c));
+            }
+            first_rank.sort_by_key(|&(j, rank, _)| (j, rank));
+            let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(first_rank.len());
+            for (j, rank, c) in first_rank {
+                match merged.last_mut() {
+                    Some((jj, _, acc)) if *jj == j => *acc += c,
+                    _ => merged.push((j, rank, c)),
+                }
+            }
+            merged.sort_by_key(|&(_, rank, _)| rank);
+            dense = merged.into_iter().map(|(j, _, c)| (j, c)).collect();
         }
         self.cons.push(Constraint {
             name: name.to_owned(),
@@ -204,7 +235,41 @@ impl Problem {
     /// Returns a [`Solution`] whose `status` is [`crate::Status::Optimal`],
     /// or an [`LpError`] describing infeasibility / unboundedness /
     /// numerical failure.
+    ///
+    /// Runs the sparse revised simplex ([`crate::revised`]); numerical
+    /// pathologies (iteration cap, near-singular pivots) retry on the
+    /// dense tableau engine, which uses different arithmetic and often
+    /// survives what broke the factorized path. Verdicts about the
+    /// *problem* (infeasible, unbounded) are returned directly.
     pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_warm(None)
+    }
+
+    /// Solve with an optional warm-start [`Basis`] from a previous solve
+    /// of a structurally identical problem (same variables, bound
+    /// finiteness, rows, and operators — costs, bounds, right-hand sides,
+    /// and coefficient values may differ).
+    ///
+    /// A stale or mismatched basis silently degrades to a cold solve;
+    /// warm-starting can never change the answer, only the pivot count.
+    /// The returned [`Solution`] carries a fresh basis — chain it through
+    /// repeated re-solves via [`Solution::take_basis`].
+    pub fn solve_warm(&self, warm: Option<&Basis>) -> Result<Solution, LpError> {
+        match revised::solve(self, warm) {
+            Err(LpError::IterationLimit { .. }) | Err(LpError::Internal { .. }) => {
+                thermaware_obs::counter_add("lp.dense_fallbacks", 1);
+                simplex::solve(self, false)
+            }
+            other => other,
+        }
+    }
+
+    /// Solve on the dense two-phase tableau engine — the fallback oracle.
+    ///
+    /// Exists so tests can cross-check the revised simplex against an
+    /// independent implementation; production callers use
+    /// [`Problem::solve`].
+    pub fn solve_dense(&self) -> Result<Solution, LpError> {
         simplex::solve(self, false)
     }
 
@@ -275,6 +340,66 @@ mod tests {
         // 3x <= 6 -> x = 2 at optimum.
         let sol = p.solve().unwrap();
         assert!((sol.values[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_row_dedup_is_linearithmic() {
+        // Regression for the old quadratic dedup scan: a 1k-term row with
+        // every column duplicated (2000 terms) must build instantly. The
+        // wall-clock bound is generous — the quadratic scan at this size
+        // costs millions of comparisons and repeated builds made the
+        // Stage-1 row assembly measurable; the merge path is ~10^4 ops.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<VarId> = (0..1000).map(|j| p.add_var(&format!("x{j}"), 0.0, 1.0, 0.0)).collect();
+        let mut terms = Vec::with_capacity(2000);
+        for (i, &v) in vars.iter().enumerate() {
+            terms.push((v, i as f64));
+        }
+        for (i, &v) in vars.iter().enumerate().rev() {
+            terms.push((v, 2.0 * i as f64));
+        }
+        let start = std::time::Instant::now();
+        for r in 0..100 {
+            p.add_row(&format!("r{r}"), &terms, RowOp::Le, 1.0);
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "dedup blew up: {:?}",
+            start.elapsed()
+        );
+        // Merged correctly: each column once, coefficients summed, in
+        // first-occurrence order.
+        let row = &p.cons[0].terms;
+        assert_eq!(row.len(), 1000);
+        for (i, &(j, c)) in row.iter().enumerate() {
+            assert_eq!(j, i);
+            assert!((c - 3.0 * i as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_and_large_dedup_paths_agree() {
+        // The same duplicated terms through both paths (below and above
+        // the scan limit) must produce identical rows.
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<VarId> = (0..20).map(|j| p.add_var(&format!("x{j}"), 0.0, 1.0, 0.0)).collect();
+        // 30 terms (small path): columns 0..10 twice, 10..20 once.
+        let mut small: Vec<(VarId, f64)> = Vec::new();
+        for (i, &v) in vars.iter().enumerate() {
+            small.push((v, i as f64 + 1.0));
+        }
+        for (i, &v) in vars.iter().take(10).enumerate() {
+            small.push((v, 10.0 * (i as f64 + 1.0)));
+        }
+        p.add_row("small", &small, RowOp::Le, 1.0);
+        // Pad with repeats of the last column to cross the limit without
+        // changing the merge result except in the last coefficient.
+        let mut large = small.clone();
+        for _ in 0..20 {
+            large.push((vars[19], 0.0));
+        }
+        p.add_row("large", &large, RowOp::Le, 1.0);
+        assert_eq!(p.cons[0].terms, p.cons[1].terms);
     }
 
     #[test]

@@ -149,6 +149,10 @@ pub(crate) fn solve_presolved(problem: &Problem) -> Result<Solution, LpError> {
         values,
         duals,
         iterations: inner.iterations,
+        // The inner basis indexes the *reduced* problem's columns; it is
+        // meaningless for the original structure, so no handle is
+        // returned from the presolved path.
+        basis: None,
     })
 }
 

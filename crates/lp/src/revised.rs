@@ -1,0 +1,1022 @@
+//! Sparse revised simplex with a factorized basis and warm starts.
+//!
+//! Where the dense engine ([`crate::simplex`]) carries the full
+//! `B^{-1} A` tableau and updates all `m × n` entries per pivot, this
+//! engine keeps only a factorization of the `m × m` basis matrix `B`
+//! (the LU in `thermaware-linalg`) plus a short chain of product-form
+//! **eta** updates, and reconstructs whatever it needs per iteration:
+//!
+//! * **FTRAN** `B^{-1} v`: one LU solve, then the eta chain forward.
+//! * **BTRAN** `B^{-T} v`: the eta chain backward, then one transposed
+//!   LU solve ([`thermaware_linalg::Lu::solve_transposed`]).
+//!
+//! Each pivot appends one eta vector (O(m) storage, O(m) application);
+//! after [`ETA_LIMIT`] etas — or on a dangerously small pivot — the basis
+//! is refactorized from scratch, which both bounds the per-iteration cost
+//! and resets accumulated floating-point drift. Per-pivot work is
+//! O(m² + nnz) instead of the dense engine's O(m·n), and — the actual
+//! point — the factorized basis is *restartable*:
+//!
+//! * [`solve`] with a [`Basis`] from a structurally identical problem
+//!   starts from that basis. If it is still primal-feasible (costs
+//!   changed, the optimum moved a little), phase 2 resumes directly —
+//!   typically a handful of pivots instead of a full two-phase solve.
+//! * If the perturbation broke primal feasibility (an RHS change: a
+//!   fault, a tightened budget) but the old basis is still *dual*
+//!   feasible — it was optimal, so its reduced costs pointed the right
+//!   way — a **dual simplex** loop drives the infeasibilities out bound
+//!   by bound and hands back to the primal for confirmation.
+//! * Anything else (structure changed, basis singular, dual infeasible,
+//!   numerical trouble) falls back to a cold two-phase solve. A warm
+//!   start can therefore never produce a different answer than a cold
+//!   solve — only fewer pivots.
+//!
+//! Bounded variables stay implicit exactly as in the dense engine:
+//! nonbasic columns rest at either bound and bound flips cost no pivot.
+
+use crate::basis::Basis;
+use crate::internal::{InternalForm, VarState};
+use crate::model::Problem;
+use crate::solution::{LpError, Solution, Status};
+use thermaware_linalg::{Lu, Matrix};
+
+/// Entries smaller than this are unusable as ratio-test pivots.
+const PIVOT_EPS: f64 = 1e-9;
+/// A chosen pivot below this triggers refactorization (then a hard error
+/// if a fresh factorization still produces it).
+const PIVOT_TINY: f64 = 1e-7;
+/// Reduced-cost optimality tolerance (scaled by the objective magnitude).
+const COST_TOL: f64 = 1e-9;
+/// Phase-1 residual above which the problem is declared infeasible; also
+/// the primal-feasibility tolerance for warm-start re-entry.
+const FEAS_TOL: f64 = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_LIMIT: usize = 60;
+/// Eta-chain length that forces a refactorization.
+const ETA_LIMIT: usize = 48;
+
+/// One product-form update: basis column `r` was replaced, `w = B^{-1} a_q`.
+struct Eta {
+    r: usize,
+    w: Vec<f64>,
+}
+
+enum Step {
+    Optimal,
+    Progress,
+    /// Refactorized instead of pivoting (tiny pivot); retry the step.
+    Retry,
+    Unbounded(usize),
+}
+
+/// How a solve used its warm-start handle (observability).
+#[derive(Default)]
+struct WarmStats {
+    warm_start: bool,
+    dual_reentry: bool,
+    /// Iterations spent inside the dual repair (the rest of a warm
+    /// solve's iterations are primal cleanup).
+    dual_iters: usize,
+}
+
+struct Rev<'a> {
+    f: &'a InternalForm,
+    /// Working upper bounds (artificials frozen to 0 outside phase 1).
+    upper: Vec<f64>,
+    /// Basic column of each row.
+    basic: Vec<usize>,
+    state: Vec<VarState>,
+    lu: Option<Lu>,
+    etas: Vec<Eta>,
+    /// Values of the basic variables, one per row.
+    xb: Vec<f64>,
+    iterations: usize,
+    degen_run: usize,
+    degen_total: usize,
+    bland: bool,
+    factorizations: usize,
+}
+
+impl<'a> Rev<'a> {
+    fn m(&self) -> usize {
+        self.f.m()
+    }
+
+    /// Factor the current basis matrix from the sparse columns.
+    fn factorize(&mut self) -> Result<(), LpError> {
+        let m = self.m();
+        let mut b = Matrix::zeros(m, m);
+        for (r, &j) in self.basic.iter().enumerate() {
+            for &(i, a) in &self.f.cols[j] {
+                b[(i, r)] = a;
+            }
+        }
+        let lu = Lu::factor(&b).map_err(|_| LpError::Internal {
+            what: "singular basis matrix".to_string(),
+        })?;
+        self.lu = Some(lu);
+        self.etas.clear();
+        self.factorizations += 1;
+        Ok(())
+    }
+
+    /// `v := B^{-1} v` through the factorization and the eta chain.
+    fn ftran(&self, v: &mut Vec<f64>) -> Result<(), LpError> {
+        let lu = self.lu.as_ref().ok_or_else(|| LpError::Internal {
+            what: "ftran before factorization".to_string(),
+        })?;
+        *v = lu.solve(v).map_err(|e| LpError::Internal {
+            what: format!("ftran: {e}"),
+        })?;
+        for e in &self.etas {
+            let xr = v[e.r] / e.w[e.r];
+            for (i, (vi, &wi)) in v.iter_mut().zip(&e.w).enumerate() {
+                if i != e.r {
+                    *vi -= wi * xr;
+                }
+            }
+            v[e.r] = xr;
+        }
+        Ok(())
+    }
+
+    /// `v := B^{-T} v`: eta chain backward, then the transposed LU solve.
+    fn btran(&self, v: &mut Vec<f64>) -> Result<(), LpError> {
+        for e in self.etas.iter().rev() {
+            let mut s = v[e.r];
+            for (i, (&vi, &wi)) in v.iter().zip(&e.w).enumerate() {
+                if i != e.r {
+                    s -= wi * vi;
+                }
+            }
+            v[e.r] = s / e.w[e.r];
+        }
+        let lu = self.lu.as_ref().ok_or_else(|| LpError::Internal {
+            what: "btran before factorization".to_string(),
+        })?;
+        *v = lu.solve_transposed(v).map_err(|e| LpError::Internal {
+            what: format!("btran: {e}"),
+        })?;
+        Ok(())
+    }
+
+    /// Simplex multipliers `y = B^{-T} c_B` for the given costs.
+    fn multipliers(&self, costs: &[f64]) -> Result<Vec<f64>, LpError> {
+        let mut y: Vec<f64> = self.basic.iter().map(|&j| costs[j]).collect();
+        self.btran(&mut y)?;
+        Ok(y)
+    }
+
+    /// Reduced cost of column `j` given the multipliers.
+    fn reduced_cost(&self, costs: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut d = costs[j];
+        for &(i, a) in &self.f.cols[j] {
+            d -= y[i] * a;
+        }
+        d
+    }
+
+    /// Recompute `xb = B^{-1} (b - Σ_{j at upper} u_j a_j)` from scratch.
+    fn compute_xb(&mut self) -> Result<(), LpError> {
+        let mut rhs = self.f.rhs.clone();
+        for (j, col) in self.f.cols.iter().enumerate() {
+            if self.state[j] == VarState::Upper {
+                let u = self.upper[j];
+                if u != 0.0 { // lint: allow(float-eq): skip columns pinned at a zero bound; exact zeros only
+                    for &(i, a) in col {
+                        rhs[i] -= a * u;
+                    }
+                }
+            }
+        }
+        self.ftran(&mut rhs)?;
+        self.xb = rhs;
+        Ok(())
+    }
+
+    /// Pick an entering column for the primal, or `None` at optimality.
+    fn choose_entering(&self, costs: &[f64], y: &[f64], tol: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_gain = tol;
+        for j in 0..self.f.n_total {
+            let dir = match self.state[j] {
+                VarState::Basic => continue,
+                VarState::Lower => 1.0,
+                VarState::Upper => -1.0,
+            };
+            // Fixed columns (u == 0) cannot move; artificials are fixed
+            // this way outside phase 1.
+            if self.upper[j] <= 0.0 {
+                continue;
+            }
+            let d = self.reduced_cost(costs, y, j);
+            let gain = -dir * d;
+            if gain > best_gain {
+                if self.bland {
+                    return Some((j, dir));
+                }
+                best = Some((j, dir));
+                best_gain = gain;
+            }
+        }
+        best
+    }
+
+    /// One primal simplex step with the active costs.
+    fn primal_step(&mut self, costs: &[f64], tol: f64) -> Result<Step, LpError> {
+        let y = self.multipliers(costs)?;
+        let Some((q, dir)) = self.choose_entering(costs, &y, tol) else {
+            return Ok(Step::Optimal);
+        };
+
+        // w = B^{-1} a_q: how the basics move when x_q moves by +1·dir.
+        let mut w = vec![0.0; self.m()];
+        for &(i, a) in &self.f.cols[q] {
+            w[i] = a;
+        }
+        self.ftran(&mut w)?;
+
+        // Ratio test: distance t >= 0 until a basic hits a bound or x_q
+        // flips to its own opposite bound.
+        let mut t_best = self.upper[q];
+        let mut leave: Option<(usize, VarState)> = None;
+        for i in 0..self.m() {
+            let alpha = dir * w[i];
+            let k = self.basic[i];
+            if alpha > PIVOT_EPS {
+                let t_i = (self.xb[i].max(0.0)) / alpha;
+                if t_i < t_best - 1e-12
+                    || (t_i < t_best + 1e-12
+                        && leave.is_some_and(|(r, _)| w[r].abs() < w[i].abs()))
+                {
+                    t_best = t_i;
+                    leave = Some((i, VarState::Lower));
+                }
+            } else if alpha < -PIVOT_EPS {
+                let uk = self.upper[k];
+                if uk.is_finite() {
+                    let t_i = ((uk - self.xb[i]).max(0.0)) / (-alpha);
+                    if t_i < t_best - 1e-12
+                        || (t_i < t_best + 1e-12
+                            && leave.is_some_and(|(r, _)| w[r].abs() < w[i].abs()))
+                    {
+                        t_best = t_i;
+                        leave = Some((i, VarState::Upper));
+                    }
+                }
+            }
+        }
+
+        if t_best.is_infinite() {
+            return Ok(Step::Unbounded(q));
+        }
+
+        // A pivot too small to divide by: refactorize and retry — the eta
+        // chain may have drifted. If a fresh factorization still offers
+        // it, the basis is numerically unusable: fail typed, not silently.
+        if let Some((r, _)) = leave {
+            if w[r].abs() < PIVOT_TINY {
+                if !self.etas.is_empty() {
+                    self.factorize()?;
+                    self.compute_xb()?;
+                    return Ok(Step::Retry);
+                }
+                return Err(LpError::Internal {
+                    what: format!("tiny pivot {:.3e} after refactorization", w[r]),
+                });
+            }
+        }
+
+        self.iterations += 1;
+        if t_best <= 1e-12 {
+            self.degen_run += 1;
+            self.degen_total += 1;
+            if self.degen_run > DEGEN_LIMIT && !self.bland {
+                self.bland = true;
+                thermaware_obs::counter_add("lp.bland_switches", 1);
+            }
+        } else {
+            self.degen_run = 0;
+        }
+
+        if t_best != 0.0 { // lint: allow(float-eq): degenerate step detection wants exact zero, not a tolerance
+            for (xbi, &wi) in self.xb.iter_mut().zip(&w) {
+                *xbi -= dir * t_best * wi;
+            }
+        }
+
+        match leave {
+            None => {
+                self.state[q] = match self.state[q] {
+                    VarState::Lower => VarState::Upper,
+                    VarState::Upper => VarState::Lower,
+                    VarState::Basic => {
+                        return Err(LpError::Internal {
+                            what: "entering column was basic".to_string(),
+                        })
+                    }
+                };
+            }
+            Some((r, hit)) => {
+                let k = self.basic[r];
+                let x_q_new = if dir > 0.0 {
+                    t_best
+                } else {
+                    self.upper[q] - t_best
+                };
+                self.xb[r] = x_q_new;
+                self.basic[r] = q;
+                self.state[q] = VarState::Basic;
+                self.state[k] = if self.upper[k] <= 0.0 { VarState::Lower } else { hit };
+                self.etas.push(Eta { r, w });
+                if self.etas.len() >= ETA_LIMIT {
+                    self.factorize()?;
+                    self.compute_xb()?;
+                }
+            }
+        }
+        Ok(Step::Progress)
+    }
+
+    /// Run primal steps to optimality. `Ok(Some(q))` reports an unbounded
+    /// direction along internal column `q`.
+    fn run_primal(&mut self, costs: &[f64], tol: f64, cap: usize) -> Result<Option<usize>, LpError> {
+        loop {
+            if self.iterations > cap {
+                return Err(LpError::IterationLimit { limit: cap });
+            }
+            match self.primal_step(costs, tol)? {
+                Step::Optimal => return Ok(None),
+                Step::Progress | Step::Retry => {}
+                Step::Unbounded(q) => return Ok(Some(q)),
+            }
+        }
+    }
+
+    /// Dual simplex: restore primal feasibility while keeping dual
+    /// feasibility — the warm-start re-entry path after an RHS change.
+    ///
+    /// Errors (dual unboundedness, numerical breakdown, iteration cap)
+    /// mean "this warm start is not salvageable"; the caller falls back
+    /// to a cold solve rather than trusting a partial state.
+    fn run_dual(&mut self, costs: &[f64], cap: usize) -> Result<(), LpError> {
+        // Approximate dual steepest-edge weights (Forrest–Goldfarb with
+        // unit initialization): beta_i estimates ||B^{-T} e_i||^2, so
+        // picking the row maximizing violation^2 / beta_i measures the
+        // violation in the geometry of the dual step it produces instead
+        // of raw coordinates. This is what keeps the repair from
+        // zigzagging — most-violated-row selection chases large but
+        // cheap-to-create violations and re-creates them elsewhere.
+        // beta_r is corrected to its exact value each time a row is
+        // selected (rho is computed anyway), so the approximation cannot
+        // drift unboundedly.
+        let mut beta = vec![1.0_f64; self.m()];
+        loop {
+            if self.iterations > cap {
+                return Err(LpError::IterationLimit { limit: cap });
+            }
+
+            // Leaving row: steepest-edge-weighted violation.
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves to upper)
+            let mut best_score = 0.0_f64;
+            for i in 0..self.m() {
+                let k = self.basic[i];
+                let mut viol = -self.xb[i];
+                let mut up = false;
+                if self.upper[k].is_finite() {
+                    let above = self.xb[i] - self.upper[k];
+                    if above > viol {
+                        viol = above;
+                        up = true;
+                    }
+                }
+                if viol > FEAS_TOL {
+                    let score = viol * viol / beta[i];
+                    if score > best_score {
+                        best_score = score;
+                        leave = Some((i, up));
+                    }
+                }
+            }
+            let Some((r, to_upper)) = leave else {
+                return Ok(()); // primal feasible again
+            };
+
+            // Row r of B^{-1} A: alpha_j = rho · a_j with rho = B^{-T} e_r.
+            let mut rho = vec![0.0; self.m()];
+            rho[r] = 1.0;
+            self.btran(&mut rho)?;
+            beta[r] = rho.iter().map(|v| v * v).sum();
+            let y = self.multipliers(costs)?;
+
+            // Entering column: bound-flipping dual ratio test (BFRT).
+            // Each eligible candidate offers a dual step of
+            // |d_j| / |alpha_j|; the classic test takes the minimum to
+            // keep every reduced cost on the right side of zero. The
+            // long-step variant walks candidates in ratio order and
+            // *flips* each passed boxed column to its opposite bound — a
+            // flip absorbs u_j * |alpha_j| of row r's infeasibility
+            // without a basis change — stopping at the first candidate
+            // whose flip would over-repair the row (or that has no
+            // finite bound to flip to): that one enters. This matters
+            // here because a budget/capacity shift re-rests whole runs
+            // of boxed segment variables, which the classic test pays
+            // one pivot each for and this test pays zero.
+            let mut cands: Vec<(f64, f64, usize)> = Vec::new(); // (ratio, |alpha|, col)
+            for j in 0..self.f.n_total {
+                let st = self.state[j];
+                if st == VarState::Basic || self.upper[j] <= 0.0 {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(i, a) in &self.f.cols[j] {
+                    alpha += rho[i] * a;
+                }
+                // Eligibility: entering from Lower needs delta >= 0,
+                // from Upper delta <= 0, with delta = (xb_r - target)/alpha.
+                let eligible = if to_upper {
+                    (st == VarState::Lower && alpha > PIVOT_EPS)
+                        || (st == VarState::Upper && alpha < -PIVOT_EPS)
+                } else {
+                    (st == VarState::Lower && alpha < -PIVOT_EPS)
+                        || (st == VarState::Upper && alpha > PIVOT_EPS)
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(costs, &y, j);
+                // Dual feasibility holds within tol, so clamp tiny
+                // wrong-signed reduced costs to zero for the ratio.
+                let num = match st {
+                    VarState::Lower => d.max(0.0),
+                    VarState::Upper => (-d).max(0.0),
+                    VarState::Basic => continue,
+                };
+                cands.push((num / alpha.abs(), alpha.abs(), j));
+            }
+            // Ratio order; ties prefer the larger |alpha| for stability.
+            cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+            let k = self.basic[r];
+            let target = if to_upper { self.upper[k] } else { 0.0 };
+            let mut slope = (self.xb[r] - target).abs();
+            let mut entering = None;
+            let mut flipped = false;
+            for &(_, abs_alpha, j) in &cands {
+                let absorb = self.upper[j] * abs_alpha; // inf when unboxed
+                if absorb.is_finite() && slope - absorb > FEAS_TOL {
+                    // Candidates are nonbasic by construction, so the
+                    // flip is a two-way toggle.
+                    self.state[j] = if self.state[j] == VarState::Lower {
+                        VarState::Upper
+                    } else {
+                        VarState::Lower
+                    };
+                    slope -= absorb;
+                    flipped = true;
+                } else {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(q) = entering else {
+                // No column can absorb the (remaining) infeasibility: the
+                // perturbed problem is primal-infeasible *or* the warm
+                // basis is useless. Let the cold path produce the
+                // certificate. (Any flips applied above die with the
+                // discarded warm attempt.)
+                return Err(LpError::Internal {
+                    what: "dual step found no entering column".to_string(),
+                });
+            };
+            if flipped {
+                // Flipped columns rest at new bounds; rebuild the basic
+                // values before measuring the pivot step on row r.
+                self.compute_xb()?;
+            }
+
+            let mut w = vec![0.0; self.m()];
+            for &(i, a) in &self.f.cols[q] {
+                w[i] = a;
+            }
+            self.ftran(&mut w)?;
+            if w[r].abs() < PIVOT_TINY {
+                if !self.etas.is_empty() {
+                    self.factorize()?;
+                    self.compute_xb()?;
+                    continue;
+                }
+                return Err(LpError::Internal {
+                    what: format!("tiny dual pivot {:.3e} after refactorization", w[r]),
+                });
+            }
+
+            // Forrest–Goldfarb weight update for the pivot B' = B E:
+            // beta_r' = beta_r / w_r^2, and for i != r
+            // beta_i' = beta_i - 2 (w_i/w_r) tau_i + (w_i/w_r)^2 beta_r
+            // with tau = B^{-1} rho. Floored to keep the estimates
+            // positive under floating-point cancellation.
+            let mut tau = rho;
+            self.ftran(&mut tau)?;
+            let beta_r = beta[r];
+            for i in 0..self.m() {
+                if i != r {
+                    let t = w[i] / w[r];
+                    beta[i] = (beta[i] - 2.0 * t * tau[i] + t * t * beta_r).max(1e-10);
+                }
+            }
+            beta[r] = (beta_r / (w[r] * w[r])).max(1e-10);
+
+            let delta = (self.xb[r] - target) / w[r];
+            for i in 0..self.m() {
+                if i != r {
+                    self.xb[i] -= delta * w[i];
+                }
+            }
+            let x_q_old = match self.state[q] {
+                VarState::Lower => 0.0,
+                VarState::Upper => self.upper[q],
+                VarState::Basic => {
+                    return Err(LpError::Internal {
+                        what: "dual entering column was basic".to_string(),
+                    })
+                }
+            };
+            self.xb[r] = x_q_old + delta;
+            self.basic[r] = q;
+            self.state[q] = VarState::Basic;
+            self.state[k] = if to_upper && self.upper[k] > 0.0 {
+                VarState::Upper
+            } else {
+                VarState::Lower
+            };
+            self.iterations += 1;
+            self.etas.push(Eta { r, w });
+            if self.etas.len() >= ETA_LIMIT {
+                self.factorize()?;
+                self.compute_xb()?;
+            }
+        }
+    }
+
+    /// Value of internal column `j` (needs `pos[j]` = row of basic cols).
+    fn value_of(&self, pos: &[usize], j: usize) -> f64 {
+        match self.state[j] {
+            VarState::Lower => 0.0,
+            VarState::Upper => self.upper[j],
+            VarState::Basic => self.xb[pos[j]],
+        }
+    }
+
+    /// Recover user-space values, duals, and the basis handle.
+    fn extract(&self, problem: &Problem) -> Result<Solution, LpError> {
+        let f = self.f;
+        let mut pos = vec![usize::MAX; f.n_total];
+        for (i, &j) in self.basic.iter().enumerate() {
+            if j >= f.n_total || self.state[j] != VarState::Basic {
+                return Err(LpError::Internal {
+                    what: "basis bookkeeping corrupt at extraction".to_string(),
+                });
+            }
+            pos[j] = i;
+        }
+        let values: Vec<f64> = f
+            .maps
+            .iter()
+            .map(|m| match *m {
+                crate::internal::VarMap::Shift { col, lb } => lb + self.value_of(&pos, col),
+                crate::internal::VarMap::Mirror { col, ub } => ub - self.value_of(&pos, col),
+                crate::internal::VarMap::Split { pos: p, neg } => {
+                    self.value_of(&pos, p) - self.value_of(&pos, neg)
+                }
+            })
+            .collect();
+
+        // Row duals: y solves B^T y = c_B, and the user-space dual undoes
+        // the sense and any rhs-normalization flip.
+        let y = self.multipliers(&f.cost)?;
+        let duals: Vec<f64> = (0..f.m())
+            .map(|i| {
+                let flip = if f.flipped[i] { -1.0 } else { 1.0 };
+                f.sense_sign * flip * y[i]
+            })
+            .collect();
+
+        let objective = problem.objective_value(&values);
+        Ok(Solution {
+            status: Status::Optimal,
+            objective,
+            values,
+            duals,
+            iterations: self.iterations,
+            basis: Some(Basis::capture(f.signature, &self.basic, &self.state)),
+        })
+    }
+}
+
+/// Outcome labels for the obs wrapper.
+struct SolveStats {
+    warm: WarmStats,
+    degen: usize,
+    refactorizations: usize,
+}
+
+/// Solve `problem` with the revised simplex, optionally warm-starting
+/// from `warm`. Observability mirrors the dense engine's wrapper: one
+/// batched recorder visit per solve.
+pub(crate) fn solve(problem: &Problem, warm: Option<&Basis>) -> Result<Solution, LpError> {
+    let mut stats = SolveStats {
+        warm: WarmStats::default(),
+        degen: 0,
+        refactorizations: 0,
+    };
+    if !thermaware_obs::enabled() {
+        return solve_impl(problem, warm, &mut stats);
+    }
+    let start = std::time::Instant::now();
+    let result = solve_impl(problem, warm, &mut stats);
+    let elapsed_us = start.elapsed().as_micros() as f64;
+    thermaware_obs::with_recorder(|r| {
+        r.counter_add("lp.solves", 1);
+        r.observe("lp.solve_us", elapsed_us);
+        r.observe("lp.degenerate_steps", stats.degen as f64);
+        r.counter_add("lp.refactorizations", stats.refactorizations as u64);
+        if stats.warm.warm_start {
+            r.counter_add("lp.warm_starts", 1);
+        }
+        if stats.warm.dual_reentry {
+            r.counter_add("lp.dual_reentries", 1);
+            r.observe("lp.warm_dual_iters", stats.warm.dual_iters as f64);
+        }
+        match &result {
+            Ok(sol) => {
+                r.counter_add("lp.pivots", sol.iterations as u64);
+                r.observe("lp.iterations", sol.iterations as f64);
+            }
+            Err(LpError::Infeasible { .. }) => r.counter_add("lp.infeasible", 1),
+            Err(LpError::Unbounded { .. }) => r.counter_add("lp.unbounded", 1),
+            Err(LpError::IterationLimit { .. }) => r.counter_add("lp.iteration_limit", 1),
+            Err(LpError::Internal { .. }) => r.counter_add("lp.internal_error", 1),
+        }
+    });
+    result
+}
+
+fn solve_impl(
+    problem: &Problem,
+    warm: Option<&Basis>,
+    stats: &mut SolveStats,
+) -> Result<Solution, LpError> {
+    let f = InternalForm::build(problem);
+    let cap = 200 * (f.m() + f.n_total + 10);
+    let cost_scale = 1.0 + f.cost.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
+    let tol2 = COST_TOL * cost_scale;
+
+    // ---- Warm path --------------------------------------------------------
+    if let Some(basis) = warm {
+        if let Some(sol) = try_warm(problem, &f, basis, tol2, cap, stats)? {
+            return Ok(sol);
+        }
+    }
+
+    // ---- Cold two-phase ----------------------------------------------------
+    let mut rev = cold_start(&f)?;
+    let needs_phase1 = f.art_col.iter().any(Option::is_some);
+    if needs_phase1 {
+        let phase1_cost: Vec<f64> = (0..f.n_total)
+            .map(|j| if j >= f.art_start { 1.0 } else { 0.0 })
+            .collect();
+        if rev.run_primal(&phase1_cost, FEAS_TOL * 1e-2, cap)?.is_some() {
+            // Phase 1 is bounded below by 0; "unbounded" is numerical
+            // breakdown.
+            return Err(LpError::IterationLimit { limit: cap });
+        }
+        let residual: f64 = (0..f.m())
+            .filter(|&i| rev.basic[i] >= f.art_start)
+            .map(|i| rev.xb[i].max(0.0))
+            .sum();
+        if residual > FEAS_TOL {
+            return Err(LpError::Infeasible { residual });
+        }
+        // Freeze artificials at zero for phase 2.
+        for j in f.art_start..f.n_total {
+            rev.upper[j] = 0.0;
+            if rev.state[j] == VarState::Upper {
+                rev.state[j] = VarState::Lower;
+            }
+        }
+    }
+
+    if let Some(q) = rev.run_primal(&f.cost, tol2, cap)? {
+        return Err(LpError::Unbounded {
+            var: f.unbounded_var_name(problem, q),
+        });
+    }
+    stats.degen = rev.degen_total;
+    stats.refactorizations = rev.factorizations.saturating_sub(1);
+    rev.extract(problem)
+}
+
+/// Build the phase-1 starting point: slacks basic on `Le` rows,
+/// artificials basic on `Ge`/`Eq` rows — an identity basis.
+fn cold_start(f: &InternalForm) -> Result<Rev<'_>, LpError> {
+    let m = f.m();
+    let mut basic = vec![usize::MAX; m];
+    let mut state = vec![VarState::Lower; f.n_total];
+    for i in 0..m {
+        let b = match (f.ops[i], f.slack_col[i], f.art_col[i]) {
+            (crate::model::RowOp::Le, Some(s), _) => s,
+            (_, _, Some(a)) => a,
+            _ => {
+                return Err(LpError::Internal {
+                    what: "row without slack or artificial".to_string(),
+                })
+            }
+        };
+        basic[i] = b;
+        state[b] = VarState::Basic;
+    }
+    let mut rev = Rev {
+        f,
+        upper: f.upper.clone(),
+        basic,
+        state,
+        lu: None,
+        etas: Vec::new(),
+        xb: vec![0.0; m],
+        iterations: 0,
+        degen_run: 0,
+        degen_total: 0,
+        bland: false,
+        factorizations: 0,
+    };
+    rev.factorize()?;
+    rev.compute_xb()?;
+    Ok(rev)
+}
+
+/// Attempt the warm path. `Ok(Some(..))` is a finished solve; `Ok(None)`
+/// means "fall back to cold" (structure mismatch, singular basis, dual
+/// infeasible, or the dual loop gave up). Genuine verdicts about the
+/// *problem* (unbounded phase 2 from a feasible warm basis) are returned
+/// as errors, not swallowed.
+fn try_warm(
+    problem: &Problem,
+    f: &InternalForm,
+    basis: &Basis,
+    tol2: f64,
+    cap: usize,
+    stats: &mut SolveStats,
+) -> Result<Option<Solution>, LpError> {
+    let Some((basic, mut state)) = basis.restore(f) else {
+        return Ok(None);
+    };
+    // Artificials are frozen outside phase 1; a restored basis may carry
+    // them basic (degenerate rows) but never resting at a bound above 0.
+    let mut upper = f.upper.clone();
+    for j in f.art_start..f.n_total {
+        upper[j] = 0.0;
+        if state[j] == VarState::Upper {
+            state[j] = VarState::Lower;
+        }
+    }
+    let mut rev = Rev {
+        f,
+        upper,
+        basic,
+        state,
+        lu: None,
+        etas: Vec::new(),
+        xb: vec![0.0; f.m()],
+        iterations: 0,
+        degen_run: 0,
+        degen_total: 0,
+        bland: false,
+        factorizations: 0,
+    };
+    if rev.factorize().is_err() {
+        // The perturbed coefficients made the old basis singular.
+        return Ok(None);
+    }
+    if rev.compute_xb().is_err() {
+        return Ok(None);
+    }
+
+    // Primal-feasible at the old basis? Then phase 2 continues directly.
+    let mut infeas = 0.0_f64;
+    for i in 0..f.m() {
+        let k = rev.basic[i];
+        infeas = infeas.max(-rev.xb[i]);
+        if rev.upper[k].is_finite() {
+            infeas = infeas.max(rev.xb[i] - rev.upper[k]);
+        }
+    }
+    if infeas > FEAS_TOL {
+        // Primal-infeasible: re-enter through the dual simplex. The dual
+        // phase is a repair heuristic, not the correctness path — the
+        // exact primal run below converges from any feasible basis — so
+        // dual feasibility only needs to hold well enough for the dual
+        // ratio test to make progress. Columns whose reduced cost is
+        // *decisively* on the wrong side of zero hop to their opposite
+        // bound first (the bounded-variable bound flip); epsilon-level
+        // violations — reduced costs whose sign the coefficient
+        // perturbation barely flipped — are left in place, because
+        // flipping them moves the iterate a full bound-length for no
+        // gain and the clamped dual ratio test absorbs them at zero cost.
+        let Ok(y) = rev.multipliers(&f.cost) else {
+            return Ok(None);
+        };
+        let flip_tol = 1e6 * tol2;
+        let mut flipped = false;
+        for j in 0..f.n_total {
+            let d = rev.reduced_cost(&f.cost, &y, j);
+            match rev.state[j] {
+                VarState::Basic => {}
+                // Fixed columns (u == 0) cannot leave their bound, so any
+                // reduced-cost sign is dual-feasible for them.
+                _ if rev.upper[j] <= 0.0 => {}
+                // (Unboxed Lower columns stay put: the dual ratio test
+                // pulls them into the basis at a clamped zero ratio.)
+                VarState::Lower if d < -flip_tol && rev.upper[j].is_finite() => {
+                    rev.state[j] = VarState::Upper;
+                    flipped = true;
+                }
+                VarState::Upper if d > flip_tol => {
+                    // The internal form's lower bound is 0: always finite.
+                    rev.state[j] = VarState::Lower;
+                    flipped = true;
+                }
+                _ => {}
+            }
+        }
+        if flipped && rev.compute_xb().is_err() {
+            return Ok(None);
+        }
+        match rev.run_dual(&f.cost, cap) {
+            Ok(()) => {
+                stats.warm.dual_reentry = true;
+                stats.warm.dual_iters = rev.iterations;
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+
+    stats.warm.warm_start = true;
+    match rev.run_primal(&f.cost, tol2, cap) {
+        Ok(None) => {
+            stats.degen = rev.degen_total;
+            stats.refactorizations = rev.factorizations.saturating_sub(1);
+            rev.extract(problem).map(Some)
+        }
+        Ok(Some(q)) => Err(LpError::Unbounded {
+            var: f.unbounded_var_name(problem, q),
+        }),
+        // Numerical trouble on the warm path: retry cold before giving a
+        // verdict the cold path might not reproduce.
+        Err(LpError::IterationLimit { .. }) | Err(LpError::Internal { .. }) => {
+            stats.warm.warm_start = false;
+            stats.warm.dual_reentry = false;
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, RowOp, Sense};
+
+    fn sample() -> Problem {
+        // max 3x + 2y  s.t.  x + y <= 4,  x <= 2 (bound),  x,y >= 0
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 2.0, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_row("cap", &[(x, 1.0), (y, 1.0)], RowOp::Le, 4.0);
+        p
+    }
+
+    #[test]
+    fn matches_dense_on_basic_problem() {
+        let p = sample();
+        let s = solve(&p, None).unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-9);
+        assert!((s.values[0] - 2.0).abs() < 1e-9);
+        assert!((s.values[1] - 2.0).abs() < 1e-9);
+        assert!(s.basis.is_some());
+    }
+
+    #[test]
+    fn warm_restart_costs_no_pivots_when_unperturbed() {
+        let p = sample();
+        let cold = solve(&p, None).unwrap();
+        let warm = solve(&p, cold.basis.as_ref()).unwrap();
+        assert_eq!(warm.iterations, 0, "unchanged problem should re-verify, not re-pivot");
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_restart_after_cost_change_stays_correct() {
+        let mut p = sample();
+        let cold = solve(&p, None).unwrap();
+        // Flip the preference toward y.
+        p.set_var_objective(crate::model::VarId(0), 1.0);
+        p.set_var_objective(crate::model::VarId(1), 5.0);
+        let warm = solve(&p, cold.basis.as_ref()).unwrap();
+        let fresh = solve(&p, None).unwrap();
+        assert!((warm.objective - fresh.objective).abs() < 1e-9);
+        assert!(p.max_violation(&warm.values) < 1e-9);
+    }
+
+    #[test]
+    fn dual_reentry_after_rhs_tightening() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 10.0, 3.0);
+        let y = p.add_var("y", 0.0, 10.0, 2.0);
+        let r = p.add_row("cap", &[(x, 1.0), (y, 1.0)], RowOp::Le, 8.0);
+        let cold = solve(&p, None).unwrap();
+        // Fault-style tightening: the binding row loses half its budget.
+        p.cons[r.0].rhs = 4.0;
+        let warm = solve(&p, cold.basis.as_ref()).unwrap();
+        let fresh = solve(&p, None).unwrap();
+        assert!((warm.objective - fresh.objective).abs() < 1e-9);
+        assert!(p.max_violation(&warm.values) < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_basis_falls_back_to_cold() {
+        let p = sample();
+        let cold = solve(&p, None).unwrap();
+        // A structurally different problem: extra row.
+        let mut p2 = sample();
+        let x = crate::model::VarId(0);
+        p2.add_row("extra", &[(x, 1.0)], RowOp::Le, 1.5);
+        let s = solve(&p2, cold.basis.as_ref()).unwrap();
+        let fresh = solve(&p2, None).unwrap();
+        assert!((s.objective - fresh.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_verdicts_survive() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0);
+        p.add_row("force", &[(x, 1.0)], RowOp::Ge, 3.0);
+        assert!(matches!(solve(&p, None), Err(LpError::Infeasible { .. })));
+
+        let mut q = Problem::new(Sense::Maximize);
+        let _g = q.add_var("growth", 0.0, f64::INFINITY, 1.0);
+        assert!(matches!(
+            solve(&q, None),
+            Err(LpError::Unbounded { var }) if var == "growth"
+        ));
+    }
+
+    #[test]
+    fn near_singular_pivot_is_a_typed_error_not_garbage() {
+        // The ratio test admits entries down to PIVOT_EPS (1e-9); a pivot
+        // of 1e-8 passes eligibility but sits below PIVOT_TINY (1e-7).
+        // With a fresh factorization (no etas to blame), the revised
+        // engine must refuse it with a typed error — in release builds
+        // the old dense-path debug_assert! would have silently divided.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_row("thin", &[(x, 1e-8)], RowOp::Le, 1.0);
+        match solve(&p, None) {
+            Err(LpError::Internal { what }) => assert!(what.contains("tiny pivot"), "{what}"),
+            other => panic!("expected tiny-pivot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_pivot_falls_back_to_dense_at_the_api() {
+        // Same model through Problem::solve: the revised engine's typed
+        // error triggers the dense-oracle fallback, which pivots on the
+        // (well-scaled relative to its row) entry and solves it.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_row("thin", &[(x, 1e-8)], RowOp::Le, 1.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 1e8).abs() / 1e8 < 1e-9);
+    }
+
+    #[test]
+    fn equality_chain_matches_dense() {
+        let mut p = Problem::new(Sense::Maximize);
+        let n = 9;
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(&format!("x{j}"), 0.0, 100.0, 1.0))
+            .collect();
+        p.add_row("x0", &[(vars[0], 1.0)], RowOp::Eq, 1.0);
+        for k in 1..n {
+            p.add_row(
+                &format!("chain{k}"),
+                &[(vars[k], 1.0), (vars[k - 1], -1.0)],
+                RowOp::Eq,
+                1.0,
+            );
+        }
+        let s = solve(&p, None).unwrap();
+        for (k, &v) in vars.iter().enumerate() {
+            assert!((s.value(v) - (k as f64 + 1.0)).abs() < 1e-7, "x{k}");
+        }
+    }
+}

@@ -1,18 +1,24 @@
 //! Two-phase primal simplex on a dense tableau with implicit variable
-//! bounds.
+//! bounds — the workspace's original engine, kept as the **fallback
+//! oracle** for the sparse revised simplex in [`crate::revised`].
 //!
-//! Internal form: `min c·x  s.t.  A x = b,  0 <= x_j <= u_j` (each `u_j`
-//! possibly infinite). User problems are rewritten into this form:
-//! finite lower bounds are shifted to zero, `(-inf, ub]` variables are
-//! mirrored, free variables are split, inequality rows gain slack/surplus
-//! columns, and rows with negative right-hand sides are negated. Phase 1
-//! minimizes the sum of artificial variables; phase 2 the real objective.
+//! Both engines share one problem rewriting ([`crate::internal`]): finite
+//! lower bounds shifted to zero, `(-inf, ub]` variables mirrored, free
+//! variables split, slack/surplus and artificial columns appended, and
+//! negative right-hand sides negated. Phase 1 minimizes the sum of
+//! artificial variables; phase 2 the real objective.
 //!
 //! Nonbasic variables sit at either bound (`Lower`/`Upper`), so box
 //! constraints never become rows — essential for the Stage-1 LPs whose
 //! piecewise-linear segment variables are all box-bounded.
+//!
+//! Because the engines share the internal column layout, the dense path
+//! also emits a [`crate::Basis`] handle, and warm/cold cross-checks in
+//! tests can hand bases across engines.
 
-use crate::model::{Problem, RowOp, Sense};
+use crate::basis::Basis;
+use crate::internal::{InternalForm, VarState};
+use crate::model::{Problem, RowOp};
 use crate::solution::{LpError, Solution, Status};
 use thermaware_linalg::Matrix;
 
@@ -34,24 +40,14 @@ fn internal_pathology(iterations: usize) -> LpError {
     LpError::IterationLimit { limit: iterations }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
-    Basic,
-    /// Nonbasic at its lower bound (0 in internal coordinates).
-    Lower,
-    /// Nonbasic at its upper bound `u_j`.
-    Upper,
-}
-
-/// How a user variable maps onto internal columns.
-#[derive(Debug, Clone, Copy)]
-enum VarMap {
-    /// `x_user = x_col + lb`
-    Shift { col: usize, lb: f64 },
-    /// `x_user = ub - x_col`
-    Mirror { col: usize, ub: f64 },
-    /// `x_user = x_pos - x_neg`
-    Split { pos: usize, neg: usize },
+/// Which cost vector is active. Carrying the selector instead of cloned
+/// cost vectors keeps repeated solves allocation-light: phase-1 costs are
+/// an indicator function of the artificial range and phase-2 costs live
+/// in the tableau already, so neither phase materializes a `Vec`.
+#[derive(Clone, Copy)]
+enum Phase {
+    One,
+    Two,
 }
 
 struct Tableau {
@@ -115,15 +111,35 @@ impl Tableau {
         })
     }
 
-    /// Recompute reduced costs `d = c - c_B^T (B^{-1}A)` for the given
-    /// per-column cost vector. O(mn), done once per phase.
-    fn reset_reduced_costs(&mut self, costs: &[f64]) {
-        self.d.copy_from_slice(costs);
-        for i in 0..self.m() {
-            let cb = costs[self.basis[i]];
+    /// Recompute reduced costs `d = c - c_B^T (B^{-1}A)` for the active
+    /// phase. O(mn), done once per phase — with no cost-vector clone.
+    fn reset_reduced_costs(&mut self, phase: Phase) {
+        let Tableau {
+            t,
+            d,
+            basis,
+            cost,
+            art_start,
+            ..
+        } = self;
+        let cost_of = |j: usize| match phase {
+            Phase::One => {
+                if j >= *art_start {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Phase::Two => cost[j],
+        };
+        for (j, dj) in d.iter_mut().enumerate() {
+            *dj = cost_of(j);
+        }
+        for i in 0..t.rows() {
+            let cb = cost_of(basis[i]);
             if cb != 0.0 { // lint: allow(float-eq): sparsity skip on a stored basis cost; exact zeros only
-                let row = self.t.row(i);
-                for (dj, tij) in self.d.iter_mut().zip(row) {
+                let row = t.row(i);
+                for (dj, tij) in d.iter_mut().zip(row) {
                     *dj -= cb * tij;
                 }
             }
@@ -251,9 +267,16 @@ impl Tableau {
                 } else {
                     self.upper[q] - t_best
                 };
-                // Pivot on (r, q).
+                // Pivot on (r, q). The ratio test only admits entries
+                // above PIVOT_EPS, so a smaller pivot here means the
+                // tableau itself has decayed (or was corrupted): surface
+                // the typed error instead of silently dividing by it —
+                // in release builds the old debug_assert! vanished and a
+                // garbage pivot would poison every later iteration.
                 let piv = self.t[(r, q)];
-                debug_assert!(piv.abs() > PIVOT_EPS * 1e-3, "tiny pivot {piv}");
+                if piv.abs() <= PIVOT_EPS * 1e-3 {
+                    return StepResult::Broken("tiny pivot");
+                }
                 let inv = 1.0 / piv;
                 {
                     let row_r = self.t.row_mut(r);
@@ -312,8 +335,8 @@ impl Tableau {
     }
 }
 
-/// Solve `problem`; when `feasibility_only`, stop after phase 1 and report
-/// any feasible point.
+/// Solve `problem` with the dense engine; when `feasibility_only`, stop
+/// after phase 1 and report any feasible point.
 ///
 /// Observability wrapper around [`solve_impl`]: per-solve wall time,
 /// iteration/pivot/degeneracy statistics, and outcome counters. The LP
@@ -353,155 +376,41 @@ fn solve_impl(
     feasibility_only: bool,
     degen_out: &mut usize,
 ) -> Result<Solution, LpError> {
-    let nrows = problem.cons.len();
+    let f = InternalForm::build(problem);
+    let nrows = f.m();
+    let n_total = f.n_total;
 
-    // ---- Build the internal column layout -------------------------------
-    let mut maps: Vec<VarMap> = Vec::with_capacity(problem.vars.len());
-    let mut upper: Vec<f64> = Vec::new();
-    let mut cost: Vec<f64> = Vec::new();
-    let mut obj_const = 0.0;
-    let sense_sign = match problem.sense {
-        Sense::Maximize => -1.0,
-        Sense::Minimize => 1.0,
-    };
-    for v in &problem.vars {
-        if v.lower.is_finite() {
-            maps.push(VarMap::Shift {
-                col: upper.len(),
-                lb: v.lower,
-            });
-            upper.push(v.upper - v.lower);
-            cost.push(sense_sign * v.objective);
-            obj_const += sense_sign * v.objective * v.lower;
-        } else if v.upper.is_finite() {
-            maps.push(VarMap::Mirror {
-                col: upper.len(),
-                ub: v.upper,
-            });
-            upper.push(f64::INFINITY);
-            cost.push(-sense_sign * v.objective);
-            obj_const += sense_sign * v.objective * v.upper;
-        } else {
-            maps.push(VarMap::Split {
-                pos: upper.len(),
-                neg: upper.len() + 1,
-            });
-            upper.push(f64::INFINITY);
-            upper.push(f64::INFINITY);
-            cost.push(sense_sign * v.objective);
-            cost.push(-sense_sign * v.objective);
-        }
-    }
-    let n_struct = upper.len();
-
-    // Row data in internal coordinates: coefficients over structural
-    // columns, op, rhs.
-    struct RowBuild {
-        coeffs: Vec<(usize, f64)>,
-        op: RowOp,
-        rhs: f64,
-    }
-    let mut rows: Vec<RowBuild> = Vec::with_capacity(nrows);
-    for c in &problem.cons {
-        let mut rhs = c.rhs;
-        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 2);
-        for &(uj, a) in &c.terms {
-            match maps[uj] {
-                VarMap::Shift { col, lb } => {
-                    rhs -= a * lb;
-                    coeffs.push((col, a));
-                }
-                VarMap::Mirror { col, ub } => {
-                    rhs -= a * ub;
-                    coeffs.push((col, -a));
-                }
-                VarMap::Split { pos, neg } => {
-                    coeffs.push((pos, a));
-                    coeffs.push((neg, -a));
-                }
-            }
-        }
-        let mut op = c.op;
-        if rhs < 0.0 {
-            rhs = -rhs;
-            for (_, a) in &mut coeffs {
-                *a = -*a;
-            }
-            op = match op {
-                RowOp::Le => RowOp::Ge,
-                RowOp::Ge => RowOp::Le,
-                RowOp::Eq => RowOp::Eq,
-            };
-        }
-        rows.push(RowBuild { coeffs, op, rhs });
-    }
-
-    // Slack columns for inequality rows, then artificials where needed.
-    let mut slack_col: Vec<Option<usize>> = vec![None; nrows];
-    let mut next = n_struct;
-    for (i, r) in rows.iter().enumerate() {
-        if matches!(r.op, RowOp::Le | RowOp::Ge) {
-            slack_col[i] = Some(next);
-            next += 1;
-        }
-    }
-    let n_slack_end = next;
-    // `Le` rows start with their slack basic; `Ge`/`Eq` rows need an
-    // artificial.
-    let mut art_col: Vec<Option<usize>> = vec![None; nrows];
-    for (i, r) in rows.iter().enumerate() {
-        if matches!(r.op, RowOp::Ge | RowOp::Eq) {
-            art_col[i] = Some(next);
-            next += 1;
-        }
-    }
-    let n_total = next;
-    upper.resize(n_total, f64::INFINITY);
-    cost.resize(n_total, 0.0);
-
-    // ---- Assemble the tableau -------------------------------------------
+    // ---- Assemble the dense tableau from the sparse columns --------------
     let mut t = Matrix::zeros(nrows, n_total);
-    let mut xb = vec![0.0; nrows];
+    for (j, col) in f.cols.iter().enumerate() {
+        for &(i, a) in col {
+            t[(i, j)] = a;
+        }
+    }
     let mut basis = vec![usize::MAX; nrows];
     let mut state = vec![VarState::Lower; n_total];
-    for (i, r) in rows.iter().enumerate() {
-        for &(j, a) in &r.coeffs {
-            t[(i, j)] += a;
-        }
+    for i in 0..nrows {
         // Each row's starting basic column: its slack for `Le`, its
-        // artificial for `Ge`/`Eq` — allocated by the loops above. A
-        // mismatch is bookkeeping corruption; fail the solve, not the
-        // process.
-        let basic = match (r.op, slack_col[i], art_col[i]) {
-            (RowOp::Le, Some(s), _) => {
-                t[(i, s)] = 1.0;
-                s
-            }
-            (RowOp::Ge, Some(s), Some(a)) => {
-                t[(i, s)] = -1.0;
-                t[(i, a)] = 1.0;
-                a
-            }
-            (RowOp::Eq, None, Some(a)) => {
-                t[(i, a)] = 1.0;
-                a
-            }
+        // artificial for `Ge`/`Eq`. A mismatch is bookkeeping corruption;
+        // fail the solve, not the process.
+        let basic = match (f.ops[i], f.slack_col[i], f.art_col[i]) {
+            (RowOp::Le, Some(s), _) => s,
+            (RowOp::Ge, Some(_), Some(a)) | (RowOp::Eq, None, Some(a)) => a,
             _ => return Err(internal_pathology(0)),
         };
         basis[i] = basic;
         state[basic] = VarState::Basic;
-        xb[i] = r.rhs;
     }
 
     let mut tab = Tableau {
         t,
-        xb,
+        xb: f.rhs.clone(),
         d: vec![0.0; n_total],
         basis,
         state,
-        upper,
-        cost,
-        art_start: n_slack_end,
+        upper: f.upper.clone(),
+        cost: f.cost.clone(),
+        art_start: f.art_start,
         iterations: 0,
         degen_run: 0,
         degen_total: 0,
@@ -510,12 +419,9 @@ fn solve_impl(
     let cap = 200 * (nrows + n_total + 10);
 
     // ---- Phase 1 ----------------------------------------------------------
-    let needs_phase1 = art_col.iter().any(Option::is_some);
+    let needs_phase1 = f.art_col.iter().any(Option::is_some);
     if needs_phase1 {
-        let phase1_cost: Vec<f64> = (0..n_total)
-            .map(|j| if j >= tab.art_start { 1.0 } else { 0.0 })
-            .collect();
-        tab.reset_reduced_costs(&phase1_cost);
+        tab.reset_reduced_costs(Phase::One);
         if let Some(_q) = tab.run(FEAS_TOL * 1e-2, cap)? {
             // Phase 1 is bounded below by 0, so "unbounded" here means a
             // numerical breakdown; report as an iteration pathology.
@@ -545,7 +451,7 @@ fn solve_impl(
     }
 
     if feasibility_only {
-        let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign)?;
+        let (values, duals) = extract(problem, &tab, &f)?;
         let objective = problem.objective_value(&values);
         *degen_out = tab.degen_total;
         return Ok(Solution {
@@ -554,32 +460,20 @@ fn solve_impl(
             values,
             duals,
             iterations: tab.iterations,
+            basis: None,
         });
     }
 
     // ---- Phase 2 ----------------------------------------------------------
-    let phase2_cost = tab.cost.clone();
-    tab.reset_reduced_costs(&phase2_cost);
-    let cost_scale = 1.0 + phase2_cost.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
+    tab.reset_reduced_costs(Phase::Two);
+    let cost_scale = 1.0 + tab.cost.iter().fold(0.0_f64, |m, c| m.max(c.abs()));
     if let Some(q) = tab.run(COST_TOL * cost_scale, cap)? {
-        // Map the unbounded internal column back to a user variable name.
-        let name = maps
-            .iter()
-            .enumerate()
-            .find_map(|(ui, vm)| match *vm {
-                VarMap::Shift { col, .. } | VarMap::Mirror { col, .. } if col == q => {
-                    Some(problem.vars[ui].name.clone())
-                }
-                VarMap::Split { pos, neg } if pos == q || neg == q => {
-                    Some(problem.vars[ui].name.clone())
-                }
-                _ => None,
-            })
-            .unwrap_or_else(|| format!("slack#{q}"));
-        return Err(LpError::Unbounded { var: name });
+        return Err(LpError::Unbounded {
+            var: f.unbounded_var_name(problem, q),
+        });
     }
 
-    let (values, duals) = extract(problem, &tab, &maps, &slack_col, &art_col, sense_sign)?;
+    let (values, duals) = extract(problem, &tab, &f)?;
     let objective = problem.objective_value(&values);
     debug_assert!(
         {
@@ -589,8 +483,8 @@ fn solve_impl(
             let internal: f64 = (0..tab.n())
                 .map(|j| tab.cost[j] * tab.value_of(j).unwrap_or(0.0))
                 .sum();
-            (sense_sign * objective - (internal + obj_const)).abs()
-                <= 1e-6 * (1.0 + objective.abs() + obj_const.abs())
+            (f.sense_sign * objective - (internal + f.obj_const)).abs()
+                <= 1e-6 * (1.0 + objective.abs() + f.obj_const.abs())
         },
         "objective bookkeeping mismatch"
     );
@@ -601,6 +495,7 @@ fn solve_impl(
         values,
         duals,
         iterations: tab.iterations,
+        basis: Some(Basis::capture(f.signature, &tab.basis, &tab.state)),
     })
 }
 
@@ -608,12 +503,11 @@ fn solve_impl(
 fn extract(
     problem: &Problem,
     tab: &Tableau,
-    maps: &[VarMap],
-    slack_col: &[Option<usize>],
-    art_col: &[Option<usize>],
-    sense_sign: f64,
+    f: &InternalForm,
 ) -> Result<(Vec<f64>, Vec<f64>), LpError> {
-    let values: Vec<f64> = maps
+    use crate::internal::VarMap;
+    let values: Vec<f64> = f
+        .maps
         .iter()
         .map(|m| {
             Ok(match *m {
@@ -629,11 +523,11 @@ fn extract(
     // cost pins down y_i.
     let duals: Vec<f64> = (0..problem.cons.len())
         .map(|i| {
-            let (col, coef) = match (slack_col[i], art_col[i]) {
+            let (col, coef) = match (f.slack_col[i], f.art_col[i]) {
                 (Some(s), _) => {
                     // Slack coefficient is +1 for Le rows, -1 for Ge rows
                     // (post-normalization op).
-                    let c = match normalized_op(problem, i) {
+                    let c = match f.ops[i] {
                         RowOp::Le => 1.0,
                         _ => -1.0,
                     };
@@ -644,43 +538,9 @@ fn extract(
             };
             // d_col = 0 - y_i * coef  =>  y_i = -d_col / coef.
             let y_int = -tab.d[col] / coef;
-            let flip = if row_flipped(problem, i) { -1.0 } else { 1.0 };
-            sense_sign * flip * y_int
+            let flip = if f.flipped[i] { -1.0 } else { 1.0 };
+            f.sense_sign * flip * y_int
         })
         .collect();
     Ok((values, duals))
-}
-
-/// Re-derive whether a row's rhs was negative at build time (and therefore
-/// negated). Kept as a function of the immutable problem so `extract`
-/// doesn't need extra plumbed state.
-fn row_rhs_internal(problem: &Problem, i: usize) -> f64 {
-    let c = &problem.cons[i];
-    let mut rhs = c.rhs;
-    for &(uj, a) in &c.terms {
-        let v = &problem.vars[uj];
-        if v.lower.is_finite() {
-            rhs -= a * v.lower;
-        } else if v.upper.is_finite() {
-            rhs -= a * v.upper;
-        }
-    }
-    rhs
-}
-
-fn row_flipped(problem: &Problem, i: usize) -> bool {
-    row_rhs_internal(problem, i) < 0.0
-}
-
-fn normalized_op(problem: &Problem, i: usize) -> RowOp {
-    let op = problem.cons[i].op;
-    if row_flipped(problem, i) {
-        match op {
-            RowOp::Le => RowOp::Ge,
-            RowOp::Ge => RowOp::Le,
-            RowOp::Eq => RowOp::Eq,
-        }
-    } else {
-        op
-    }
 }

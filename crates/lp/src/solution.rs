@@ -32,6 +32,9 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Number of simplex pivots performed (both phases).
     pub iterations: usize,
+    /// Warm-start handle captured at termination (engine-dependent; the
+    /// feasibility-only and presolved paths return `None`).
+    pub(crate) basis: Option<crate::Basis>,
 }
 
 impl Solution {
@@ -43,6 +46,18 @@ impl Solution {
     /// Dual of a row by handle.
     pub fn dual(&self, c: crate::ConstraintId) -> f64 {
         self.duals[c.0]
+    }
+
+    /// The warm-start handle of this solve, if one was captured. Pass it
+    /// to [`crate::Problem::solve_warm`] on a structurally identical
+    /// problem to resume from this optimum.
+    pub fn basis(&self) -> Option<&crate::Basis> {
+        self.basis.as_ref()
+    }
+
+    /// Take ownership of the warm-start handle (leaves `None` behind).
+    pub fn take_basis(&mut self) -> Option<crate::Basis> {
+        self.basis.take()
     }
 }
 

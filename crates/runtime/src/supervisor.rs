@@ -40,7 +40,7 @@ use crate::fault::{Fault, FaultScript};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize, Value};
-use thermaware_core::stage3::{solve_stage3, Stage3Solution};
+use thermaware_core::stage3::{solve_stage3_warm, Stage3Basis, Stage3Solution};
 use thermaware_core::ThreeStageSolution;
 use thermaware_datacenter::DataCenter;
 use thermaware_scheduler::{EpochSim, EpochSimState, SimulationResult};
@@ -207,6 +207,11 @@ struct World {
     outlets: Vec<f64>,
     /// Current Stage-3 rates.
     stage3: Stage3Solution,
+    /// Optimal basis of the last Stage-3 solve, used to warm-start the
+    /// next replan. Part of the persisted world so a crash-resumed run
+    /// replays the same warm starts and stays bit-identical to an
+    /// uninterrupted one.
+    stage3_basis: Option<Stage3Basis>,
     /// Failed CRAC units.
     failed: Vec<bool>,
     /// Dead nodes.
@@ -262,6 +267,7 @@ impl<'a> Supervisor<'a> {
             pstates: plan.pstates.clone(),
             outlets: plan.stage1.crac_out_c.clone(),
             stage3: plan.stage3.clone(),
+            stage3_basis: plan.stage3_basis.clone(),
             failed: vec![false; dc.n_crac()],
             dead: vec![false; dc.n_nodes()],
             bias_c: 0.0,
@@ -466,9 +472,14 @@ impl<'a> Supervisor<'a> {
             // Rung 1: the plan is stale — replan rates on what survives.
             if world.stale {
                 log.record(now, EventKind::ViolationDetected(Violation::StalePlan));
-                match solve_stage3(work_dc, &self.effective_pstates(world)) {
-                    Ok(s3) => {
+                match solve_stage3_warm(
+                    work_dc,
+                    &self.effective_pstates(world),
+                    world.stage3_basis.as_ref(),
+                ) {
+                    Ok((s3, basis)) => {
                         world.stage3 = s3;
+                        world.stage3_basis = basis;
                         world.stale = false;
                         attempts = 0;
                         sim.replan(&self.effective_pstates(world), &world.stage3, now);
