@@ -20,7 +20,9 @@
 //!
 //! Scope: the replay-path crates (`core`, `lp`, `linalg`, `thermal`,
 //! `power`, `scheduler`, `workload`) plus `runtime`'s persistence module
-//! — non-test code only; tests may time things freely.
+//! and the deterministic half of `service` (engine, store, breaker,
+//! proto — the daemon shell and loadgen are live code and may read
+//! clocks freely) — non-test code only; tests may time things freely.
 
 use super::Finding;
 use crate::source::SourceFile;
@@ -29,6 +31,11 @@ use crate::workspace::Workspace;
 /// Crates whose entire non-test source is on the replay path.
 const REPLAY_CRATES: [&str; 7] = ["core", "lp", "linalg", "thermal", "power", "scheduler", "workload"];
 
+/// `service` files on the replay path; the daemon shell, loadgen, and
+/// CLI glue live in wall-clock land by design.
+const SERVICE_REPLAY_FILES: [&str; 4] =
+    ["/engine.rs", "/store.rs", "/breaker.rs", "/proto.rs"];
+
 /// How many lines above a timing call an `obs::enabled()` gate may sit.
 const GATE_WINDOW: usize = 10;
 
@@ -36,7 +43,9 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in &ws.files {
         let in_scope = REPLAY_CRATES.contains(&file.crate_name.as_str())
-            || (file.crate_name == "runtime" && file.path.ends_with("/persist.rs"));
+            || (file.crate_name == "runtime" && file.path.ends_with("/persist.rs"))
+            || (file.crate_name == "service"
+                && SERVICE_REPLAY_FILES.iter().any(|f| file.path.ends_with(f)));
         if !in_scope || file.test_target {
             continue;
         }

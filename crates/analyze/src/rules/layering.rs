@@ -29,7 +29,7 @@ use crate::workspace::Workspace;
 /// The allowed dependency DAG: `(crate, allowed deps)`. `"*"` means any
 /// workspace crate (the facade and the bench harness integrate
 /// everything by design).
-const ALLOWED: [(&str, &[&str]); 12] = [
+const ALLOWED: [(&str, &[&str]); 13] = [
     ("obs", &[]),
     ("linalg", &[]),
     ("power", &[]),
@@ -41,6 +41,7 @@ const ALLOWED: [(&str, &[&str]); 12] = [
     ("core", &["linalg", "obs", "lp", "power", "thermal", "workload", "datacenter"]),
     ("scheduler", &["workload", "obs", "datacenter", "core"]),
     ("runtime", &["core", "obs", "datacenter", "scheduler", "workload"]),
+    ("service", &["core", "obs", "datacenter", "runtime", "scheduler"]),
     ("bench", &["*"]),
 ];
 

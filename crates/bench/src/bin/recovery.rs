@@ -86,6 +86,7 @@ fn main() {
                 snapshot_interval: interval,
                 retain,
                 durable,
+                flush_every: 1,
             };
             let t = Instant::now();
             let report = run_checkpointed(&dc, cfg, &plan, &script, &ckpt).expect("run");
@@ -121,6 +122,7 @@ fn main() {
         snapshot_interval: 8,
         retain,
         durable: true,
+        flush_every: 1,
     };
     let stopped = run_checkpointed_until(&dc, cfg, &plan, &script, &ckpt, kill_epoch)
         .expect("checkpointed run");

@@ -116,6 +116,25 @@ impl<'a> Solver<'a> {
         let _install = self.recorder.as_ref().map(|r| thermaware_obs::install(Arc::clone(r)));
         baseline_impl(self.dc, self.search)
     }
+
+    /// Re-solve the Stage-3 rate subproblem with the P-states held fixed
+    /// (the paper's Section V.B rule for mid-run replans), warm-starting
+    /// from `warm` when given. This is the epoch-replan path a
+    /// long-running service drives: demand drifted but the floor did
+    /// not, so only the rates move, and the previous basis typically
+    /// re-verifies in a handful of pivots. Returns the new plan and the
+    /// basis to warm the *next* replan with. The configured recorder is
+    /// installed for the duration, as in [`solve`](Solver::solve); the ψ
+    /// policy and CRAC search do not apply.
+    pub fn stage3_replan(
+        &self,
+        pstates: &[usize],
+        warm: Option<&crate::stage3::Stage3Basis>,
+    ) -> Result<(crate::stage3::Stage3Solution, Option<crate::stage3::Stage3Basis>), SolveError>
+    {
+        let _install = self.recorder.as_ref().map(|r| thermaware_obs::install(Arc::clone(r)));
+        crate::stage3::solve_stage3_warm(self.dc, pstates, warm)
+    }
 }
 
 #[cfg(test)]

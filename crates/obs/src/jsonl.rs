@@ -26,16 +26,89 @@ use crate::span::SpanRecord;
 use crate::Recorder;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
 /// Current trace-format version (the `meta` line's `version` field).
 pub const TRACE_FORMAT_VERSION: u64 = 1;
 
+fn meta_line() -> String {
+    format!(
+        "{{\"type\":\"meta\",\"format\":\"thermaware-obs-trace\",\
+         \"version\":{TRACE_FORMAT_VERSION},\"clock\":\"us\"}}\n"
+    )
+}
+
+/// `trace.jsonl` + generation 2 → `trace.2.jsonl` (extension preserved
+/// so every generation still looks like a JSONL file to tooling).
+fn generation_path(path: &Path, gen: usize) -> PathBuf {
+    match (path.file_stem().and_then(|s| s.to_str()), path.extension().and_then(|e| e.to_str())) {
+        (Some(stem), Some(ext)) => path.with_file_name(format!("{stem}.{gen}.{ext}")),
+        _ => {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(format!(".{gen}"));
+            PathBuf::from(name)
+        }
+    }
+}
+
+/// Where span lines go: a plain writer, or a size-rotated file set.
+enum Sink {
+    Plain(BufWriter<Box<dyn Write + Send>>),
+    Rotating {
+        path: PathBuf,
+        /// Rotate once the active file would exceed this many bytes.
+        max_bytes: u64,
+        /// Rotated generations to keep (`trace.1.jsonl` … `trace.K.jsonl`).
+        keep: usize,
+        writer: BufWriter<File>,
+        written: u64,
+    },
+}
+
+impl Sink {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self {
+            Sink::Plain(w) => w.write_all(bytes),
+            Sink::Rotating { path, max_bytes, keep, writer, written } => {
+                if *written > 0 && *written + bytes.len() as u64 > *max_bytes {
+                    // Rotate: flush the active file, shift generations
+                    // newest-first, start fresh with its own meta header
+                    // so every generation parses standalone.
+                    writer.flush()?;
+                    for gen in (1..*keep).rev() {
+                        let from = generation_path(path, gen);
+                        if from.exists() {
+                            std::fs::rename(&from, generation_path(path, gen + 1))?;
+                        }
+                    }
+                    if *keep > 0 {
+                        std::fs::rename(&*path, generation_path(path, 1))?;
+                    }
+                    *writer = BufWriter::new(File::create(&*path)?);
+                    let header = meta_line();
+                    writer.write_all(header.as_bytes())?;
+                    *written = header.len() as u64;
+                    crate::counter_add("obs.trace_rotations", 1);
+                }
+                *written += bytes.len() as u64;
+                writer.write_all(bytes)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sink::Plain(w) => w.flush(),
+            Sink::Rotating { writer, .. } => writer.flush(),
+        }
+    }
+}
+
 /// A [`Recorder`] that streams spans to a JSONL file and summarizes
 /// metrics on [`finish`](JsonlRecorder::finish).
 pub struct JsonlRecorder {
-    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    out: Mutex<Sink>,
     metrics: MetricRegistry,
     /// First write error, reported by `finish` (span recording itself
     /// has no error channel — the `Recorder` trait is infallible by
@@ -49,16 +122,40 @@ impl JsonlRecorder {
         Self::from_writer(Box::new(File::create(path)?))
     }
 
+    /// Like [`create`](Self::create), but rotate the file once it
+    /// exceeds `max_bytes`: `trace.jsonl` → `trace.1.jsonl` → … →
+    /// `trace.<keep>.jsonl`, oldest deleted. A week-long daemon trace
+    /// stays bounded at roughly `(keep + 1) × max_bytes` on disk. Each
+    /// generation starts with its own `meta` header line.
+    pub fn create_rotating(
+        path: impl AsRef<Path>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> io::Result<JsonlRecorder> {
+        let path = path.as_ref().to_path_buf();
+        let mut writer = BufWriter::new(File::create(&path)?);
+        let header = meta_line();
+        writer.write_all(header.as_bytes())?;
+        Ok(JsonlRecorder {
+            out: Mutex::new(Sink::Rotating {
+                path,
+                // Must hold at least a header + one line or rotation spins.
+                max_bytes: max_bytes.max(4 * 1024),
+                keep,
+                writer,
+                written: header.len() as u64,
+            }),
+            metrics: MetricRegistry::default(),
+            failed: Mutex::new(None),
+        })
+    }
+
     /// Wrap any writer (used by tests to trace into a buffer).
     pub fn from_writer(w: Box<dyn Write + Send>) -> io::Result<JsonlRecorder> {
         let mut out = BufWriter::new(w);
-        writeln!(
-            out,
-            "{{\"type\":\"meta\",\"format\":\"thermaware-obs-trace\",\
-             \"version\":{TRACE_FORMAT_VERSION},\"clock\":\"us\"}}"
-        )?;
+        out.write_all(meta_line().as_bytes())?;
         Ok(JsonlRecorder {
-            out: Mutex::new(out),
+            out: Mutex::new(Sink::Plain(out)),
             metrics: MetricRegistry::default(),
             failed: Mutex::new(None),
         })
@@ -66,12 +163,25 @@ impl JsonlRecorder {
 
     fn write_line(&self, line: &str) {
         let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Err(e) = out.write_all(line.as_bytes()).and_then(|()| out.write_all(b"\n")) {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        if let Err(e) = out.write_all(&buf) {
             self.failed
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .get_or_insert(e);
         }
+    }
+
+    /// Flush buffered span lines to disk without summarizing metrics —
+    /// a long-running daemon calls this at epoch boundaries so the trace
+    /// tail survives a SIGKILL.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
     }
 
     /// Write the metric summary lines and flush. Returns the first write

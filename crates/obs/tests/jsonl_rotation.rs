@@ -1,0 +1,78 @@
+//! Size-based rotation of the JSONL sink: the active trace rolls over
+//! to numbered generations (`trace.jsonl` → `trace.1.jsonl` → …), the
+//! oldest generation is deleted beyond `keep`, every generation starts
+//! with its own `meta` header, and no span line is ever split across
+//! files.
+
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+use thermaware_obs::JsonlRecorder;
+
+fn line_count(path: &Path) -> usize {
+    fs::read_to_string(path)
+        .expect("readable generation")
+        .lines()
+        .count()
+}
+
+fn assert_parses_standalone(path: &Path) {
+    let text = fs::read_to_string(path).expect("readable generation");
+    let mut lines = text.lines();
+    let head = lines.next().expect("non-empty generation");
+    assert!(
+        head.contains("\"type\":\"meta\""),
+        "{}: first line must be the meta header, got: {head}",
+        path.display()
+    );
+    for line in lines {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("{}: unparseable line {line}: {e}", path.display()));
+        assert!(v.get("type").is_some());
+    }
+}
+
+#[test]
+fn rotation_shifts_generations_and_bounds_disk() {
+    let dir = std::env::temp_dir().join("thermaware-obs-rotation");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let trace = dir.join("trace.jsonl");
+    for gen in 1..=5 {
+        let _ = fs::remove_file(dir.join(format!("trace.{gen}.jsonl")));
+    }
+
+    // max_bytes clamps to 4 KiB; ~90-byte span lines → rotation roughly
+    // every ~45 lines. 500 spans forces several rotations through the
+    // keep=2 window.
+    let rec = Arc::new(JsonlRecorder::create_rotating(&trace, 1, 2).expect("recorder"));
+    {
+        let _install = thermaware_obs::install(rec.clone());
+        for _ in 0..500 {
+            let _span = thermaware_obs::span("rotation_probe_span");
+        }
+    }
+    rec.finish().expect("finish");
+
+    let gen1 = dir.join("trace.1.jsonl");
+    let gen2 = dir.join("trace.2.jsonl");
+    let gen3 = dir.join("trace.3.jsonl");
+    assert!(trace.exists(), "active trace present");
+    assert!(gen1.exists(), "generation 1 present");
+    assert!(gen2.exists(), "generation 2 present");
+    assert!(!gen3.exists(), "keep=2 must delete generation 3");
+
+    for path in [&trace, &gen1, &gen2] {
+        assert_parses_standalone(path);
+        let bytes = fs::metadata(path).expect("metadata").len();
+        // Each file stays near the (clamped) limit: the active file can
+        // exceed it only by the final metric-summary lines.
+        assert!(bytes < 16 * 1024, "{}: {bytes} bytes", path.display());
+    }
+
+    // Rotated generations hold full rotation windows; together with the
+    // active file they must account for the most recent span lines but
+    // NOT all 500 (older ones were deleted with generation 3+).
+    let total = line_count(&trace) + line_count(&gen1) + line_count(&gen2);
+    assert!(total < 500, "old generations must have been dropped ({total} lines kept)");
+    assert!(total > 80, "the recent window must survive ({total} lines kept)");
+}

@@ -101,10 +101,32 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// The run's full, time-ordered event history.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+/// Default event capacity: far above what a horizon-bounded run
+/// produces, small enough that a daemon holding one log per live run
+/// stays bounded (~a few MB at worst-case event sizes).
+pub const DEFAULT_LOG_CAPACITY: usize = 16_384;
+
+/// The run's time-ordered event history — a **bounded ring**: once
+/// `capacity` events are held, recording a new one evicts the oldest
+/// and bumps [`dropped`](EventLog::dropped). A batch run over a fixed
+/// horizon never comes near the default capacity; a long-running
+/// daemon must not grow without bound, and the eviction rule is
+/// deterministic, so crash-replayed logs stay bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EventLog {
     events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            events: Vec::new(),
+            capacity: DEFAULT_LOG_CAPACITY,
+            dropped: 0,
+        }
+    }
 }
 
 impl EventLog {
@@ -145,12 +167,51 @@ impl EventLog {
                 thermaware_obs::counter_add("runtime.throttle_steps", *steps as u64);
             }
         }
-        let idx = self.events.partition_point(|e| e.at_s <= at_s);
-        if idx == self.events.len() {
-            self.events.push(Event { at_s, kind });
-        } else {
-            self.events.insert(idx, Event { at_s, kind });
+        let evicted = self.insert_ordered(Event { at_s, kind });
+        if evicted > 0 {
+            thermaware_obs::counter_add("runtime.log_dropped", evicted);
         }
+    }
+
+    /// Ordered insert + ring eviction, shared by [`record`](Self::record)
+    /// (which also counts evictions into obs) and deserialization (which
+    /// must not — replaying a persisted log is not a live drop). Returns
+    /// the number of events evicted.
+    fn insert_ordered(&mut self, event: Event) -> u64 {
+        let idx = self.events.partition_point(|e| e.at_s <= event.at_s);
+        if idx == self.events.len() {
+            self.events.push(event);
+        } else {
+            self.events.insert(idx, event);
+        }
+        let cap = self.capacity.max(1);
+        let mut evicted = 0;
+        while self.events.len() > cap {
+            self.events.remove(0);
+            self.dropped += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// A log that keeps at most `capacity` events (clamped to ≥ 1),
+    /// evicting the oldest beyond that.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The ring bound: how many events are retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted by the ring bound over the log's whole life.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// All events in time order.
@@ -249,7 +310,7 @@ impl fmt::Display for EventKind {
 // The vendored serde derive cannot express payload-carrying enums, so
 // `Violation`, `Action`, and `EventKind` implement the trait contract by
 // hand as tagged objects `{"kind": ..., <payload>}`. `EventLog`
-// deserialization rebuilds through [`EventLog::record`], so a log read
+// deserialization rebuilds through the ordered insert, so a log read
 // back from disk is time-ordered even if the stored array was not.
 
 /// Observed measurements (temperatures, powers) can legitimately be
@@ -458,13 +519,26 @@ impl Deserialize for EventLog {
             .as_object()
             .ok_or_else(|| serde::Error::custom("EventLog: expected object"))?;
         let events: Vec<Event> = serde::field(entries, "events")?;
-        let mut log = EventLog::default();
+        // `capacity`/`dropped` are absent from logs written before the
+        // ring bound existed; default them rather than rejecting.
+        let capacity: usize = match serde::field(entries, "capacity") {
+            Ok(c) => c,
+            Err(_) => DEFAULT_LOG_CAPACITY,
+        };
+        let dropped: u64 = serde::field(entries, "dropped").unwrap_or(0);
+        let mut log = EventLog::with_capacity(capacity);
+        // Rebuild through the ordered insert (a stored array may be out
+        // of order) but *not* through `record`: replaying a persisted
+        // log must not re-count its events into the obs registry.
         for e in events {
             if !e.at_s.is_finite() {
                 return Err(serde::Error::custom("EventLog: non-finite timestamp"));
             }
-            log.record(e.at_s, e.kind);
+            log.insert_ordered(e);
         }
+        // Eviction during the rebuild (an over-capacity stored array)
+        // would inflate `dropped`; the persisted count is authoritative.
+        log.dropped = dropped;
         Ok(log)
     }
 }
@@ -539,5 +613,54 @@ mod tests {
         let text = log.to_string();
         assert!(text.contains("TRIPPED"));
         assert!(text.contains("shed task type 4"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(i as f64, EventKind::Backoff { epochs: i });
+        }
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.capacity(), 3);
+        // Oldest evicted first: the survivors are the three newest.
+        let kept: Vec<f64> = log.events().iter().map(|e| e.at_s).collect();
+        assert_eq!(kept, vec![2.0, 3.0, 4.0]);
+        assert!(log.is_time_ordered());
+    }
+
+    #[test]
+    fn ring_state_round_trips_byte_identically() {
+        let mut log = EventLog::with_capacity(2);
+        for i in 0..4 {
+            log.record(i as f64, EventKind::ActionTaken(Action::Replan));
+        }
+        assert_eq!(log.dropped(), 2);
+        let json = serde_json::to_string(&log).expect("encode");
+        let back: EventLog = serde_json::from_str(&json).expect("decode");
+        assert_eq!(back, log);
+        assert_eq!(back.capacity(), 2);
+        assert_eq!(back.dropped(), 2);
+        // Byte-stable re-encode: snapshot/journal CRCs over states that
+        // embed a log stay well-defined across a save/load cycle.
+        assert_eq!(serde_json::to_string(&back).expect("re-encode"), json);
+    }
+
+    /// Logs persisted before the ring bound existed have no
+    /// `capacity`/`dropped` fields; they must still load, with defaults.
+    #[test]
+    fn legacy_log_without_ring_fields_parses() {
+        let mut log = EventLog::default();
+        log.record(1.0, EventKind::NoSteadyState);
+        let full = serde_json::to_string(&log).expect("encode");
+        let legacy = full
+            .replace(&format!(",\"capacity\":{DEFAULT_LOG_CAPACITY}"), "")
+            .replace(",\"dropped\":0", "");
+        assert!(!legacy.contains("capacity"), "stripped: {legacy}");
+        let back: EventLog = serde_json::from_str(&legacy).expect("decode");
+        assert_eq!(back, log);
+        assert_eq!(back.capacity(), DEFAULT_LOG_CAPACITY);
+        assert_eq!(back.dropped(), 0);
     }
 }

@@ -199,6 +199,26 @@ impl DynamicScheduler {
         self.alive[core]
     }
 
+    /// Mean outstanding backlog across live cores at `now`, seconds —
+    /// how far a freshly admitted task would typically wait behind
+    /// queued work. The service daemon turns this into its
+    /// reject-with-retry-after hint under overload.
+    pub fn backlog_s(&self, now: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut alive = 0usize;
+        for (k, &up) in self.busy_until.iter().enumerate() {
+            if self.alive[k] {
+                sum += (up - now).max(0.0);
+                alive += 1;
+            }
+        }
+        if alive == 0 {
+            0.0
+        } else {
+            sum / alive as f64
+        }
+    }
+
     /// Dispatch one task of type `task_type` arriving at `now` with the
     /// given absolute `deadline`.
     pub fn dispatch(&mut self, task_type: usize, now: f64, deadline: f64) -> DispatchDecision {

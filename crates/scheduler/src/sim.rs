@@ -300,6 +300,52 @@ impl<'a> EpochSim<'a> {
         }
     }
 
+    /// Fold tasks that finished at or before `up_to_s` into the
+    /// per-type counters and drop them from the in-flight list.
+    ///
+    /// A batch run never needs this — [`finish`](Self::finish) settles
+    /// everything at the horizon — but a long-running daemon must not
+    /// let `admitted` grow with total throughput (it is serialized into
+    /// every checkpoint, so unbounded growth also makes snapshots
+    /// quadratic). Settling uses exactly the accounting `finish`
+    /// would apply, so `settle` + `finish` equals plain `finish` for
+    /// any cut point; a settled task can no longer be marked lost
+    /// (`kill_cores` at `t > up_to_s` only loses tasks finishing after
+    /// `t`). Wait/response percentiles in the final summary cover only
+    /// unsettled tasks — a daemon measures admission latency at the
+    /// protocol layer instead. Returns how many tasks were settled.
+    pub fn settle(&mut self, up_to_s: f64) -> usize {
+        let before = self.admitted.len();
+        let per_type = &mut self.per_type;
+        let task_types = &self.dc.workload.task_types;
+        self.admitted.retain(|a| {
+            if a.finish > up_to_s {
+                return true;
+            }
+            if a.lost {
+                per_type[a.task_type].lost += 1;
+            } else if a.finish > a.deadline + 1e-9 {
+                per_type[a.task_type].late += 1;
+            } else {
+                per_type[a.task_type].completed += 1;
+                per_type[a.task_type].reward += task_types[a.task_type].reward;
+            }
+            false
+        });
+        before - self.admitted.len()
+    }
+
+    /// Tasks admitted but not yet settled or summarized.
+    pub fn in_flight(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Per-type outcome counters accumulated so far (settled tasks
+    /// included; in-flight tasks not yet counted).
+    pub fn per_type(&self) -> &[TypeStats] {
+        &self.per_type
+    }
+
     /// Capture the full simulation state for checkpointing. Everything
     /// except the `DataCenter` reference (restored separately from the
     /// scenario snapshot) round-trips.
@@ -516,6 +562,32 @@ mod tests {
         }
         let a = sim.finish(trace.horizon_s);
         let b = resumed.finish(trace.horizon_s);
+        assert_eq!(a.reward_collected, b.reward_collected);
+        assert_eq!(a.per_type, b.per_type);
+        assert_eq!(a.mean_utilization, b.mean_utilization);
+    }
+
+    #[test]
+    fn settle_matches_unsettled_accounting() {
+        let (dc, pstates, s3) = setup(9);
+        let mut rng = StdRng::seed_from_u64(23);
+        let trace = ArrivalTrace::generate(&dc.workload, 8.0, &mut rng);
+
+        let mut plain = EpochSim::new(&dc, &pstates, &s3);
+        let mut settled = EpochSim::new(&dc, &pstates, &s3);
+        for a in &trace.arrivals {
+            plain.dispatch(a.task_type, a.time, a.deadline);
+            settled.dispatch(a.task_type, a.time, a.deadline);
+            // Aggressively settle after every arrival — the daemon does
+            // this per epoch; per arrival is the worst case.
+            settled.settle(a.time);
+        }
+        assert!(
+            settled.in_flight() < plain.in_flight(),
+            "settling must shrink the in-flight list"
+        );
+        let a = plain.finish(trace.horizon_s);
+        let b = settled.finish(trace.horizon_s);
         assert_eq!(a.reward_collected, b.reward_collected);
         assert_eq!(a.per_type, b.per_type);
         assert_eq!(a.mean_utilization, b.mean_utilization);

@@ -1,0 +1,72 @@
+//! A tiny `--key value` flag parser for the service binaries (the
+//! offline dependency set has no CLI crate; mirrors the bench crate's
+//! helper so both binaries feel the same).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments; `--help` prints `usage` and exits.
+    pub fn parse(usage: &str) -> Args {
+        let mut flags = HashMap::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            let Some(key) = arg.strip_prefix("--") else {
+                eprintln!("unexpected argument '{arg}'\n{usage}");
+                std::process::exit(2);
+            };
+            let Some(value) = it.next() else {
+                eprintln!("flag --{key} needs a value\n{usage}");
+                std::process::exit(2);
+            };
+            flags.insert(key.to_owned(), value);
+        }
+        Args { flags }
+    }
+
+    /// A `usize` flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// An `f64` flag with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// A string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+
+    /// A string flag, `None` when absent.
+    pub fn get_opt_str(&self, key: &str) -> Option<String> {
+        self.flags.get(key).cloned()
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.flags.get(key).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("flag --{key}: cannot parse '{v}'");
+                std::process::exit(2);
+            })
+        })
+    }
+}

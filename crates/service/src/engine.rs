@@ -1,0 +1,595 @@
+//! The deterministic service core: admission, dispatch, demand
+//! tracking, and the breaker ladder, advanced one epoch at a time.
+//!
+//! [`ServiceEngine::step`] is a **pure function** of the current
+//! [`ServiceState`], the admitted batches, and the [`ReplanVerdict`].
+//! Everything wall-clock-dependent — whether a solve finished, timed
+//! out, or failed — is reified into the verdict *by the caller* and
+//! journaled before the step runs, so crash-recovery replay
+//! re-executes the exact same computation without ever re-solving.
+//! This is why a resume is bit-identical regardless of how long the
+//! original solves took.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::proto::Batch;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeSet;
+use thermaware_core::stage3::Stage3Solution;
+use thermaware_datacenter::DataCenter;
+use thermaware_runtime::{Action, EventKind, EventLog};
+use thermaware_scheduler::{DispatchDecision, EpochSim, EpochSimState};
+
+/// Service tuning. Everything here is deterministic policy; wall-clock
+/// knobs (epoch interval, solve timeout) live in
+/// [`crate::daemon::DaemonConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Simulated seconds per epoch.
+    pub epoch_s: f64,
+    /// Largest admissible batch, tasks.
+    pub max_batch_tasks: usize,
+    /// Recently admitted batch ids remembered for exactly-once dedup.
+    /// A resubmit inside the window acks as a duplicate; the window is
+    /// bounded so a year of traffic cannot grow it.
+    pub dedup_window: usize,
+    /// EWMA smoothing for the offered per-type arrival rate.
+    pub ewma_alpha: f64,
+    /// Relative EWMA drift from the planned rates that marks the plan
+    /// stale and requests a replan.
+    pub drift_threshold: f64,
+    /// Minimum epochs between replan requests.
+    pub min_replan_gap_epochs: usize,
+    /// Event-log ring capacity.
+    pub log_capacity: usize,
+    /// Breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            epoch_s: 1.0,
+            max_batch_tasks: 4096,
+            dedup_window: 65_536,
+            ewma_alpha: 0.3,
+            drift_threshold: 0.25,
+            min_replan_gap_epochs: 4,
+            log_capacity: thermaware_runtime::event::DEFAULT_LOG_CAPACITY,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Lifetime counters (monotone; settled into from every epoch).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceTotals {
+    /// Batches admitted (non-duplicate).
+    pub admitted_batches: u64,
+    /// Batches re-acked as duplicates.
+    pub duplicate_batches: u64,
+    /// Tasks dispatched onto a core.
+    pub admitted_tasks: u64,
+    /// Tasks refused by the admission check.
+    pub dropped_tasks: u64,
+    /// Tasks refused because their type is shed.
+    pub shed_tasks: u64,
+    /// Reward forgone by shedding (count × per-task reward).
+    pub shed_reward: f64,
+    /// Successful replans applied.
+    pub replans: u64,
+    /// Failed or timed-out replan attempts.
+    pub replan_failures: u64,
+}
+
+/// What the live shell learned about a replan attempt, journaled in
+/// the epoch's begin record. `Ok` carries the full new plan so replay
+/// never re-solves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplanVerdict {
+    /// No solve finished this epoch.
+    NotAttempted,
+    /// A solve finished with this Stage-3 plan.
+    Ok {
+        /// The new rate plan (P-states unchanged — Section V.B rule).
+        stage3: Stage3Solution,
+    },
+    /// The solve exceeded the wall-clock budget and was abandoned.
+    TimedOut,
+    /// The solve returned an error.
+    Failed {
+        /// Rendered solver error.
+        error: String,
+    },
+}
+
+/// The full serializable engine state — the unit the store snapshots
+/// and CRC-checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceState {
+    /// Epochs executed.
+    pub epoch: usize,
+    /// Simulation clock, seconds (`epoch × epoch_s`).
+    pub now_s: f64,
+    /// Active per-core P-states (fixed between full solves).
+    pub pstates: Vec<usize>,
+    /// Active Stage-3 plan.
+    pub stage3: Stage3Solution,
+    /// Dispatch/simulation state.
+    pub sim: EpochSimState,
+    /// LP circuit breaker.
+    pub breaker: CircuitBreaker,
+    /// Shed task types, most recent last (the unshed order).
+    pub shed: Vec<usize>,
+    /// EWMA of the offered arrival rate per type, tasks/s.
+    pub ewma: Vec<f64>,
+    /// Rates the active plan was built for (drift baseline).
+    pub planned_rates: Vec<f64>,
+    /// Recently admitted batch ids, oldest first (dedup window).
+    pub recent_ids: Vec<u64>,
+    /// Epoch of the last replan *request* (rate limiting).
+    pub last_replan_epoch: usize,
+    /// Lifetime counters.
+    pub totals: ServiceTotals,
+    /// Typed event history (ring-bounded).
+    pub log: EventLog,
+}
+
+/// Per-batch outcome of one epoch step, in batch order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// The batch id.
+    pub id: u64,
+    /// It was a duplicate: nothing dispatched.
+    pub duplicate: bool,
+    /// Tasks dispatched onto cores.
+    pub admitted: usize,
+    /// Tasks refused by the admission check.
+    pub dropped: usize,
+    /// Tasks refused because their type is shed.
+    pub shed: usize,
+}
+
+/// What one epoch did (derived, not journaled — replay recomputes it).
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Per-batch outcomes.
+    pub batches: Vec<BatchOutcome>,
+    /// The breaker opened this epoch.
+    pub breaker_opened: bool,
+    /// The breaker closed this epoch.
+    pub breaker_closed: bool,
+    /// A new plan was applied this epoch.
+    pub replanned: bool,
+}
+
+/// The deterministic core. Owns the data center and the state; the
+/// daemon owns the wall clock, the sockets, and the solver thread.
+pub struct ServiceEngine {
+    dc: DataCenter,
+    cfg: ServiceConfig,
+    state: ServiceState,
+    /// Dedup membership mirror of `state.recent_ids` (rebuilt on load;
+    /// never serialized).
+    recent_set: BTreeSet<u64>,
+}
+
+impl ServiceEngine {
+    /// A fresh engine from a solved plan's P-states and Stage-3 rates.
+    pub fn new(
+        dc: DataCenter,
+        cfg: ServiceConfig,
+        pstates: &[usize],
+        stage3: &Stage3Solution,
+    ) -> ServiceEngine {
+        let sim = EpochSim::new(&dc, pstates, stage3).to_state();
+        let planned_rates: Vec<f64> =
+            dc.workload.task_types.iter().map(|t| t.arrival_rate).collect();
+        let state = ServiceState {
+            epoch: 0,
+            now_s: 0.0,
+            pstates: pstates.to_vec(),
+            stage3: stage3.clone(),
+            sim,
+            breaker: CircuitBreaker::new(&cfg.breaker),
+            shed: Vec::new(),
+            ewma: planned_rates.clone(),
+            planned_rates,
+            recent_ids: Vec::new(),
+            last_replan_epoch: 0,
+            totals: ServiceTotals::default(),
+            log: EventLog::with_capacity(cfg.log_capacity),
+        };
+        ServiceEngine::from_state(dc, cfg, state)
+    }
+
+    /// Reattach an engine to a (restored) data center and state.
+    pub fn from_state(dc: DataCenter, cfg: ServiceConfig, state: ServiceState) -> ServiceEngine {
+        let recent_set = state.recent_ids.iter().copied().collect();
+        ServiceEngine { dc, cfg, state, recent_set }
+    }
+
+    /// The current state (serialize it for snapshots/CRCs).
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The data center the engine runs against.
+    pub fn dc(&self) -> &DataCenter {
+        &self.dc
+    }
+
+    /// Would this batch id ack as a duplicate right now?
+    pub fn would_duplicate(&self, id: u64) -> bool {
+        self.recent_set.contains(&id)
+    }
+
+    /// Does a batch reference only known task types?
+    pub fn batch_types_valid(&self, batch: &Batch) -> bool {
+        batch.tasks.iter().all(|&(t, _)| t < self.dc.n_task_types())
+    }
+
+    /// Mean core backlog at the current sim time, seconds — the
+    /// daemon's retry-after basis.
+    pub fn backlog_s(&self) -> f64 {
+        // The scheduler state is authoritative; rebuilding the sim view
+        // is cheap (no copy of the admitted list).
+        self.state
+            .sim
+            .scheduler
+            .busy_until
+            .iter()
+            .zip(self.state.sim.scheduler.alive.iter())
+            .filter(|&(_, &alive)| alive)
+            .map(|(&up, _)| (up - self.state.now_s).max(0.0))
+            .sum::<f64>()
+            / self
+                .state
+                .sim
+                .scheduler
+                .alive
+                .iter()
+                .filter(|&&a| a)
+                .count()
+                .max(1) as f64
+    }
+
+    /// Is the active plan stale enough (or a probe pending) that the
+    /// daemon should spawn a solve? Deterministic: state-only.
+    pub fn wants_replan(&self) -> bool {
+        if !self.state.breaker.allows_solve() {
+            return false;
+        }
+        // A half-open breaker always wants its probe — the cooldown
+        // already rate-limited it, the replan gap must not.
+        if self.state.breaker.state == BreakerState::HalfOpen {
+            return true;
+        }
+        if self.state.epoch < self.state.last_replan_epoch + self.cfg.min_replan_gap_epochs.max(1)
+        {
+            return false;
+        }
+        // Demand drift: any type's offered EWMA strayed beyond the
+        // threshold from what the plan was built for.
+        self.state
+            .ewma
+            .iter()
+            .zip(self.state.planned_rates.iter())
+            .any(|(&now, &planned)| {
+                let scale = planned.abs().max(1e-9);
+                (now - planned).abs() / scale > self.cfg.drift_threshold
+            })
+    }
+
+    /// The inputs a solver thread needs: a data-center clone whose
+    /// workload demand is the current EWMA (shed types zeroed) plus the
+    /// fixed P-states. Called by the daemon at spawn time; the result
+    /// of the solve comes back as a journaled [`ReplanVerdict`].
+    pub fn solve_request(&self) -> (DataCenter, Vec<usize>) {
+        let mut dc = self.dc.clone();
+        for (i, t) in dc.workload.task_types.iter_mut().enumerate() {
+            t.arrival_rate = if self.state.shed.contains(&i) {
+                0.0
+            } else {
+                self.state.ewma[i]
+            };
+        }
+        (dc, self.state.pstates.clone())
+    }
+
+    /// Record that a solve was spawned (rate limiting baseline).
+    pub fn note_replan_requested(&mut self) {
+        self.state.last_replan_epoch = self.state.epoch;
+    }
+
+    /// Execute one epoch: dispatch `batches` (in order), update demand
+    /// EWMAs, apply the journaled `verdict` to the breaker and the
+    /// plan, settle finished tasks, and advance the clock.
+    pub fn step(&mut self, batches: &[Batch], verdict: &ReplanVerdict) -> EpochReport {
+        // Field-level borrows: the sim holds `dc` for its whole scope,
+        // so every mutation below goes through `state`/`recent_set`
+        // directly rather than `&mut self` methods.
+        let ServiceEngine { dc, cfg, state, recent_set } = self;
+        let t0 = state.now_s;
+        let epoch_s = cfg.epoch_s.max(1e-9);
+        let mut report = EpochReport::default();
+        let mut sim = EpochSim::from_state(dc, state.sim.clone());
+
+        // ---- Admission ----------------------------------------------------
+        let mut counts = vec![0usize; dc.n_task_types()];
+        let total_tasks: usize = batches
+            .iter()
+            .filter(|b| !recent_set.contains(&b.id))
+            .map(|b| b.total_tasks())
+            .sum();
+        let mut k = 0usize; // running task index for the arrival spread
+        for batch in batches {
+            if recent_set.contains(&batch.id) {
+                state.totals.duplicate_batches += 1;
+                report.batches.push(BatchOutcome {
+                    id: batch.id,
+                    duplicate: true,
+                    admitted: 0,
+                    dropped: 0,
+                    shed: 0,
+                });
+                continue;
+            }
+            remember(recent_set, &mut state.recent_ids, cfg.dedup_window, batch.id);
+            state.totals.admitted_batches += 1;
+            let mut outcome = BatchOutcome {
+                id: batch.id,
+                duplicate: false,
+                admitted: 0,
+                dropped: 0,
+                shed: 0,
+            };
+            for &(task_type, n) in &batch.tasks {
+                for _ in 0..n {
+                    // Spread the epoch's arrivals uniformly over the
+                    // epoch: deterministic, order-preserving, and it
+                    // keeps the admission check honest (an instant
+                    // burst at t0 would overstate backlogs).
+                    let at = t0 + epoch_s * (k as f64 / total_tasks.max(1) as f64);
+                    k += 1;
+                    counts[task_type] += 1;
+                    if state.shed.contains(&task_type) {
+                        outcome.shed += 1;
+                        state.totals.shed_tasks += 1;
+                        state.totals.shed_reward += dc.workload.task_types[task_type].reward;
+                        continue;
+                    }
+                    let deadline = at + dc.workload.task_types[task_type].deadline_slack;
+                    match sim.dispatch(task_type, at, deadline) {
+                        DispatchDecision::Assigned { .. } => {
+                            outcome.admitted += 1;
+                            state.totals.admitted_tasks += 1;
+                        }
+                        DispatchDecision::Dropped => {
+                            outcome.dropped += 1;
+                            state.totals.dropped_tasks += 1;
+                        }
+                    }
+                }
+            }
+            report.batches.push(outcome);
+        }
+
+        // ---- Demand EWMA --------------------------------------------------
+        let alpha = cfg.ewma_alpha.clamp(0.0, 1.0);
+        for (i, &n) in counts.iter().enumerate() {
+            let offered = n as f64 / epoch_s;
+            state.ewma[i] = alpha * offered + (1.0 - alpha) * state.ewma[i];
+        }
+
+        // ---- Verdict → breaker → plan/ladder ------------------------------
+        let t1 = t0 + epoch_s;
+        match verdict {
+            ReplanVerdict::NotAttempted => {}
+            ReplanVerdict::Ok { stage3 } => {
+                sim.replan(&state.pstates, stage3, t1);
+                state.stage3 = stage3.clone();
+                state.planned_rates = state.ewma.clone();
+                state.totals.replans += 1;
+                report.replanned = true;
+                state.log.record(t1, EventKind::ActionTaken(Action::Replan));
+                if state.breaker.on_success(&cfg.breaker) {
+                    report.breaker_closed = true;
+                    unshed_all(&mut state.shed, &mut state.log, t1);
+                    thermaware_obs::counter_add("service.breaker_close", 1);
+                }
+            }
+            ReplanVerdict::TimedOut | ReplanVerdict::Failed { .. } => {
+                state.totals.replan_failures += 1;
+                let error = match verdict {
+                    ReplanVerdict::TimedOut => "solve timed out".to_string(),
+                    ReplanVerdict::Failed { error } => error.clone(),
+                    _ => unreachable!("outer match covers the other variants"),
+                };
+                state.log.record(
+                    t1,
+                    EventKind::ReplanFailed {
+                        attempt: state.breaker.consecutive_failures + 1,
+                        error,
+                    },
+                );
+                thermaware_obs::counter_add("service.replan_failures", 1);
+                if state.breaker.on_failure(&cfg.breaker) {
+                    report.breaker_opened = true;
+                    shed_lowest_reward(dc, &mut state.shed, &mut state.log, t1);
+                    thermaware_obs::counter_add("service.breaker_open", 1);
+                }
+            }
+        }
+        if state.breaker.tick() {
+            thermaware_obs::counter_add("service.breaker_half_open", 1);
+        }
+
+        // ---- Settle & advance ---------------------------------------------
+        sim.settle(t1);
+        state.sim = sim.to_state();
+        state.epoch += 1;
+        state.now_s = t1;
+        report
+    }
+
+    /// Per-type outcome stats accumulated by the simulation so far.
+    pub fn per_type(&self) -> &[thermaware_scheduler::TypeStats] {
+        &self.state.sim.per_type
+    }
+}
+
+/// Admit `id` into the bounded dedup window, evicting the oldest.
+fn remember(recent_set: &mut BTreeSet<u64>, recent_ids: &mut Vec<u64>, window: usize, id: u64) {
+    if recent_set.insert(id) {
+        recent_ids.push(id);
+        let window = window.max(1);
+        while recent_ids.len() > window {
+            let evicted = recent_ids.remove(0);
+            recent_set.remove(&evicted);
+        }
+    }
+}
+
+/// The breaker opened: shed the lowest-reward task type not already
+/// shed (the degradation ladder's last rung).
+fn shed_lowest_reward(dc: &DataCenter, shed: &mut Vec<usize>, log: &mut EventLog, at_s: f64) {
+    let candidate = (0..dc.n_task_types())
+        .filter(|t| !shed.contains(t))
+        .min_by(|&a, &b| {
+            let ra = dc.workload.task_types[a].reward;
+            let rb = dc.workload.task_types[b].reward;
+            ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    if let Some(task_type) = candidate {
+        let reward = dc.workload.task_types[task_type].reward;
+        shed.push(task_type);
+        log.record(at_s, EventKind::ActionTaken(Action::ShedTaskType { task_type, reward }));
+    }
+}
+
+/// The breaker closed: restore every shed type.
+fn unshed_all(shed: &mut Vec<usize>, log: &mut EventLog, at_s: f64) {
+    if !shed.is_empty() {
+        shed.clear();
+        log.record(at_s, EventKind::Recovered { margin_c: 0.0 });
+    }
+}
+
+// ---- Serde -----------------------------------------------------------------
+
+impl Serialize for ReplanVerdict {
+    fn to_value(&self) -> Value {
+        match self {
+            ReplanVerdict::NotAttempted => {
+                Value::Object(vec![("kind".to_string(), "not_attempted".to_value())])
+            }
+            ReplanVerdict::Ok { stage3 } => Value::Object(vec![
+                ("kind".to_string(), "ok".to_value()),
+                ("stage3".to_string(), stage3.to_value()),
+            ]),
+            ReplanVerdict::TimedOut => {
+                Value::Object(vec![("kind".to_string(), "timed_out".to_value())])
+            }
+            ReplanVerdict::Failed { error } => Value::Object(vec![
+                ("kind".to_string(), "failed".to_value()),
+                ("error".to_string(), error.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for ReplanVerdict {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("ReplanVerdict: expected object"))?;
+        let kind: String = serde::field(entries, "kind")?;
+        match kind.as_str() {
+            "not_attempted" => Ok(ReplanVerdict::NotAttempted),
+            "ok" => Ok(ReplanVerdict::Ok {
+                stage3: serde::field(entries, "stage3")?,
+            }),
+            "timed_out" => Ok(ReplanVerdict::TimedOut),
+            "failed" => Ok(ReplanVerdict::Failed {
+                error: serde::field(entries, "error")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "ReplanVerdict: unknown kind '{other}'"
+            ))),
+        }
+    }
+}
+
+impl Serialize for ServiceState {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("now_s".to_string(), self.now_s.to_value()),
+            ("pstates".to_string(), self.pstates.to_value()),
+            ("stage3".to_string(), self.stage3.to_value()),
+            ("sim".to_string(), self.sim.to_value()),
+            ("breaker".to_string(), self.breaker.to_value()),
+            ("shed".to_string(), self.shed.to_value()),
+            ("ewma".to_string(), self.ewma.to_value()),
+            ("planned_rates".to_string(), self.planned_rates.to_value()),
+            (
+                "recent_ids".to_string(),
+                Value::Array(
+                    self.recent_ids
+                        .iter()
+                        .map(|id| Value::String(format!("{id:016x}")))
+                        .collect(),
+                ),
+            ),
+            (
+                "last_replan_epoch".to_string(),
+                self.last_replan_epoch.to_value(),
+            ),
+            ("totals".to_string(), self.totals.to_value()),
+            ("log".to_string(), self.log.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ServiceState {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("ServiceState: expected object"))?;
+        let raw_ids = entries
+            .iter()
+            .find(|(k, _)| k == "recent_ids")
+            .map(|(_, v)| v)
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| serde::Error::custom("ServiceState: missing 'recent_ids'"))?;
+        let mut recent_ids = Vec::with_capacity(raw_ids.len());
+        for v in raw_ids {
+            let hex = v
+                .as_str()
+                .ok_or_else(|| serde::Error::custom("ServiceState: id must be a hex string"))?;
+            recent_ids.push(u64::from_str_radix(hex, 16).map_err(|e| {
+                serde::Error::custom(format!("ServiceState: bad id '{hex}': {e}"))
+            })?);
+        }
+        Ok(ServiceState {
+            epoch: serde::field(entries, "epoch")?,
+            now_s: serde::field(entries, "now_s")?,
+            pstates: serde::field(entries, "pstates")?,
+            stage3: serde::field(entries, "stage3")?,
+            sim: serde::field(entries, "sim")?,
+            breaker: serde::field(entries, "breaker")?,
+            shed: serde::field(entries, "shed")?,
+            ewma: serde::field(entries, "ewma")?,
+            planned_rates: serde::field(entries, "planned_rates")?,
+            recent_ids,
+            last_replan_epoch: serde::field(entries, "last_replan_epoch")?,
+            totals: serde::field(entries, "totals")?,
+            log: serde::field(entries, "log")?,
+        })
+    }
+}

@@ -1,0 +1,384 @@
+//! The wire protocol: line-delimited JSON over a Unix socket.
+//!
+//! One request per line, one response line per request, in order.
+//! Batch ids are client-assigned `u64`s, encoded as 16-digit hex
+//! strings (the workspace's seed convention) so the full range
+//! survives the f64-backed JSON numbers. Example exchange:
+//!
+//! ```text
+//! → {"type":"submit","id":"00000000000000a1","tasks":[[0,3],[2,1]],"budget_ms":500}
+//! ← {"type":"accepted","id":"00000000000000a1","epoch":17,"duplicate":false}
+//! → {"type":"submit","id":"00000000000000a2","tasks":[[0,64]]}
+//! ← {"type":"rejected","id":"00000000000000a2","reason":"queue_full","retry_after_ms":120}
+//! ```
+//!
+//! Any line that does not parse — oversize, torn, wrong types — gets a
+//! single `error` response and the connection stays usable; a client
+//! can be arbitrarily hostile without wedging the daemon.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Longest request or response line the daemon will read, bytes. A
+/// line that exceeds this is answered with an `error` response and
+/// discarded — the cap is what makes a malicious writer's memory cost
+/// bounded.
+pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// One admission batch: a client-unique id and task counts by type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Client-assigned unique id (the exactly-once key).
+    pub id: u64,
+    /// `(task_type, count)` pairs.
+    pub tasks: Vec<(usize, usize)>,
+}
+
+impl Batch {
+    /// Total tasks across all types.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a batch for admission. `budget_ms` is the client's
+    /// deadline budget: if the daemon cannot journal the batch within
+    /// it, the batch is rejected instead of served late.
+    Submit {
+        /// The batch.
+        batch: Batch,
+        /// Admission deadline budget, milliseconds (`None` = no limit).
+        budget_ms: Option<u64>,
+    },
+    /// Fetch a point-in-time stats report.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to checkpoint and exit cleanly.
+    Shutdown,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The bounded admission queue is full — retry after the hint.
+    QueueFull,
+    /// The request's deadline budget expired before the batch could be
+    /// journaled.
+    BudgetExpired,
+    /// The batch exceeds the per-batch task cap.
+    BatchTooLarge,
+    /// A task type index outside the scenario's workload.
+    UnknownTaskType,
+}
+
+impl RejectReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::BudgetExpired => "budget_expired",
+            RejectReason::BatchTooLarge => "batch_too_large",
+            RejectReason::UnknownTaskType => "unknown_task_type",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RejectReason> {
+        Some(match s {
+            "queue_full" => RejectReason::QueueFull,
+            "budget_expired" => RejectReason::BudgetExpired,
+            "batch_too_large" => RejectReason::BatchTooLarge,
+            "unknown_task_type" => RejectReason::UnknownTaskType,
+            _ => return None,
+        })
+    }
+}
+
+/// Point-in-time service statistics (the `stats` response payload).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Epochs executed.
+    pub epoch: usize,
+    /// Simulation clock, seconds.
+    pub now_s: f64,
+    /// Batches admitted (acked, non-duplicate).
+    pub admitted_batches: u64,
+    /// Batches acked as duplicates (exactly-once hits).
+    pub duplicate_batches: u64,
+    /// Tasks dispatched onto a core.
+    pub admitted_tasks: u64,
+    /// Tasks refused by the admission check (no feasible core).
+    pub dropped_tasks: u64,
+    /// Tasks refused because their type is shed by the breaker ladder.
+    pub shed_tasks: u64,
+    /// Tasks completed by their deadline.
+    pub completed_tasks: u64,
+    /// Admitted tasks that finished late (violations).
+    pub late_tasks: u64,
+    /// Admitted tasks lost to core deaths (violations).
+    pub lost_tasks: u64,
+    /// Reward collected.
+    pub reward: f64,
+    /// Successful replans applied.
+    pub replans: u64,
+    /// Replan attempts that failed or timed out.
+    pub replan_failures: u64,
+    /// Times the breaker opened.
+    pub breaker_opens: u64,
+    /// Breaker state: `"closed"`, `"open"`, or `"half_open"`.
+    pub breaker: String,
+    /// Task types currently shed.
+    pub shed_types: usize,
+    /// Mean core backlog, seconds (the retry-after basis).
+    pub backlog_s: f64,
+    /// Event-log entries evicted by the ring bound.
+    pub log_dropped: u64,
+}
+
+/// A daemon response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The batch is journaled durably and will enter epoch `epoch`.
+    /// `duplicate` means the id was already admitted — the batch was
+    /// acked again but will not dispatch twice.
+    Accepted {
+        /// Echoed batch id.
+        id: u64,
+        /// Epoch the batch enters (or entered, for duplicates).
+        epoch: usize,
+        /// Exactly-once: this id was already admitted.
+        duplicate: bool,
+    },
+    /// The batch was refused; nothing was journaled.
+    Rejected {
+        /// Echoed batch id.
+        id: u64,
+        /// Why.
+        reason: RejectReason,
+        /// Backpressure hint: when a retry is likely to succeed.
+        retry_after_ms: u64,
+    },
+    /// Stats payload.
+    Stats(StatsReport),
+    /// Liveness reply.
+    Pong,
+    /// The daemon acknowledges the shutdown request.
+    ShuttingDown,
+    /// The request line could not be served (parse error, oversize).
+    Error {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+// ---- Serde -----------------------------------------------------------------
+//
+// Payload-carrying enums need manual impls under the vendored serde;
+// ids travel as 16-digit hex strings (u64s do not survive f64 JSON
+// numbers above 2^53).
+
+fn id_to_value(id: u64) -> Value {
+    Value::String(format!("{id:016x}"))
+}
+
+fn id_from(entries: &[(String, Value)]) -> Result<u64, serde::Error> {
+    let hex: String = serde::field(entries, "id")?;
+    u64::from_str_radix(&hex, 16)
+        .map_err(|e| serde::Error::custom(format!("bad id '{hex}': {e}")))
+}
+
+impl Serialize for Batch {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), id_to_value(self.id)),
+            ("tasks".to_string(), self.tasks.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Batch {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Batch: expected object"))?;
+        Ok(Batch {
+            id: id_from(entries)?,
+            tasks: serde::field(entries, "tasks")?,
+        })
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Submit { batch, budget_ms } => {
+                let mut entries = vec![
+                    ("type".to_string(), "submit".to_value()),
+                    ("id".to_string(), id_to_value(batch.id)),
+                    ("tasks".to_string(), batch.tasks.to_value()),
+                ];
+                if let Some(ms) = budget_ms {
+                    entries.push(("budget_ms".to_string(), ms.to_value()));
+                }
+                Value::Object(entries)
+            }
+            Request::Stats => Value::Object(vec![("type".to_string(), "stats".to_value())]),
+            Request::Ping => Value::Object(vec![("type".to_string(), "ping".to_value())]),
+            Request::Shutdown => Value::Object(vec![("type".to_string(), "shutdown".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Request: expected object"))?;
+        let kind: String = serde::field(entries, "type")?;
+        match kind.as_str() {
+            "submit" => Ok(Request::Submit {
+                batch: Batch {
+                    id: id_from(entries)?,
+                    tasks: serde::field(entries, "tasks")?,
+                },
+                budget_ms: serde::field(entries, "budget_ms").ok(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(serde::Error::custom(format!(
+                "Request: unknown type '{other}'"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Accepted { id, epoch, duplicate } => Value::Object(vec![
+                ("type".to_string(), "accepted".to_value()),
+                ("id".to_string(), id_to_value(*id)),
+                ("epoch".to_string(), epoch.to_value()),
+                ("duplicate".to_string(), duplicate.to_value()),
+            ]),
+            Response::Rejected { id, reason, retry_after_ms } => Value::Object(vec![
+                ("type".to_string(), "rejected".to_value()),
+                ("id".to_string(), id_to_value(*id)),
+                ("reason".to_string(), reason.as_str().to_value()),
+                ("retry_after_ms".to_string(), retry_after_ms.to_value()),
+            ]),
+            Response::Stats(report) => Value::Object(vec![
+                ("type".to_string(), "stats".to_value()),
+                ("report".to_string(), report.to_value()),
+            ]),
+            Response::Pong => Value::Object(vec![("type".to_string(), "pong".to_value())]),
+            Response::ShuttingDown => {
+                Value::Object(vec![("type".to_string(), "shutting_down".to_value())])
+            }
+            Response::Error { message } => Value::Object(vec![
+                ("type".to_string(), "error".to_value()),
+                ("message".to_string(), message.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Response: expected object"))?;
+        let kind: String = serde::field(entries, "type")?;
+        match kind.as_str() {
+            "accepted" => Ok(Response::Accepted {
+                id: id_from(entries)?,
+                epoch: serde::field(entries, "epoch")?,
+                duplicate: serde::field(entries, "duplicate")?,
+            }),
+            "rejected" => {
+                let reason: String = serde::field(entries, "reason")?;
+                Ok(Response::Rejected {
+                    id: id_from(entries)?,
+                    reason: RejectReason::parse(&reason).ok_or_else(|| {
+                        serde::Error::custom(format!("Response: unknown reason '{reason}'"))
+                    })?,
+                    retry_after_ms: serde::field(entries, "retry_after_ms")?,
+                })
+            }
+            "stats" => Ok(Response::Stats(serde::field(entries, "report")?)),
+            "pong" => Ok(Response::Pong),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: serde::field(entries, "message")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "Response: unknown type '{other}'"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Submit {
+                batch: Batch { id: u64::MAX, tasks: vec![(0, 3), (2, 1)] },
+                budget_ms: Some(500),
+            },
+            Request::Submit {
+                batch: Batch { id: 7, tasks: Vec::new() },
+                budget_ms: None,
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let json = serde_json::to_string(&r).expect("encode");
+            let back: Request = serde_json::from_str(&json).expect("decode");
+            assert_eq!(back, r, "via {json}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Accepted { id: 0xdead_beef_dead_beef, epoch: 42, duplicate: true },
+            Response::Rejected {
+                id: 1,
+                reason: RejectReason::QueueFull,
+                retry_after_ms: 120,
+            },
+            Response::Stats(StatsReport { epoch: 9, reward: 12.5, ..StatsReport::default() }),
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Error { message: "line too long".to_string() },
+        ];
+        for r in resps {
+            let json = serde_json::to_string(&r).expect("encode");
+            let back: Response = serde_json::from_str(&json).expect("decode");
+            assert_eq!(back, r, "via {json}");
+        }
+    }
+
+    #[test]
+    fn full_range_ids_survive_json() {
+        for id in [0, 1, 1u64 << 53, u64::MAX] {
+            let r = Request::Submit {
+                batch: Batch { id, tasks: vec![(0, 1)] },
+                budget_ms: None,
+            };
+            let json = serde_json::to_string(&r).expect("encode");
+            match serde_json::from_str(&json).expect("decode") {
+                Request::Submit { batch, .. } => assert_eq!(batch.id, id),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! The service's durable layer: a write-ahead journal of (batches,
+//! verdict) epoch inputs plus periodic full-state snapshots, built on
+//! the runtime persist crate's framed-journal primitives.
+//!
+//! # Exactly-once admission across SIGKILL
+//!
+//! The daemon's epoch loop appends a [`ServiceRecord::Begin`] holding
+//! the epoch's admitted batches and the journaled
+//! [`ReplanVerdict`], **fsyncs it, and only then acknowledges the
+//! batches to clients** ([`ServiceStore::append_begin`] enforces the
+//! barrier). A SIGKILL after the ack therefore cannot lose admitted
+//! work: resume replays the Begin, and because batch ids live in the
+//! engine's dedup window, a client retransmitting an acked batch gets
+//! `duplicate` back rather than double admission. A SIGKILL *before*
+//! the ack may lose the batch — which is fine, the client never heard
+//! an ack and will retry.
+//!
+//! [`ServiceRecord::Commit`] (the post-step state CRC) and snapshots
+//! ride the batched-fsync path: losing them costs replay time, never
+//! correctness.
+//!
+//! # Layout
+//!
+//! ```text
+//! dir/
+//!   service.json    header: scenario + config + initial plan
+//!   journal.jsonl   CRC-framed Begin/Commit records
+//!   snap-XXXXXXXX.json  full ServiceState snapshots (retained: newest K)
+//! ```
+
+use crate::engine::{ReplanVerdict, ServiceConfig, ServiceEngine, ServiceState};
+use crate::proto::Batch;
+use serde::{Deserialize, Serialize, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use thermaware_core::stage3::Stage3Solution;
+use thermaware_datacenter::{atomic_write, ScenarioSnapshot};
+use thermaware_runtime::persist::{
+    crc32, read_framed_journal, truncate_journal, JournalWriter, PersistError,
+};
+
+/// On-disk format version for the service store.
+pub const SERVICE_FORMAT_VERSION: u64 = 1;
+
+const HEADER_FILE: &str = "service.json";
+const JOURNAL_FILE: &str = "journal.jsonl";
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".json";
+
+/// The immutable run description written once at store creation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceHeader {
+    /// The full scenario (floor, coefficients, workload, budget).
+    pub scenario: ScenarioSnapshot,
+    /// Deterministic service policy.
+    pub cfg: ServiceConfig,
+    /// Initial per-core P-states (fixed across replans).
+    pub pstates: Vec<usize>,
+    /// Initial Stage-3 plan.
+    pub stage3: Stage3Solution,
+}
+
+/// One write-ahead record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceRecord {
+    /// Fsynced *before* epoch `epoch`'s batches are acknowledged: the
+    /// complete deterministic input of the epoch step.
+    Begin {
+        /// The epoch these inputs drive.
+        epoch: usize,
+        /// Admitted batches, in admission order.
+        batches: Vec<Batch>,
+        /// The replan verdict the live shell reified for this epoch.
+        verdict: ReplanVerdict,
+    },
+    /// Appended after the step: the CRC-32 of the post-step state JSON,
+    /// for replay divergence detection. Batched-fsync; loss is benign.
+    Commit {
+        /// The epoch that just executed.
+        epoch: usize,
+        /// CRC-32 over the post-step [`ServiceState`] JSON.
+        state_crc: u32,
+    },
+}
+
+impl Serialize for ServiceRecord {
+    fn to_value(&self) -> Value {
+        match self {
+            ServiceRecord::Begin {
+                epoch,
+                batches,
+                verdict,
+            } => Value::Object(vec![
+                ("rec".to_string(), "begin".to_value()),
+                ("epoch".to_string(), epoch.to_value()),
+                ("batches".to_string(), batches.to_value()),
+                ("verdict".to_string(), verdict.to_value()),
+            ]),
+            ServiceRecord::Commit { epoch, state_crc } => Value::Object(vec![
+                ("rec".to_string(), "commit".to_value()),
+                ("epoch".to_string(), epoch.to_value()),
+                ("state_crc".to_string(), state_crc.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for ServiceRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("service record: expected object"))?;
+        let rec: String = serde::field(entries, "rec")?;
+        match rec.as_str() {
+            "begin" => Ok(ServiceRecord::Begin {
+                epoch: serde::field(entries, "epoch")?,
+                batches: serde::field(entries, "batches")?,
+                verdict: serde::field(entries, "verdict")?,
+            }),
+            "commit" => Ok(ServiceRecord::Commit {
+                epoch: serde::field(entries, "epoch")?,
+                state_crc: serde::field(entries, "state_crc")?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "service record: unknown rec '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Durability policy for a service store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Store directory (created if missing).
+    pub dir: PathBuf,
+    /// fsync journal appends and snapshot writes. Tests may disable.
+    pub durable: bool,
+    /// Commit-record appends per fsync barrier (Begin records always
+    /// sync — they gate acks).
+    pub flush_every: usize,
+    /// Epochs between full snapshots.
+    pub snapshot_interval: usize,
+    /// Snapshot generations retained.
+    pub retain: usize,
+}
+
+impl StoreConfig {
+    /// Defaults: durable, commit batches of 8, snapshot every 64 epochs,
+    /// keep 3 generations.
+    pub fn new(dir: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            dir: dir.into(),
+            durable: true,
+            flush_every: 8,
+            snapshot_interval: 64,
+            retain: 3,
+        }
+    }
+}
+
+/// Serialize a state and CRC it — the (json, crc) pair snapshots and
+/// commit records share.
+pub fn state_json_crc(state: &ServiceState) -> Result<(String, u32), PersistError> {
+    let json = serde_json::to_string(state)
+        .map_err(|e| PersistError::State { reason: e.to_string() })?;
+    let crc = crc32(json.as_bytes());
+    Ok((json, crc))
+}
+
+/// Writes the journal and snapshots for one service run.
+pub struct ServiceStore {
+    cfg: StoreConfig,
+    journal: JournalWriter,
+}
+
+impl ServiceStore {
+    /// Initialize a fresh store directory: write the header, clear stale
+    /// snapshots, start an empty journal, and snapshot epoch 0.
+    pub fn create(cfg: StoreConfig, engine: &ServiceEngine) -> Result<ServiceStore, PersistError> {
+        fs::create_dir_all(&cfg.dir)?;
+        for (_, path) in snapshot_paths(&cfg.dir)? {
+            fs::remove_file(path)?;
+        }
+        let header = ServiceHeader {
+            scenario: ScenarioSnapshot::capture(engine.dc()),
+            cfg: engine.config().clone(),
+            pstates: engine.state().pstates.clone(),
+            stage3: engine.state().stage3.clone(),
+        };
+        let envelope = Value::Object(vec![
+            ("version".to_string(), SERVICE_FORMAT_VERSION.to_value()),
+            ("header".to_string(), header.to_value()),
+        ]);
+        let json = serde_json::to_string(&envelope)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        atomic_write(&cfg.dir.join(HEADER_FILE), json.as_bytes(), cfg.durable)?;
+        let journal =
+            JournalWriter::create(&cfg.dir.join(JOURNAL_FILE), cfg.durable, cfg.flush_every)?;
+        let mut store = ServiceStore { cfg, journal };
+        store.snapshot(engine)?;
+        Ok(store)
+    }
+
+    /// Reattach to an existing store directory (after
+    /// [`resume_service`]): journal opened for append, header untouched.
+    pub fn reopen(cfg: StoreConfig) -> Result<ServiceStore, PersistError> {
+        let journal =
+            JournalWriter::open_append(&cfg.dir.join(JOURNAL_FILE), cfg.durable, cfg.flush_every)?;
+        Ok(ServiceStore { cfg, journal })
+    }
+
+    /// Journal the epoch's inputs and **fsync before returning** — the
+    /// ack barrier. Only after this returns may the daemon acknowledge
+    /// the batches to clients.
+    pub fn append_begin(
+        &mut self,
+        epoch: usize,
+        batches: &[Batch],
+        verdict: &ReplanVerdict,
+    ) -> Result<(), PersistError> {
+        self.journal.append(&ServiceRecord::Begin {
+            epoch,
+            batches: batches.to_vec(),
+            verdict: verdict.clone(),
+        })?;
+        self.journal.sync()
+    }
+
+    /// Journal the post-step state CRC (batched fsync — losing a commit
+    /// record costs replay verification, never admitted work).
+    pub fn append_commit(&mut self, epoch: usize, state_crc: u32) -> Result<(), PersistError> {
+        self.journal
+            .append(&ServiceRecord::Commit { epoch, state_crc })
+    }
+
+    /// Force the journal's fsync barrier now.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.journal.sync()
+    }
+
+    /// Should the daemon snapshot after `epoch` executed?
+    pub fn snapshot_due(&self, epoch: usize) -> bool {
+        let interval = self.cfg.snapshot_interval.max(1);
+        epoch.is_multiple_of(interval)
+    }
+
+    /// Write a full snapshot of the engine state and prune old
+    /// generations. The journal is synced first so a snapshot never
+    /// describes state the journal cannot reproduce.
+    pub fn snapshot(&mut self, engine: &ServiceEngine) -> Result<(), PersistError> {
+        self.journal.sync()?;
+        let (json, crc) = state_json_crc(engine.state())?;
+        let envelope = Value::Object(vec![
+            ("version".to_string(), SERVICE_FORMAT_VERSION.to_value()),
+            ("epoch".to_string(), engine.state().epoch.to_value()),
+            ("state_crc".to_string(), crc.to_value()),
+            ("state".to_string(), json.to_value()),
+        ]);
+        let out = serde_json::to_string(&envelope)
+            .map_err(|e| PersistError::State { reason: e.to_string() })?;
+        let name = format!("{SNAP_PREFIX}{:08}{SNAP_SUFFIX}", engine.state().epoch);
+        let start = thermaware_obs::enabled().then(std::time::Instant::now);
+        atomic_write(&self.cfg.dir.join(name), out.as_bytes(), self.cfg.durable)?;
+        if let Some(t) = start {
+            thermaware_obs::counter_add("service.snapshots", 1);
+            thermaware_obs::observe("service.snapshot_write_us", t.elapsed().as_micros() as f64);
+        }
+        let mut snaps = snapshot_paths(&self.cfg.dir)?;
+        let retain = self.cfg.retain.max(1);
+        if snaps.len() > retain {
+            snaps.sort_by_key(|(e, _)| *e);
+            for (_, path) in snaps.iter().take(snaps.len() - retain) {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What [`resume_service`] reconstructed, for logging/assertions.
+#[derive(Debug, Clone)]
+pub struct ServiceRecoveryInfo {
+    /// Epoch of the snapshot replay started from (0 = header bootstrap).
+    pub snapshot_epoch: usize,
+    /// Journaled epochs re-executed on top of the snapshot.
+    pub replayed_epochs: usize,
+    /// The journal ended on a Begin without its Commit (the epoch that
+    /// was in flight when the process died — replayed exactly once).
+    pub tail_begin: bool,
+    /// Bytes of torn/corrupt journal tail truncated away.
+    pub truncated_bytes: u64,
+}
+
+/// Rebuild a [`ServiceEngine`] from a store directory: restore the
+/// scenario, load the newest valid snapshot, replay journaled epochs
+/// deterministically (verdicts come from the journal — **no solve is
+/// ever re-run**), verify commit CRCs, and truncate any torn tail.
+pub fn resume_service(dir: &Path) -> Result<(ServiceEngine, ServiceRecoveryInfo), PersistError> {
+    let header_path = dir.join(HEADER_FILE);
+    let raw = match fs::read_to_string(&header_path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(PersistError::NoCheckpoint { dir: dir.to_path_buf() })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let envelope: Value = serde_json::from_str(&raw).map_err(|e| PersistError::Corrupt {
+        path: header_path.clone(),
+        reason: format!("header JSON: {e}"),
+    })?;
+    let entries = envelope.as_object().ok_or_else(|| PersistError::Corrupt {
+        path: header_path.clone(),
+        reason: "header envelope is not an object".to_string(),
+    })?;
+    let version: u64 = serde::field(entries, "version").map_err(|e| PersistError::Corrupt {
+        path: header_path.clone(),
+        reason: e.to_string(),
+    })?;
+    if version > SERVICE_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { path: header_path, version });
+    }
+    let header: ServiceHeader =
+        serde::field(entries, "header").map_err(|e| PersistError::Corrupt {
+            path: header_path.clone(),
+            reason: e.to_string(),
+        })?;
+    let dc = header
+        .scenario
+        .clone()
+        .restore()
+        .map_err(|e| PersistError::State { reason: format!("scenario restore: {e}") })?;
+
+    // Newest snapshot that passes its CRC wins; corrupt generations are
+    // skipped, and with none valid we bootstrap epoch 0 from the header.
+    let mut snaps = snapshot_paths(dir)?;
+    snaps.sort_by_key(|(e, _)| *e);
+    let mut state: Option<ServiceState> = None;
+    let mut snapshot_epoch = 0usize;
+    for (epoch, path) in snaps.iter().rev() {
+        if let Some(s) = load_snapshot(path) {
+            state = Some(s);
+            snapshot_epoch = *epoch;
+            break;
+        }
+    }
+    let mut engine = match state {
+        Some(s) => ServiceEngine::from_state(dc, header.cfg.clone(), s),
+        None => ServiceEngine::new(dc, header.cfg.clone(), &header.pstates, &header.stage3),
+    };
+
+    // Replay the journal's valid prefix on top of the snapshot.
+    let journal_path = dir.join(JOURNAL_FILE);
+    let (records, valid, total) = read_framed_journal::<ServiceRecord>(&journal_path)?;
+    let truncated_bytes = total - valid;
+    if truncated_bytes > 0 {
+        truncate_journal(&journal_path, valid)?;
+    }
+    let mut replayed = 0usize;
+    let mut tail_begin = false;
+    for rec in &records {
+        match rec {
+            ServiceRecord::Begin { epoch, batches, verdict } => {
+                if *epoch < engine.state().epoch {
+                    continue; // already inside the snapshot
+                }
+                if *epoch > engine.state().epoch {
+                    return Err(PersistError::Corrupt {
+                        path: journal_path.clone(),
+                        reason: format!(
+                            "journal gap: begin for epoch {epoch} but state is at {}",
+                            engine.state().epoch
+                        ),
+                    });
+                }
+                engine.step(batches, verdict);
+                replayed += 1;
+                tail_begin = true;
+            }
+            ServiceRecord::Commit { epoch, state_crc } => {
+                if epoch + 1 < engine.state().epoch {
+                    continue; // commit already covered by the snapshot
+                }
+                if epoch + 1 > engine.state().epoch {
+                    return Err(PersistError::Corrupt {
+                        path: journal_path.clone(),
+                        reason: format!(
+                            "journal gap: commit for epoch {epoch} but state is at {}",
+                            engine.state().epoch
+                        ),
+                    });
+                }
+                let (_, crc) = state_json_crc(engine.state())?;
+                if crc != *state_crc {
+                    return Err(PersistError::Corrupt {
+                        path: journal_path.clone(),
+                        reason: format!(
+                            "replay divergence at epoch {epoch}: state CRC {crc:08x} != journaled {state_crc:08x}"
+                        ),
+                    });
+                }
+                tail_begin = false;
+            }
+        }
+    }
+    Ok((
+        engine,
+        ServiceRecoveryInfo {
+            snapshot_epoch,
+            replayed_epochs: replayed,
+            tail_begin,
+            truncated_bytes,
+        },
+    ))
+}
+
+fn load_snapshot(path: &Path) -> Option<ServiceState> {
+    let raw = fs::read_to_string(path).ok()?;
+    let envelope: Value = serde_json::from_str(&raw).ok()?;
+    let entries = envelope.as_object()?;
+    let version: u64 = serde::field(entries, "version").ok()?;
+    if version > SERVICE_FORMAT_VERSION {
+        return None;
+    }
+    let want: u32 = serde::field(entries, "state_crc").ok()?;
+    let json: String = serde::field(entries, "state").ok()?;
+    if crc32(json.as_bytes()) != want {
+        return None;
+    }
+    serde_json::from_str(&json).ok()
+}
+
+fn snapshot_paths(dir: &Path) -> Result<Vec<(usize, PathBuf)>, PersistError> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(SNAP_PREFIX) else {
+            continue;
+        };
+        let Some(num) = rest.strip_suffix(SNAP_SUFFIX) else {
+            continue;
+        };
+        if let Ok(epoch) = num.parse::<usize>() {
+            out.push((epoch, entry.path()));
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,162 @@
+//! End-to-end over the real Unix socket: a daemon thread serves a
+//! short burst from the loadgen, answers control-plane requests, and
+//! shuts down cleanly on request. What the loadgen acked must match
+//! what the daemon admitted.
+
+#[cfg(unix)]
+mod e2e {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+    use thermaware_core::Solver;
+    use thermaware_datacenter::ScenarioParams;
+    use thermaware_service::daemon::{run_daemon, DaemonConfig};
+    use thermaware_service::engine::{ServiceConfig, ServiceEngine};
+    use thermaware_service::loadgen::{self, LoadgenConfig, Schedule};
+    use thermaware_service::proto::{Request, Response};
+    use thermaware_service::store::{ServiceStore, StoreConfig};
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("thermaware-e2e-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn roundtrip(socket: &std::path::Path, req: &Request) -> Response {
+        let mut stream = UnixStream::connect(socket).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let frame = serde_json::to_string(req).expect("encode");
+        stream.write_all(frame.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send nl");
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).expect("recv");
+        serde_json::from_str(line.trim_end()).expect("decode")
+    }
+
+    #[test]
+    fn daemon_serves_load_then_shuts_down_on_request() {
+        let dir = tmp_dir("socket");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let socket = dir.join("serve.sock");
+
+        let dc = ScenarioParams::small_test().build(2).expect("scenario");
+        let plan = Solver::new(&dc).solve().expect("plan");
+        let engine =
+            ServiceEngine::new(dc, ServiceConfig::default(), &plan.pstates, &plan.stage3);
+        let store_cfg = StoreConfig { durable: false, ..StoreConfig::new(dir.join("state")) };
+        let store = ServiceStore::create(store_cfg, &engine).expect("store");
+
+        let daemon_cfg = DaemonConfig {
+            epoch_wall_ms: 10,
+            read_timeout_ms: 1_000,
+            max_epochs: Some(2_000), // backstop; the test ends via Shutdown
+            ..DaemonConfig::new(&socket)
+        };
+        let server = std::thread::spawn(move || run_daemon(&daemon_cfg, engine, store, None));
+
+        // Wait for the socket to come up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !socket.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(matches!(roundtrip(&socket, &Request::Ping), Response::Pong));
+
+        // A short clean burst: everything offered should be acked.
+        let load_cfg = LoadgenConfig {
+            schedule: Schedule::Constant { rate: 120.0 },
+            duration_s: 1.0,
+            connections: 4,
+            batch_tasks: 8,
+            ..LoadgenConfig::new(&socket)
+        };
+        let report = loadgen::run(&load_cfg);
+        assert!(report.sent_batches > 0, "loadgen must have offered work");
+        assert_eq!(report.io_errors, 0, "clean load, clean socket");
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(
+            report.acked,
+            report.sent_batches,
+            "unthrottled load is fully acked"
+        );
+        assert!(report.latency_p50_ms >= 0.0 && report.latency_p99_ms >= report.latency_p50_ms);
+
+        // Resubmitting an acked id must answer duplicate=true.
+        let outcome =
+            loadgen::verify(&socket, &report, 2, 1_000).expect("verify roundtrip");
+        assert!(outcome.lost_ids.is_empty(), "no acked batch may be lost");
+        assert_eq!(outcome.checked, report.acked.min(1_000) as usize);
+
+        // Stats reflect the admitted work.
+        let Response::Stats(stats) = roundtrip(&socket, &Request::Stats) else {
+            panic!("stats request must answer with a report");
+        };
+        assert_eq!(stats.admitted_batches, report.acked);
+        assert!(stats.admitted_tasks > 0);
+
+        // Clean shutdown on request.
+        assert!(matches!(
+            roundtrip(&socket, &Request::Shutdown),
+            Response::ShuttingDown
+        ));
+        let daemon_report = server
+            .join()
+            .expect("daemon thread")
+            .expect("daemon exits cleanly");
+        assert!(daemon_report.epochs_run < 2_000, "stopped by request, not backstop");
+        assert_eq!(daemon_report.stats.admitted_batches, report.acked);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_and_oversized_frames_get_an_error_not_a_hangup() {
+        let dir = tmp_dir("malformed");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let socket = dir.join("serve.sock");
+
+        let dc = ScenarioParams::small_test().build(2).expect("scenario");
+        let plan = Solver::new(&dc).solve().expect("plan");
+        let engine =
+            ServiceEngine::new(dc, ServiceConfig::default(), &plan.pstates, &plan.stage3);
+        let store_cfg = StoreConfig { durable: false, ..StoreConfig::new(dir.join("state")) };
+        let store = ServiceStore::create(store_cfg, &engine).expect("store");
+        let daemon_cfg = DaemonConfig {
+            epoch_wall_ms: 10,
+            read_timeout_ms: 1_000,
+            max_epochs: Some(2_000),
+            ..DaemonConfig::new(&socket)
+        };
+        let server = std::thread::spawn(move || run_daemon(&daemon_cfg, engine, store, None));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !socket.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let mut stream = UnixStream::connect(&socket).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(b"this is not json\n").expect("send garbage");
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).expect("recv");
+        let resp: Response = serde_json::from_str(line.trim_end()).expect("decode");
+        assert!(matches!(resp, Response::Error { .. }), "garbage earns an error frame");
+
+        // The same connection still works afterwards.
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        stream.write_all(b"{\"type\":\"ping\"}\n").expect("ping");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("recv pong");
+        let resp: Response = serde_json::from_str(line.trim_end()).expect("decode pong");
+        assert!(matches!(resp, Response::Pong));
+
+        assert!(matches!(
+            roundtrip(&socket, &Request::Shutdown),
+            Response::ShuttingDown
+        ));
+        server.join().expect("thread").expect("clean exit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

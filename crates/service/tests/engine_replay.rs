@@ -1,0 +1,179 @@
+//! Deterministic-core tests: exactly-once dedup, the breaker ladder,
+//! drift-triggered replan requests, and bit-identical step replay.
+
+use thermaware_core::Solver;
+use thermaware_datacenter::ScenarioParams;
+use thermaware_service::breaker::{BreakerConfig, BreakerState};
+use thermaware_service::engine::{ReplanVerdict, ServiceConfig, ServiceEngine};
+use thermaware_service::proto::Batch;
+
+fn engine(seed: u64, cfg: ServiceConfig) -> ServiceEngine {
+    let dc = ScenarioParams::small_test().build(seed).expect("scenario");
+    let plan = Solver::new(&dc).solve().expect("plan");
+    ServiceEngine::new(dc, cfg, &plan.pstates, &plan.stage3)
+}
+
+fn batch(id: u64, task_type: usize, n: usize) -> Batch {
+    Batch { id, tasks: vec![(task_type, n)] }
+}
+
+fn state_json(e: &ServiceEngine) -> String {
+    serde_json::to_string(e.state()).expect("state json")
+}
+
+#[test]
+fn duplicate_batch_admits_exactly_once() {
+    let mut e = engine(1, ServiceConfig::default());
+    let first = e.step(&[batch(42, 0, 8)], &ReplanVerdict::NotAttempted);
+    assert!(!first.batches[0].duplicate);
+    let admitted = e.state().totals.admitted_tasks;
+    assert!(admitted > 0, "a small batch should dispatch");
+
+    assert!(e.would_duplicate(42));
+    let again = e.step(&[batch(42, 0, 8)], &ReplanVerdict::NotAttempted);
+    assert!(again.batches[0].duplicate);
+    assert_eq!(e.state().totals.admitted_tasks, admitted, "no double dispatch");
+    assert_eq!(e.state().totals.duplicate_batches, 1);
+}
+
+#[test]
+fn dedup_window_is_bounded_and_evicts_oldest() {
+    let cfg = ServiceConfig { dedup_window: 4, ..ServiceConfig::default() };
+    let mut e = engine(1, cfg);
+    for id in 0..10u64 {
+        e.step(&[batch(id, 0, 1)], &ReplanVerdict::NotAttempted);
+    }
+    assert_eq!(e.state().recent_ids.len(), 4, "window bound holds");
+    assert!(!e.would_duplicate(0), "oldest id aged out");
+    assert!(e.would_duplicate(9));
+}
+
+#[test]
+fn breaker_opens_sheds_then_recovers_on_success() {
+    let cfg = ServiceConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_epochs: 1,
+            max_cooldown_epochs: 8,
+        },
+        ..ServiceConfig::default()
+    };
+    let mut e = engine(1, cfg);
+    let failed = ReplanVerdict::Failed { error: "lp blew up".to_string() };
+
+    let r1 = e.step(&[], &failed);
+    assert!(!r1.breaker_opened);
+    let r2 = e.step(&[], &failed);
+    assert!(r2.breaker_opened, "second consecutive failure opens");
+    assert_eq!(e.state().shed.len(), 1, "one type shed on open");
+    let shed_type = e.state().shed[0];
+    let min_reward = e
+        .dc()
+        .workload
+        .task_types
+        .iter()
+        .map(|t| t.reward)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        e.dc().workload.task_types[shed_type].reward,
+        min_reward,
+        "lowest-reward type shed first"
+    );
+
+    // Shed type's tasks are refused while open.
+    let before = e.state().totals.shed_tasks;
+    e.step(&[batch(7, shed_type, 5)], &ReplanVerdict::NotAttempted);
+    assert_eq!(e.state().totals.shed_tasks, before + 5);
+    assert!(e.state().totals.shed_reward > 0.0);
+
+    // Cooldown elapsed inside the previous steps' ticks → half-open.
+    assert_eq!(e.state().breaker.state, BreakerState::HalfOpen);
+    assert!(e.wants_replan(), "half-open always wants its probe");
+
+    // A successful probe closes and unsheds.
+    let stage3 = e.state().stage3.clone();
+    let r = e.step(&[], &ReplanVerdict::Ok { stage3 });
+    assert!(r.breaker_closed);
+    assert!(e.state().shed.is_empty(), "all types restored on close");
+    assert_eq!(e.state().breaker.state, BreakerState::Closed);
+}
+
+#[test]
+fn drift_triggers_wants_replan() {
+    let cfg = ServiceConfig {
+        drift_threshold: 0.5,
+        min_replan_gap_epochs: 1,
+        ewma_alpha: 1.0, // EWMA = this epoch's offered rate exactly
+        ..ServiceConfig::default()
+    };
+    let mut e = engine(1, cfg);
+    // Epoch with zero arrivals: offered rate 0 vs planned > 0 → 100% drift.
+    e.step(&[], &ReplanVerdict::NotAttempted);
+    assert!(e.wants_replan(), "flat-lined demand is > 50% drift");
+
+    // Applying a replan rebaselines planned_rates to the EWMA.
+    let stage3 = e.state().stage3.clone();
+    e.step(&[], &ReplanVerdict::Ok { stage3 });
+    assert!(!e.wants_replan(), "fresh plan matches current demand");
+}
+
+#[test]
+fn solve_request_zeroes_shed_types_and_uses_ewma() {
+    let cfg = ServiceConfig {
+        ewma_alpha: 1.0,
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown_epochs: 64,
+            max_cooldown_epochs: 64,
+        },
+        ..ServiceConfig::default()
+    };
+    let mut e = engine(1, cfg);
+    let failed = ReplanVerdict::Failed { error: "boom".to_string() };
+    e.step(&[batch(1, 0, 10)], &failed); // opens, sheds one type
+    let shed_type = e.state().shed[0];
+    let (dc, pstates) = e.solve_request();
+    assert_eq!(dc.workload.task_types[shed_type].arrival_rate, 0.0);
+    assert_eq!(pstates, e.state().pstates);
+    for (i, t) in dc.workload.task_types.iter().enumerate() {
+        if i != shed_type {
+            assert_eq!(t.arrival_rate, e.state().ewma[i]);
+        }
+    }
+}
+
+#[test]
+fn identical_inputs_replay_bit_identically() {
+    let cfg = ServiceConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_epochs: 2,
+            max_cooldown_epochs: 8,
+        },
+        ..ServiceConfig::default()
+    };
+    let mut a = engine(3, cfg.clone());
+    let stage3 = a.state().stage3.clone();
+    let script: Vec<(Vec<Batch>, ReplanVerdict)> = vec![
+        (vec![batch(1, 0, 5), batch(2, 1, 3)], ReplanVerdict::NotAttempted),
+        (vec![batch(1, 0, 5)], ReplanVerdict::TimedOut),
+        (vec![], ReplanVerdict::Failed { error: "x".to_string() }),
+        (vec![batch(3, 2, 7)], ReplanVerdict::Failed { error: "y".to_string() }),
+        (vec![batch(4, 0, 2)], ReplanVerdict::NotAttempted),
+        (vec![], ReplanVerdict::Ok { stage3: stage3.clone() }),
+    ];
+    for (batches, verdict) in &script {
+        a.step(batches, verdict);
+    }
+    let mut b = engine(3, cfg);
+    for (batches, verdict) in &script {
+        b.step(batches, verdict);
+    }
+    assert_eq!(state_json(&a), state_json(&b), "replay must be bit-identical");
+
+    // And through a serialize→deserialize→re-serialize cycle.
+    let json = state_json(&a);
+    let back: thermaware_service::engine::ServiceState =
+        serde_json::from_str(&json).expect("state decodes");
+    assert_eq!(serde_json::to_string(&back).expect("re-encode"), json);
+}

@@ -1,0 +1,164 @@
+//! Durable-layer tests: journal replay resumes bit-identically, a tail
+//! Begin without its Commit (the SIGKILL-mid-epoch shape) is re-applied
+//! exactly once, and a torn journal tail is truncated, not fatal.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use thermaware_core::Solver;
+use thermaware_datacenter::ScenarioParams;
+use thermaware_service::engine::{ReplanVerdict, ServiceConfig, ServiceEngine};
+use thermaware_service::proto::Batch;
+use thermaware_service::store::{resume_service, state_json_crc, ServiceStore, StoreConfig};
+
+fn engine(seed: u64) -> ServiceEngine {
+    let dc = ScenarioParams::small_test().build(seed).expect("scenario");
+    let plan = Solver::new(&dc).solve().expect("plan");
+    ServiceEngine::new(dc, ServiceConfig::default(), &plan.pstates, &plan.stage3)
+}
+
+fn batch(id: u64, task_type: usize, n: usize) -> Batch {
+    Batch { id, tasks: vec![(task_type, n)] }
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("thermaware-store-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run `epochs` journaled epochs, committing each, snapshotting per the
+/// store config.
+fn drive(engine: &mut ServiceEngine, store: &mut ServiceStore, epochs: usize) {
+    for i in 0..epochs {
+        let epoch = engine.state().epoch;
+        let batches = vec![batch(1000 + epoch as u64, i % 3, 4)];
+        let verdict = ReplanVerdict::NotAttempted;
+        store.append_begin(epoch, &batches, &verdict).expect("begin");
+        engine.step(&batches, &verdict);
+        let (_, crc) = state_json_crc(engine.state()).expect("crc");
+        store.append_commit(epoch, crc).expect("commit");
+        if store.snapshot_due(engine.state().epoch) {
+            store.snapshot(engine).expect("snapshot");
+        }
+    }
+}
+
+#[test]
+fn resume_after_clean_epochs_is_bit_identical() {
+    let dir = tmp_dir("clean");
+    let mut live = engine(7);
+    let cfg = StoreConfig {
+        durable: false, // tests: skip fsyncs, the bytes still land
+        snapshot_interval: 4,
+        ..StoreConfig::new(&dir)
+    };
+    let mut store = ServiceStore::create(cfg, &live).expect("create");
+    drive(&mut live, &mut store, 10);
+    store.sync().expect("sync");
+    drop(store);
+
+    let (resumed, info) = resume_service(&dir).expect("resume");
+    assert_eq!(
+        serde_json::to_string(resumed.state()).expect("resumed json"),
+        serde_json::to_string(live.state()).expect("live json"),
+        "resume must reproduce the live state byte-for-byte"
+    );
+    assert!(!info.tail_begin, "every epoch committed");
+    assert!(info.snapshot_epoch >= 8, "replay starts at the newest snapshot");
+    assert!(info.replayed_epochs <= 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tail_begin_without_commit_is_applied_exactly_once() {
+    let dir = tmp_dir("tail");
+    let mut live = engine(7);
+    let cfg = StoreConfig { durable: false, ..StoreConfig::new(&dir) };
+    let mut store = ServiceStore::create(cfg, &live).expect("create");
+    drive(&mut live, &mut store, 5);
+
+    // The SIGKILL shape: Begin journaled (and acked), no Commit, death.
+    let epoch = live.state().epoch;
+    let doomed = vec![batch(9999, 0, 6)];
+    let verdict = ReplanVerdict::TimedOut;
+    store.append_begin(epoch, &doomed, &verdict).expect("begin");
+    live.step(&doomed, &verdict); // what the dying process computed
+    drop(store);
+
+    let (resumed, info) = resume_service(&dir).expect("resume");
+    assert!(info.tail_begin, "tail Begin detected");
+    assert_eq!(
+        serde_json::to_string(resumed.state()).expect("resumed"),
+        serde_json::to_string(live.state()).expect("live"),
+        "tail epoch re-executed deterministically"
+    );
+    assert!(resumed.would_duplicate(9999), "acked batch survives the kill");
+    assert_eq!(resumed.state().totals.replan_failures, live.state().totals.replan_failures);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_journal_tail_is_truncated_not_fatal() {
+    let dir = tmp_dir("torn");
+    let mut live = engine(7);
+    let cfg = StoreConfig { durable: false, ..StoreConfig::new(&dir) };
+    let mut store = ServiceStore::create(cfg, &live).expect("create");
+    drive(&mut live, &mut store, 3);
+    store.sync().expect("sync");
+    drop(store);
+
+    // A half-written record: valid CRC prefix followed by garbage.
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(dir.join("journal.jsonl"))
+        .expect("open journal");
+    f.write_all(b"deadbeef {\"rec\":\"begin\",\"epo").expect("tear");
+    drop(f);
+
+    let (resumed, info) = resume_service(&dir).expect("resume survives the tear");
+    assert!(info.truncated_bytes > 0, "tear measured and cut");
+    assert_eq!(
+        serde_json::to_string(resumed.state()).expect("resumed"),
+        serde_json::to_string(live.state()).expect("live"),
+    );
+
+    // The truncation leaves an appendable journal: reopen and continue.
+    let cfg = StoreConfig { durable: false, ..StoreConfig::new(&dir) };
+    let mut store = ServiceStore::reopen(cfg).expect("reopen");
+    let mut resumed = resumed;
+    drive(&mut resumed, &mut store, 2);
+    store.sync().expect("sync");
+    drop(store);
+    let (again, _) = resume_service(&dir).expect("second resume");
+    assert_eq!(
+        serde_json::to_string(again.state()).expect("again"),
+        serde_json::to_string(resumed.state()).expect("resumed"),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verdicts_replay_without_resolving() {
+    // A journaled Ok verdict replays the *recorded* plan: resume needs
+    // no LP, and a deliberately-different stage3 in the journal proves
+    // replay uses the journal, not a fresh solve.
+    let dir = tmp_dir("verdict");
+    let mut live = engine(7);
+    let cfg = StoreConfig { durable: false, ..StoreConfig::new(&dir) };
+    let mut store = ServiceStore::create(cfg, &live).expect("create");
+
+    let mut doctored = live.state().stage3.clone();
+    doctored.reward_rate *= 0.5; // visibly not what a solver would return
+    let verdict = ReplanVerdict::Ok { stage3: doctored.clone() };
+    let epoch = live.state().epoch;
+    store.append_begin(epoch, &[], &verdict).expect("begin");
+    live.step(&[], &verdict);
+    let (_, crc) = state_json_crc(live.state()).expect("crc");
+    store.append_commit(epoch, crc).expect("commit");
+    drop(store);
+
+    let (resumed, _) = resume_service(&dir).expect("resume");
+    assert_eq!(resumed.state().stage3.reward_rate, doctored.reward_rate);
+    assert_eq!(resumed.state().totals.replans, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,200 @@
+//! Robustness properties for the admission path under random bursts:
+//! the engine never panics, every bounded structure stays bounded, and
+//! a SIGKILL at an arbitrary epoch — including mid-epoch, after the
+//! Begin fsync but before the Commit — resumes bit-identically with no
+//! batch admitted twice.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+use thermaware_core::{Solver, ThreeStageSolution};
+use thermaware_datacenter::{DataCenter, ScenarioParams};
+use thermaware_service::breaker::BreakerConfig;
+use thermaware_service::engine::{ReplanVerdict, ServiceConfig, ServiceEngine};
+use thermaware_service::proto::Batch;
+use thermaware_service::store::{resume_service, state_json_crc, ServiceStore, StoreConfig};
+
+const DEDUP_WINDOW: usize = 24;
+const LOG_CAPACITY: usize = 64;
+const ID_SPACE: u64 = 20; // small on purpose: collisions exercise dedup
+
+/// One solved scenario shared across cases; planning is the expensive
+/// part and the properties are about the service layer.
+fn scenario() -> &'static (DataCenter, ThreeStageSolution) {
+    static SCENARIO: OnceLock<(DataCenter, ThreeStageSolution)> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        let dc = ScenarioParams::small_test().build(5).expect("scenario");
+        let plan = Solver::new(&dc).solve().expect("plan");
+        (dc, plan)
+    })
+}
+
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig {
+        dedup_window: DEDUP_WINDOW,
+        log_capacity: LOG_CAPACITY,
+        min_replan_gap_epochs: 1,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_epochs: 1,
+            max_cooldown_epochs: 4,
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn fresh_engine() -> ServiceEngine {
+    let (dc, plan) = scenario();
+    ServiceEngine::new(dc.clone(), service_cfg(), &plan.pstates, &plan.stage3)
+}
+
+/// A random epoch script: bursty batches over a tiny id space plus a
+/// random verdict per epoch (the four shapes the daemon can journal).
+fn script(seed: u64, epochs: usize) -> Vec<(Vec<Batch>, ReplanVerdict)> {
+    let (dc, plan) = scenario();
+    let n_types = dc.workload.task_types.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..epochs)
+        .map(|_| {
+            let n_batches = rng.gen_range(0..5usize);
+            let batches = (0..n_batches)
+                .map(|_| {
+                    let n_entries = rng.gen_range(1..3usize);
+                    Batch {
+                        id: rng.gen_range(0..ID_SPACE),
+                        tasks: (0..n_entries)
+                            .map(|_| {
+                                (rng.gen_range(0..n_types), rng.gen_range(0..40usize))
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            let verdict = match rng.gen_range(0..4u8) {
+                0 => ReplanVerdict::NotAttempted,
+                1 => ReplanVerdict::TimedOut,
+                2 => ReplanVerdict::Failed { error: "injected".to_string() },
+                _ => ReplanVerdict::Ok { stage3: plan.stage3.clone() },
+            };
+            (batches, verdict)
+        })
+        .collect()
+}
+
+fn state_json(e: &ServiceEngine) -> String {
+    serde_json::to_string(e.state()).expect("state json")
+}
+
+fn tmp_dir(tag: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("thermaware-surge-{}-{tag:x}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pure core: any burst script steps to completion (reaching
+    /// the assertions means no panic) with every bound intact and the
+    /// admission books balanced.
+    #[test]
+    fn bursts_never_panic_and_bounds_hold(seed in 0u64..1_000_000, epochs in 1usize..14) {
+        let mut e = fresh_engine();
+        for (batches, verdict) in &script(seed, epochs) {
+            e.step(batches, verdict);
+            let s = e.state();
+            prop_assert!(s.recent_ids.len() <= DEDUP_WINDOW, "dedup window bound");
+            prop_assert!(s.log.events().len() <= LOG_CAPACITY, "event ring bound");
+            prop_assert!(s.shed.len() <= e.dc().workload.task_types.len());
+        }
+        let t = &e.state().totals;
+        let offered: u64 = script(seed, epochs)
+            .iter()
+            .flat_map(|(b, _)| b.iter())
+            .map(|b| b.total_tasks() as u64)
+            .sum();
+        prop_assert!(t.admitted_tasks + t.dropped_tasks + t.shed_tasks <= offered,
+            "cannot account for more tasks than were offered");
+        for ty in e.per_type() {
+            prop_assert!(ty.completed + ty.dropped + ty.late + ty.lost <= ty.arrived,
+                "per-type books must balance");
+        }
+        prop_assert!(e.backlog_s().is_finite());
+    }
+
+    /// The durable layer: kill at a random epoch — half the time after
+    /// the Commit (clean shape), half the time after only the Begin
+    /// (the SIGKILL-mid-epoch shape) — then resume and finish the
+    /// script. The final state must be bit-identical to an engine that
+    /// ran the whole script uninterrupted: nothing lost, nothing
+    /// admitted twice.
+    #[test]
+    fn kill_at_any_epoch_resumes_bit_identically(
+        seed in 0u64..1_000_000,
+        epochs in 2usize..10,
+        kill_at_frac in 0.0f64..1.0,
+        commit_before_kill in any::<bool>(),
+    ) {
+        let steps = script(seed, epochs);
+        let kill_at = ((epochs as f64 * kill_at_frac) as usize).min(epochs - 1);
+
+        // Reference: the whole script, no interruption.
+        let mut reference = fresh_engine();
+        for (batches, verdict) in &steps {
+            reference.step(batches, verdict);
+        }
+
+        // Victim: journal every epoch, die at `kill_at`.
+        let dir = tmp_dir(seed ^ ((epochs as u64) << 40) ^ ((kill_at as u64) << 50));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut live = fresh_engine();
+        let store_cfg = || StoreConfig {
+            durable: false, // tests: skip fsyncs, the bytes still land
+            snapshot_interval: 4,
+            ..StoreConfig::new(&dir)
+        };
+        let mut store = ServiceStore::create(store_cfg(), &live)
+            .map_err(|e| TestCaseError::fail(format!("create: {e}")))?;
+        for (i, (batches, verdict)) in steps.iter().take(kill_at + 1).enumerate() {
+            let epoch = live.state().epoch;
+            store.append_begin(epoch, batches, verdict)
+                .map_err(|e| TestCaseError::fail(format!("begin: {e}")))?;
+            live.step(batches, verdict);
+            if i < kill_at || commit_before_kill {
+                let (_, crc) = state_json_crc(live.state())
+                    .map_err(|e| TestCaseError::fail(format!("crc: {e}")))?;
+                store.append_commit(epoch, crc)
+                    .map_err(|e| TestCaseError::fail(format!("commit: {e}")))?;
+                if store.snapshot_due(live.state().epoch) {
+                    store.snapshot(&live)
+                        .map_err(|e| TestCaseError::fail(format!("snapshot: {e}")))?;
+                }
+            }
+        }
+        drop(store); // SIGKILL
+
+        let (mut resumed, info) = resume_service(&dir)
+            .map_err(|e| TestCaseError::fail(format!("resume: {e}")))?;
+        prop_assert_eq!(info.tail_begin, !commit_before_kill);
+        prop_assert_eq!(state_json(&resumed), state_json(&live),
+            "resume must land exactly where the victim died");
+
+        // Finish the script on the survivor.
+        let mut store = ServiceStore::reopen(store_cfg())
+            .map_err(|e| TestCaseError::fail(format!("reopen: {e}")))?;
+        for (batches, verdict) in steps.iter().skip(kill_at + 1) {
+            let epoch = resumed.state().epoch;
+            store.append_begin(epoch, batches, verdict)
+                .map_err(|e| TestCaseError::fail(format!("begin2: {e}")))?;
+            resumed.step(batches, verdict);
+            let (_, crc) = state_json_crc(resumed.state())
+                .map_err(|e| TestCaseError::fail(format!("crc2: {e}")))?;
+            store.append_commit(epoch, crc)
+                .map_err(|e| TestCaseError::fail(format!("commit2: {e}")))?;
+        }
+        drop(store);
+
+        prop_assert_eq!(state_json(&resumed), state_json(&reference),
+            "kill + resume must not change what the service computed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

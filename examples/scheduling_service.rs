@@ -1,0 +1,100 @@
+//! **Scheduling as a service**: the deterministic service engine
+//! admits bursty batches epoch by epoch, journals every input, rides
+//! out a solver outage on the circuit breaker, "crashes", and resumes
+//! bit-identically — the in-process version of what `thermaware-serve`
+//! and `thermaware-loadgen` do over a Unix socket.
+//!
+//! ```sh
+//! cargo run --release --example scheduling_service
+//! ```
+
+use thermaware::prelude::*;
+use thermaware::service::proto::Batch;
+use thermaware::service::store::{state_json_crc, StoreConfig};
+
+fn main() {
+    let dc = ScenarioParams::small_test().build(11).expect("scenario");
+    let plan = Solver::new(&dc).solve().expect("plan");
+    let mut engine = ServiceEngine::new(
+        dc,
+        ServiceConfig::default(),
+        &plan.pstates,
+        &plan.stage3,
+    );
+
+    let dir = std::env::temp_dir().join("thermaware-scheduling-service");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store =
+        ServiceStore::create(StoreConfig::new(&dir), &engine).expect("store");
+
+    // Twelve epochs of bursty demand. Epochs 2–4 simulate a solver
+    // outage: the daemon would journal Failed verdicts, the breaker
+    // opens on the third and sheds the lowest-reward type. The
+    // cooldown runs out by epoch 7 (half-open), and the epoch-8 probe
+    // succeeds, closing the breaker and restoring the shed type.
+    println!("epoch  batches  admitted  shed  breaker    note");
+    for epoch in 0..12u64 {
+        // Four batches covering all eight task types, so the type the
+        // breaker sheds is among the offered work.
+        let batches: Vec<Batch> = (0..4)
+            .map(|k| Batch {
+                id: epoch * 10 + k,
+                tasks: vec![(2 * k as usize, 8), (2 * k as usize + 1, 8)],
+            })
+            .collect();
+        let verdict = match epoch {
+            2..=4 => ReplanVerdict::Failed { error: "lp outage".into() },
+            8 => ReplanVerdict::Ok { stage3: engine.state().stage3.clone() },
+            _ => ReplanVerdict::NotAttempted,
+        };
+
+        // The daemon's discipline: fsync the Begin (inputs + verdict)
+        // BEFORE acking, step deterministically, then the Commit.
+        let e = engine.state().epoch;
+        store.append_begin(e, &batches, &verdict).expect("begin");
+        let report = engine.step(&batches, &verdict);
+        let (_, crc) = state_json_crc(engine.state()).expect("crc");
+        store.append_commit(e, crc).expect("commit");
+        if store.snapshot_due(engine.state().epoch) {
+            store.snapshot(&engine).expect("snapshot");
+        }
+
+        let s = engine.state();
+        println!(
+            "{:>5}  {:>7}  {:>8}  {:>4}  {:<9}  {}",
+            epoch,
+            report.batches.len(),
+            s.totals.admitted_tasks,
+            s.shed.len(),
+            s.breaker.state.as_str(),
+            if report.breaker_opened {
+                "breaker opened — lowest-reward type shed"
+            } else if report.breaker_closed {
+                "probe succeeded — all types restored"
+            } else if report.replanned {
+                "replanned"
+            } else {
+                ""
+            },
+        );
+    }
+
+    // "SIGKILL": drop the store mid-flight and recover from disk. The
+    // journal replays the exact same inputs and verdicts, so the
+    // resumed engine is byte-for-byte the one that died.
+    drop(store);
+    let (resumed, info) = resume_service(&dir).expect("resume");
+    println!(
+        "\nresumed from snapshot at epoch {} + {} journal epoch(s) replayed",
+        info.snapshot_epoch, info.replayed_epochs
+    );
+    let live = serde_json::to_string(engine.state()).expect("live json");
+    let back = serde_json::to_string(resumed.state()).expect("resumed json");
+    assert_eq!(live, back, "resume must be bit-identical");
+    println!(
+        "bit-identical resume: PASS ({} admitted tasks, {} shed, reward forgone {:.1})",
+        resumed.state().totals.admitted_tasks,
+        resumed.state().totals.shed_tasks,
+        resumed.state().totals.shed_reward,
+    );
+}

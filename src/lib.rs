@@ -74,6 +74,10 @@ pub use thermaware_power as power;
 pub use thermaware_runtime as runtime;
 /// The second-step dynamic scheduler and its event-driven simulator.
 pub use thermaware_scheduler as scheduler;
+/// Scheduling-as-a-service: the overload-protected daemon, its
+/// deterministic engine, durable store, wire protocol, and load
+/// generator.
+pub use thermaware_service as service;
 /// The abstract heat-flow model, CoP/CRAC power, interference generation.
 pub use thermaware_thermal as thermal;
 /// Task types, ECS matrices, arrival traces.

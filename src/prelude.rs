@@ -41,5 +41,11 @@ pub use thermaware_runtime::{
     SupervisorConfig, SupervisorReport,
 };
 
+// Scheduling-as-a-service: the deterministic engine and durable store
+// (the daemon shell and loadgen stay behind `thermaware::service`).
+pub use thermaware_service::{
+    resume_service, ReplanVerdict, ServiceConfig, ServiceEngine, ServiceStore,
+};
+
 // Observability sinks and the install entry point.
 pub use thermaware_obs::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};
