@@ -36,6 +36,14 @@ const REPLAY_CRATES: [&str; 7] = ["core", "lp", "linalg", "thermal", "power", "s
 const SERVICE_REPLAY_FILES: [&str; 4] =
     ["/engine.rs", "/store.rs", "/breaker.rs", "/proto.rs"];
 
+/// `shard` files on the replay path: profiles, the bisection master,
+/// fleet building, the solver's plan/fallback logic, and state
+/// snapshots are pure functions of their inputs. `pool.rs` (deadlines,
+/// backoff sleeps, hedging) and `chaos.rs` (scripted stalls) are live
+/// wall-clock code by design.
+const SHARD_REPLAY_FILES: [&str; 5] =
+    ["/fleet.rs", "/profile.rs", "/master.rs", "/solver.rs", "/state.rs"];
+
 /// How many lines above a timing call an `obs::enabled()` gate may sit.
 const GATE_WINDOW: usize = 10;
 
@@ -43,9 +51,12 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in &ws.files {
         let in_scope = REPLAY_CRATES.contains(&file.crate_name.as_str())
-            || (file.crate_name == "runtime" && file.path.ends_with("/persist.rs"))
+            || (file.crate_name == "runtime"
+                && (file.path.ends_with("/persist.rs") || file.path.ends_with("/degrade.rs")))
             || (file.crate_name == "service"
-                && SERVICE_REPLAY_FILES.iter().any(|f| file.path.ends_with(f)));
+                && SERVICE_REPLAY_FILES.iter().any(|f| file.path.ends_with(f)))
+            || (file.crate_name == "shard"
+                && SHARD_REPLAY_FILES.iter().any(|f| file.path.ends_with(f)));
         if !in_scope || file.test_target {
             continue;
         }

@@ -29,7 +29,7 @@ use crate::workspace::Workspace;
 /// The allowed dependency DAG: `(crate, allowed deps)`. `"*"` means any
 /// workspace crate (the facade and the bench harness integrate
 /// everything by design).
-const ALLOWED: [(&str, &[&str]); 13] = [
+const ALLOWED: [(&str, &[&str]); 14] = [
     ("obs", &[]),
     ("linalg", &[]),
     ("power", &[]),
@@ -42,6 +42,7 @@ const ALLOWED: [(&str, &[&str]); 13] = [
     ("scheduler", &["workload", "obs", "datacenter", "core"]),
     ("runtime", &["core", "obs", "datacenter", "scheduler", "workload"]),
     ("service", &["core", "obs", "datacenter", "runtime", "scheduler"]),
+    ("shard", &["core", "obs", "datacenter", "runtime"]),
     ("bench", &["*"]),
 ];
 

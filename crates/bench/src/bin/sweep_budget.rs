@@ -32,7 +32,7 @@ fn main() {
 
     // One scenario per run; sweep the budget within it so the comparison
     // isolates the budget effect from scenario noise.
-    let rows: Vec<Vec<(f64, f64)>> = parallel_map(runs, default_threads(runs), |r| {
+    let row_results = parallel_map(runs, default_threads(runs), |r| {
         let params = ScenarioParams {
             n_nodes,
             n_crac,
@@ -62,6 +62,10 @@ fn main() {
             })
             .collect()
     });
+    let rows: Vec<Vec<(f64, f64)>> = row_results
+        .into_iter()
+        .map(|r| r.expect("run failed"))
+        .collect();
 
     for (i, &frac) in fracs.iter().enumerate() {
         let imps: Vec<f64> = rows.iter().map(|r| r[i].0).filter(|v| v.is_finite()).collect();

@@ -27,7 +27,7 @@ fn main() {
     println!("{:<10} {:>12} {:>8}", "perf_ratio", "improvement%", "ci95");
 
     for &ratio in &ratios {
-        let imps: Vec<f64> = parallel_map(runs, default_threads(runs), |r| {
+        let imp_results = parallel_map(runs, default_threads(runs), |r| {
             let mut params = ScenarioParams {
                 n_nodes,
                 n_crac,
@@ -40,6 +40,10 @@ fn main() {
             let base = solve_baseline(&dc, CracSearchOptions::default()).expect("baseline");
             100.0 * (plan.reward_rate() - base.reward_rate) / base.reward_rate
         });
+        let imps: Vec<f64> = imp_results
+            .into_iter()
+            .map(|r| r.expect("run failed"))
+            .collect();
         let s = mean_ci95(&imps);
         println!("{:<10.2} {:>12.2} {:>8.2}", ratio, s.mean, s.ci95);
     }

@@ -29,7 +29,7 @@ fn main() {
 
     let psis = [12.5, 25.0, 37.5, 50.0, 62.5, 75.0, 87.5, 100.0];
     // Build scenarios once per run; sweep psi within.
-    let per_run: Vec<Vec<f64>> = parallel_map(runs, default_threads(runs), |r| {
+    let run_results = parallel_map(runs, default_threads(runs), |r| {
         let params = ScenarioParams {
             n_nodes,
             n_crac,
@@ -50,6 +50,10 @@ fn main() {
             })
             .collect()
     });
+    let per_run: Vec<Vec<f64>> = run_results
+        .into_iter()
+        .map(|r| r.expect("run failed"))
+        .collect();
 
     for (i, &psi) in psis.iter().enumerate() {
         let samples: Vec<f64> = per_run.iter().map(|run| run[i]).collect();

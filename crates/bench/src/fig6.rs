@@ -130,12 +130,13 @@ pub fn run_one_scenario(
 /// Run a full simulation set (the paper's 25 seeds), fanned out over
 /// threads.
 pub fn run_figure6_set(set: SimulationSet, config: &Fig6Config) -> Result<Fig6SetResult, String> {
-    let results: Vec<Result<Fig6Run, String>> = parallel_map(config.runs, config.threads, |r| {
+    let results = parallel_map(config.runs, config.threads, |r| {
         run_one_scenario(set, config, config.base_seed + r as u64)
     });
     let mut runs = Vec::with_capacity(config.runs);
     for r in results {
-        runs.push(r?);
+        // Outer Err: the worker died (panic); inner Err: a solve failed.
+        runs.push(r.map_err(|e| e.to_string())??);
     }
     let imp25: Vec<f64> = runs.iter().map(|r| r.improvement(r.psi25)).collect();
     let imp50: Vec<f64> = runs.iter().map(|r| r.improvement(r.psi50)).collect();

@@ -1,97 +1,91 @@
 //! Scoped fork-join parallelism for embarrassingly parallel experiment
 //! fan-out (the 25 independent scenario seeds of each Figure-6 set).
 //!
-//! Built on `crossbeam::scope` with an `AtomicUsize` work index — the
-//! scoped-threads + atomics pattern of the workspace's concurrency
-//! guides. Each worker claims the next unprocessed index, so uneven
-//! per-item cost (LP solve times vary run to run) balances naturally.
+//! A thin facade over the shard crate's supervised pool
+//! ([`thermaware_shard::pool::scoped_map`]). Each worker claims the next
+//! unprocessed index, so uneven per-item cost (LP solve times vary run
+//! to run) balances naturally — and unlike the original
+//! `crossbeam::scope` version, a panicking item no longer takes the
+//! whole harness down: it surfaces as `Err(JobError::Panicked)` for
+//! that item while every other seed still completes.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use thermaware_shard::pool::JobError;
 
 /// Map `f` over `0..n` on up to `threads` worker threads, collecting
-/// results in index order. `f` must be `Sync` (it is called concurrently).
+/// results in index order. `f` must be `Sync` (it is called
+/// concurrently). Panics in `f` are isolated per item.
 ///
 /// With `threads <= 1` (or `n <= 1`) runs inline, which keeps call sites
 /// debuggable and deterministic profiles honest.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<Result<T, JobError>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let workers = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("work item skipped")
-        })
-        .collect()
+    thermaware_shard::pool::scoped_map(n, threads, f)
 }
 
 /// Default worker count: available parallelism, capped to the work size.
 pub fn default_threads(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1))
+    thermaware_shard::pool::default_threads(n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ok_values<T: Clone>(results: &[Result<T, JobError>]) -> Vec<T> {
+        results
+            .iter()
+            .map(|r| r.as_ref().expect("item failed").clone())
+            .collect()
+    }
+
     #[test]
     fn results_are_in_index_order() {
-        let out = parallel_map(64, 8, |i| i * i);
+        let out = ok_values(&parallel_map(64, 8, |i| i * i));
         let expected: Vec<usize> = (0..64).map(|i| i * i).collect();
         assert_eq!(out, expected);
     }
 
     #[test]
     fn single_thread_matches_parallel() {
-        let seq = parallel_map(17, 1, |i| i as f64 * 1.5);
-        let par = parallel_map(17, 4, |i| i as f64 * 1.5);
+        let seq = ok_values(&parallel_map(17, 1, |i| i as f64 * 1.5));
+        let par = ok_values(&parallel_map(17, 4, |i| i as f64 * 1.5));
         assert_eq!(seq, par);
     }
 
     #[test]
     fn empty_and_singleton() {
         assert!(parallel_map(0, 4, |i| i).is_empty());
-        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+        assert_eq!(ok_values(&parallel_map(1, 4, |i| i + 10)), vec![10]);
+    }
+
+    #[test]
+    fn a_panicking_item_fails_alone() {
+        let out = parallel_map(8, 3, |i| {
+            assert!(i != 5, "seed 5 exploded");
+            i
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert!(matches!(r, Err(JobError::Panicked(_))));
+            } else {
+                assert_eq!(r.as_ref().copied(), Ok(i));
+            }
+        }
     }
 
     #[test]
     fn uneven_work_is_balanced() {
         // Items with wildly different costs still all complete.
-        let out = parallel_map(32, 4, |i| {
+        let out = ok_values(&parallel_map(32, 4, |i| {
             let mut acc = 0u64;
             for k in 0..(i % 7) * 10_000 {
                 acc = acc.wrapping_add(k as u64);
             }
             (i, acc)
-        });
+        }));
         assert_eq!(out.len(), 32);
         for (i, item) in out.iter().enumerate() {
             assert_eq!(item.0, i);

@@ -1,0 +1,161 @@
+//! The greedy throttle ladder, exposed as a standalone deterministic
+//! primitive.
+//!
+//! PR 1 buried the power-cap throttle inside the supervisor's rung-3
+//! response. The fleet solver (`crates/shard`) needs the same move for
+//! its degraded-zone fallback — take the zone's last-good plan and walk
+//! it back under a shrunken budget — so the greedy core selection lives
+//! here and the supervisor calls it for its power-mode rung.
+//!
+//! The move is the paper's Stage-2 logic run in reverse: repeatedly
+//! deepen the P-state of the core giving up the most power per MHz of
+//! speed lost (the least reward-efficient speed, by concavity of ARR).
+//! Deepening only ever lowers node powers, and the heat-flow model's
+//! inlet temperatures are nondecreasing in node powers, so a
+//! redline-feasible plan stays redline-feasible at every step — the
+//! ladder can only walk *into* the feasible region.
+
+use thermaware_datacenter::DataCenter;
+
+/// Pick the cheapest one-state deepening: among each live node's
+/// shallowest core, the one shedding the most power per MHz lost.
+/// `dead[j]` masks out dead nodes (`None` = all alive). Returns the
+/// global core index, or `None` when every core is already off.
+pub fn cheapest_throttle_step(
+    dc: &DataCenter,
+    pstates: &[usize],
+    dead: Option<&[bool]>,
+) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None; // (score, core)
+    for j in 0..dc.n_nodes() {
+        if dead.is_some_and(|d| d[j]) {
+            continue;
+        }
+        let table = &dc.node_type(j).core.pstates;
+        let off = table.off_index();
+        let Some(k) = dc
+            .cores_of_node(j)
+            .filter(|&k| pstates[k] < off)
+            .min_by_key(|&k| pstates[k])
+        else {
+            continue;
+        };
+        let p = pstates[k];
+        let dp_kw = table.power_kw(p) - table.power_kw(p + 1);
+        let ds_mhz = (table.freq_mhz(p) - table.freq_mhz(p + 1)).max(1e-9);
+        let score = dp_kw / ds_mhz;
+        if best.is_none_or(|(b, _)| score > b) {
+            best = Some((score, k));
+        }
+    }
+    best.map(|(_, k)| k)
+}
+
+/// A throttled plan and where it landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottlePlan {
+    /// The deepened per-core P-states (global core order).
+    pub pstates: Vec<usize>,
+    /// One-state deepenings applied.
+    pub steps: usize,
+    /// IT power of the result, kW.
+    pub it_kw: f64,
+    /// Cooling power of the result at `outlets`, kW.
+    pub cooling_kw: f64,
+    /// Whether `it_kw + cooling_kw ≤ budget_kw` was reached (false means
+    /// the ladder ran out of cores or steps first).
+    pub fits: bool,
+}
+
+/// Walk `pstates` under `budget_kw` (total IT + cooling at the given
+/// CRAC outlets) by greedy one-state deepenings, up to `max_steps`.
+pub fn throttle_to_budget(
+    dc: &DataCenter,
+    outlets: &[f64],
+    pstates: &[usize],
+    budget_kw: f64,
+    max_steps: usize,
+) -> ThrottlePlan {
+    let mut pstates = pstates.to_vec();
+    let mut steps = 0usize;
+    loop {
+        let powers = dc.node_powers_from_pstates(&pstates);
+        let (it_kw, cooling_kw, _state) = dc.total_power_kw(outlets, &powers);
+        if it_kw + cooling_kw <= budget_kw {
+            return ThrottlePlan { pstates, steps, it_kw, cooling_kw, fits: true };
+        }
+        if steps >= max_steps {
+            return ThrottlePlan { pstates, steps, it_kw, cooling_kw, fits: false };
+        }
+        match cheapest_throttle_step(dc, &pstates, None) {
+            Some(k) => {
+                pstates[k] += 1;
+                steps += 1;
+            }
+            None => return ThrottlePlan { pstates, steps, it_kw, cooling_kw, fits: false },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_core::{solve_three_stage, ThreeStageOptions};
+    use thermaware_datacenter::ScenarioParams;
+
+    fn solved_zone() -> (DataCenter, Vec<usize>, Vec<f64>) {
+        let dc = ScenarioParams::small_test().build(3).expect("scenario builds");
+        let plan = solve_three_stage(&dc, &ThreeStageOptions::default()).expect("solves");
+        let outlets = plan.crac_out_c().to_vec();
+        (dc, plan.pstates, outlets)
+    }
+
+    #[test]
+    fn throttling_to_a_lower_budget_monotonically_sheds_power() {
+        let (dc, pstates, outlets) = solved_zone();
+        let powers = dc.node_powers_from_pstates(&pstates);
+        let (it, cooling, _) = dc.total_power_kw(&outlets, &powers);
+        let full = it + cooling;
+        let target = 0.8 * full;
+        let plan = throttle_to_budget(&dc, &outlets, &pstates, target, 100_000);
+        assert!(plan.fits, "80% of the solved load must be reachable");
+        assert!(plan.it_kw + plan.cooling_kw <= target + 1e-9);
+        assert!(plan.steps > 0);
+        // Deepening only: every core at an equal-or-deeper state.
+        for (a, b) in pstates.iter().zip(&plan.pstates) {
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn redlines_survive_throttling() {
+        let (dc, pstates, outlets) = solved_zone();
+        let powers = dc.node_powers_from_pstates(&pstates);
+        let (it, cooling, state) = dc.total_power_kw(&outlets, &powers);
+        assert!(dc.redlines_ok(&state), "solved plan starts feasible");
+        let plan = throttle_to_budget(&dc, &outlets, &pstates, 0.75 * (it + cooling), 100_000);
+        let (_, _, state) = dc.total_power_kw(&outlets, &dc.node_powers_from_pstates(&plan.pstates));
+        assert!(dc.redlines_ok(&state), "throttling must not create violations");
+    }
+
+    #[test]
+    fn impossible_budget_reports_not_fitting() {
+        let (dc, pstates, outlets) = solved_zone();
+        // Below even the all-off floor: the ladder must terminate and
+        // report fits = false rather than loop.
+        let plan = throttle_to_budget(&dc, &outlets, &pstates, 0.0, 100_000);
+        assert!(!plan.fits);
+        // Everything it could turn off, it did.
+        assert!(cheapest_throttle_step(&dc, &plan.pstates, None).is_none());
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped() {
+        let (dc, pstates, _outlets) = solved_zone();
+        let mut dead = vec![false; dc.n_nodes()];
+        dead[0] = true;
+        if let Some(k) = cheapest_throttle_step(&dc, &pstates, Some(&dead)) {
+            assert!(!dc.cores_of_node(0).contains(&k), "dead node must not be chosen");
+        }
+    }
+}

@@ -35,11 +35,13 @@
 //! println!("{}", report.log);
 //! ```
 
+pub mod degrade;
 pub mod event;
 pub mod fault;
 pub mod persist;
 pub mod supervisor;
 
+pub use degrade::{cheapest_throttle_step, throttle_to_budget, ThrottlePlan};
 pub use event::{Action, Event, EventKind, EventLog, Violation};
 pub use fault::{Fault, FaultEvent, FaultScript};
 pub use persist::{

@@ -573,26 +573,27 @@ impl<'a> Supervisor<'a> {
                 .steady_state_with_failed_cracs(&world.outlets, &powers, &world.failed)
                 .map(|s| s.redline_violation(dc.thermal.node_redline_c, dc.thermal.crac_redline_c))
                 .ok();
-            let mut best: Option<(f64, usize)> = None; // (score, core)
-            for j in (0..dc.n_nodes()).filter(|&j| !world.dead[j]) {
-                let table = &dc.node_type(j).core.pstates;
-                let off = table.off_index();
-                let Some(k) = dc
-                    .cores_of_node(j)
-                    .filter(|&k| world.pstates[k] < off)
-                    .min_by_key(|&k| world.pstates[k])
-                else {
-                    continue;
-                };
-                let p = world.pstates[k];
-                let dp_kw = table.power_kw(p) - table.power_kw(p + 1);
-                let ds_mhz = (table.freq_mhz(p) - table.freq_mhz(p + 1)).max(1e-9);
-                let score = match (thermal, base_viol) {
-                    // Thermal benefit of this step, per MHz lost.
-                    (true, Some(v0)) => {
+            let chosen = match (thermal, base_viol) {
+                // Thermal mode: score each candidate by the redline
+                // violation shed per MHz lost.
+                (true, Some(v0)) => {
+                    let mut best: Option<(f64, usize)> = None; // (score, core)
+                    for j in (0..dc.n_nodes()).filter(|&j| !world.dead[j]) {
+                        let table = &dc.node_type(j).core.pstates;
+                        let off = table.off_index();
+                        let Some(k) = dc
+                            .cores_of_node(j)
+                            .filter(|&k| world.pstates[k] < off)
+                            .min_by_key(|&k| world.pstates[k])
+                        else {
+                            continue;
+                        };
+                        let p = world.pstates[k];
+                        let dp_kw = table.power_kw(p) - table.power_kw(p + 1);
+                        let ds_mhz = (table.freq_mhz(p) - table.freq_mhz(p + 1)).max(1e-9);
                         let mut pw = powers.clone();
                         pw[j] -= dp_kw;
-                        match dc.thermal.steady_state_with_failed_cracs(
+                        let score = match dc.thermal.steady_state_with_failed_cracs(
                             &world.outlets,
                             &pw,
                             &world.failed,
@@ -604,17 +605,18 @@ impl<'a> Supervisor<'a> {
                                 )) / ds_mhz
                             }
                             Err(_) => f64::NEG_INFINITY,
+                        };
+                        if best.is_none_or(|(b, _)| score > b) {
+                            best = Some((score, k));
                         }
                     }
-                    // Power-cap breach (or no steady state to probe):
-                    // biggest power cut per MHz lost.
-                    _ => dp_kw / ds_mhz,
-                };
-                if best.is_none_or(|(b, _)| score > b) {
-                    best = Some((score, k));
+                    best.map(|(_, k)| k)
                 }
-            }
-            let Some((_, k)) = best else { break };
+                // Power-cap breach (or no steady state to probe): the
+                // shared degradation ladder's greedy power-per-MHz step.
+                _ => crate::degrade::cheapest_throttle_step(dc, &world.pstates, Some(&world.dead)),
+            };
+            let Some(k) = chosen else { break };
             world.pstates[k] += 1;
             steps += 1;
         }

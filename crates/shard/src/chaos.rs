@@ -1,0 +1,159 @@
+//! Deterministic fault injection for zone workers.
+//!
+//! A [`ChaosScript`] is a map from `(epoch, zone, attempt)` to the fault
+//! the worker should suffer on that exact dispatch. Scripts are plain
+//! data: the proptests generate them from a seed, the CI drill writes
+//! them literally, and the zone closure consults the script at its own
+//! coordinates — so a chaotic run is exactly reproducible, fault for
+//! fault.
+
+use std::collections::BTreeMap;
+
+/// What happens to one zone-solve attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics before solving.
+    Panic,
+    /// The worker sleeps this many milliseconds, then reports failure —
+    /// a hung/deadlocked worker as seen from the supervisor. With a
+    /// per-attempt deadline shorter than the stall this is a timeout;
+    /// without one it is a slow failed attempt.
+    Stall(u64),
+    /// The worker returns a typed solve error.
+    Error,
+}
+
+/// A reproducible fault schedule keyed by `(epoch, zone, attempt)`.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosScript {
+    faults: BTreeMap<(u64, usize, u32), Fault>,
+}
+
+impl ChaosScript {
+    /// An empty script (no faults).
+    pub fn new() -> ChaosScript {
+        ChaosScript::default()
+    }
+
+    /// Schedule `fault` for one exact dispatch.
+    pub fn inject(&mut self, epoch: u64, zone: usize, attempt: u32, fault: Fault) {
+        self.faults.insert((epoch, zone, attempt), fault);
+    }
+
+    /// Schedule `fault` for every attempt `0..attempts` of a zone in an
+    /// epoch — a persistent fault the retry ladder cannot outlast.
+    pub fn inject_persistent(&mut self, epoch: u64, zone: usize, attempts: u32, fault: Fault) {
+        for a in 0..attempts {
+            self.inject(epoch, zone, a, fault.clone());
+        }
+    }
+
+    /// The fault scheduled for this dispatch, if any.
+    pub fn fault(&self, epoch: u64, zone: usize, attempt: u32) -> Option<&Fault> {
+        self.faults.get(&(epoch, zone, attempt))
+    }
+
+    /// True when no faults are scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// A seeded random script: each `(epoch, zone)` suffers a fault with
+    /// probability `p_fault`; faulted pairs fail either transiently
+    /// (attempt 0 only) or persistently (all `attempts`), split evenly.
+    /// Stalls sleep `stall_ms`. Uses a local splitmix64 stream, so equal
+    /// seeds give equal scripts on every platform.
+    pub fn seeded(
+        seed: u64,
+        epochs: u64,
+        n_zones: usize,
+        attempts: u32,
+        p_fault: f64,
+        stall_ms: u64,
+    ) -> ChaosScript {
+        let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut script = ChaosScript::new();
+        for epoch in 0..epochs {
+            for zone in 0..n_zones {
+                let roll = next() as f64 / u64::MAX as f64;
+                if roll >= p_fault {
+                    continue;
+                }
+                let fault = match next() % 3 {
+                    0 => Fault::Panic,
+                    1 => Fault::Stall(stall_ms),
+                    _ => Fault::Error,
+                };
+                if next() % 2 == 0 {
+                    script.inject(epoch, zone, 0, fault);
+                } else {
+                    script.inject_persistent(epoch, zone, attempts, fault);
+                }
+            }
+        }
+        script
+    }
+
+    /// Apply this script's decision for a dispatch: panic, stall+fail,
+    /// or fail — or return `Ok(())` to let the real work proceed.
+    pub fn apply(&self, epoch: u64, zone: usize, attempt: u32) -> Result<(), String> {
+        match self.fault(epoch, zone, attempt) {
+            None => Ok(()),
+            Some(Fault::Panic) => {
+                panic!("chaos: injected panic (epoch {epoch}, zone {zone}, attempt {attempt})")
+            }
+            Some(Fault::Stall(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(*ms));
+                Err(format!("chaos: stalled worker (epoch {epoch}, zone {zone}, attempt {attempt})"))
+            }
+            Some(Fault::Error) => {
+                Err(format!("chaos: injected error (epoch {epoch}, zone {zone}, attempt {attempt})"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_scripts_are_reproducible() {
+        let a = ChaosScript::seeded(7, 4, 5, 3, 0.5, 10);
+        let b = ChaosScript::seeded(7, 4, 5, 3, 0.5, 10);
+        assert_eq!(a.faults, b.faults);
+        let c = ChaosScript::seeded(8, 4, 5, 3, 0.5, 10);
+        assert_ne!(a.faults, c.faults, "different seeds should differ");
+    }
+
+    #[test]
+    fn persistent_faults_cover_every_attempt() {
+        let mut s = ChaosScript::new();
+        s.inject_persistent(2, 1, 3, Fault::Error);
+        for a in 0..3 {
+            assert_eq!(s.fault(2, 1, a), Some(&Fault::Error));
+        }
+        assert_eq!(s.fault(2, 1, 3), None);
+        assert_eq!(s.fault(1, 1, 0), None);
+    }
+
+    #[test]
+    fn apply_reports_errors_without_panicking_for_error_faults() {
+        let mut s = ChaosScript::new();
+        s.inject(0, 0, 0, Fault::Error);
+        assert!(s.apply(0, 0, 0).is_err());
+        assert!(s.apply(0, 1, 0).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! **thermaware-shard** — zone-decomposed fleet solving on a supervised
+//! worker pool.
+//!
+//! The paper's three-stage technique plans one power-constrained room.
+//! Real fleets are many rooms behind one feed: a single monolithic solve
+//! over 10k nodes is both slow and fragile — one bad zone model or one
+//! hung worker should not take the whole plan down. This crate
+//! decomposes the fleet:
+//!
+//! - [`fleet::Fleet`] — the fleet itself: independent zone
+//!   [`DataCenter`](thermaware_datacenter::DataCenter)s plus one shared
+//!   power budget;
+//! - [`profile::ZoneProfile`] — a concave reward-vs-power curve per zone
+//!   (piecewise-linear, from the ARR hulls), the master's coordination
+//!   currency;
+//! - [`master`] — splits the fleet budget across zones by price
+//!   bisection over the profiles: a water-filling dual of the Stage-1
+//!   power LP, so equal marginal reward per kW across zones;
+//! - [`pool`] — a supervised work-stealing worker pool: every job runs
+//!   under `catch_unwind` with a per-attempt deadline, bounded
+//!   retry/backoff, and straggler hedging (first result wins);
+//! - [`solver::FleetSolver`] — the epoch replan loop: dispatch all zone
+//!   solves, then walk any failed zone down the fallback ladder
+//!   (last-good plan → greedy throttle → all-off), with warm-started
+//!   Stage-3 bases carried across replans and crash-resume
+//!   ([`state::FleetState`]);
+//! - [`chaos`] — deterministic `(epoch, zone, attempt)` fault scripts so
+//!   chaotic runs reproduce fault for fault.
+//!
+//! The decomposition is *answer-preserving* on a healthy fleet: the
+//! pooled solve and the sequential monolithic oracle
+//! ([`solver::solve_monolithic`]) run the same split and the same
+//! per-zone three-stage solves, so they agree to solver tolerance — the
+//! agreement proptest enforces this.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use thermaware_shard::fleet::{Fleet, FleetParams};
+//! use thermaware_shard::solver::{FleetConfig, FleetSolver};
+//!
+//! let fleet = Arc::new(
+//!     Fleet::build(&FleetParams::small(2, 5, 42), 50.0).expect("fleet builds"),
+//! );
+//! let mut solver = FleetSolver::new(Arc::clone(&fleet), FleetConfig::default());
+//! let plan = solver.replan(None);
+//! assert_eq!(plan.degraded, 0);
+//! plan.verify(&fleet).expect("redlines and budget hold fleet-wide");
+//! ```
+
+pub mod chaos;
+pub mod fleet;
+pub mod master;
+pub mod pool;
+pub mod profile;
+pub mod solver;
+pub mod state;
+
+pub use chaos::{ChaosScript, Fault};
+pub use fleet::{Fleet, FleetBuildError, FleetParams};
+pub use master::{split_budget, BudgetSplit};
+pub use pool::{default_threads, run_supervised, scoped_map, JobError, Pool, PoolConfig, RunStats};
+pub use profile::ZoneProfile;
+pub use solver::{
+    solve_monolithic, solve_zone, FleetConfig, FleetPlan, FleetSolver,
+};
+pub use state::{FallbackKind, FleetState, ZonePlan, ZoneSlot, STATE_VERSION};

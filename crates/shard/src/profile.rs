@@ -1,0 +1,135 @@
+//! Per-zone concave reward-vs-power profiles — the master's view of a
+//! zone.
+//!
+//! Stage 1 inside a zone maximizes reward over the per-node aggregate
+//! ARR hulls subject to the zone's power budget (`crates/core/stage1`).
+//! The master does not need the zone's thermal detail to split the
+//! fleet budget well; it needs the zone's *marginal reward per kW*,
+//! which is exactly the multiset of hull segment slopes of the zone's
+//! nodes (the same construction `crates/datacenter/src/budget.rs` seeds
+//! with its Pmin/Pmax extremes). Core power is converted to estimated
+//! total (IT + cooling) power through the zone's own budget extremes:
+//! `est_total(c) = p_min + gain·c` with
+//! `gain = (p_max − p_min) / core_max` — the zone's average marginal
+//! cooling overhead, the linearization the master prices zones with.
+//! The estimate only steers the split; every zone solve re-checks the
+//! real thermal model against its allocation, so an estimation error
+//! costs reward, never feasibility.
+
+use thermaware_core::ArrCurve;
+use thermaware_datacenter::DataCenter;
+
+/// A zone's concave reward-vs-power curve in master coordinates.
+#[derive(Debug, Clone)]
+pub struct ZoneProfile {
+    /// Zone total power floor (every core off), kW — Eq. 17's Pmin.
+    pub p_min_kw: f64,
+    /// Zone total power ceiling (every core at P0), kW — Eq. 17's Pmax.
+    pub p_max_kw: f64,
+    /// Estimated d(total power)/d(core power) ≥ 1 (cooling overhead).
+    pub gain: f64,
+    /// `(reward per core kW, core-kW capacity)` hull segments across all
+    /// nodes of the zone, sorted by decreasing slope; zero-slope tails
+    /// are dropped (spending into them buys no reward).
+    pub segments: Vec<(f64, f64)>,
+}
+
+impl ZoneProfile {
+    /// Build the profile for one zone at the given ψ.
+    pub fn build(dc: &DataCenter, psi_percent: f64) -> ZoneProfile {
+        // Node-type ARR hulls, then per-node aggregates (g(x) = n·f(x/n)),
+        // mirroring Stage 1's curve construction exactly.
+        let type_curves: Vec<ArrCurve> = (0..dc.node_types.len())
+            .map(|t| {
+                ArrCurve::build(&dc.workload, &dc.node_types[t].core.pstates, t, psi_percent)
+            })
+            .collect();
+
+        let mut segments: Vec<(f64, f64)> = Vec::new();
+        let mut core_max = 0.0f64;
+        for j in 0..dc.n_nodes() {
+            let t = dc.node_type_of[j];
+            let cores = dc.node_types[t].cores_per_node;
+            let agg = type_curves[t].curve.aggregate_copies(cores);
+            let pts = agg.points();
+            for w in pts.windows(2) {
+                let dx = w[1].0 - w[0].0;
+                let dy = w[1].1 - w[0].1;
+                if dx > 1e-12 && dy > 1e-12 {
+                    segments.push((dy / dx, dx));
+                }
+            }
+            core_max += pts.last().map(|p| p.0).unwrap_or(0.0);
+        }
+        segments.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        let p_min_kw = dc.budget.p_min_kw;
+        let p_max_kw = dc.budget.p_max_kw;
+        let gain = if core_max > 1e-12 {
+            ((p_max_kw - p_min_kw) / core_max).max(1.0)
+        } else {
+            1.0
+        };
+        ZoneProfile { p_min_kw, p_max_kw, gain, segments }
+    }
+
+    /// Core power bought at marginal price `lambda` (reward per *total*
+    /// kW): the capacity of every segment whose effective slope beats it.
+    pub fn core_at_price(&self, lambda: f64) -> f64 {
+        self.segments
+            .iter()
+            .filter(|(slope, _)| slope / self.gain > lambda)
+            .map(|(_, len)| len)
+            .sum()
+    }
+
+    /// Estimated zone total power when buying at price `lambda`, clamped
+    /// to the zone's physical range.
+    pub fn est_total_at(&self, lambda: f64) -> f64 {
+        (self.p_min_kw + self.gain * self.core_at_price(lambda)).min(self.p_max_kw)
+    }
+
+    /// The steepest effective slope (reward per total kW) on offer.
+    pub fn max_price(&self) -> f64 {
+        self.segments.first().map(|(s, _)| s / self.gain).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermaware_datacenter::ScenarioParams;
+
+    fn zone() -> DataCenter {
+        ScenarioParams::small_test().build(5).expect("scenario builds")
+    }
+
+    #[test]
+    fn profile_is_concave_and_bounded() {
+        let dc = zone();
+        let p = ZoneProfile::build(&dc, 50.0);
+        assert!(p.p_min_kw > 0.0 && p.p_min_kw < p.p_max_kw);
+        assert!(p.gain >= 1.0);
+        // Slopes sorted decreasing = concavity of the merged curve.
+        for w in p.segments.windows(2) {
+            assert!(w[0].0 >= w[1].0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn spend_is_monotone_in_price() {
+        let dc = zone();
+        let p = ZoneProfile::build(&dc, 50.0);
+        let hi = p.max_price();
+        let mut last = f64::INFINITY;
+        for k in 0..10 {
+            let lambda = hi * k as f64 / 10.0;
+            let spend = p.est_total_at(lambda);
+            assert!(spend <= last + 1e-12, "spend must fall as price rises");
+            assert!(spend >= p.p_min_kw - 1e-12 && spend <= p.p_max_kw + 1e-12);
+            last = spend;
+        }
+        // Above the steepest slope nothing is bought.
+        assert!((p.est_total_at(hi + 1.0) - p.p_min_kw).abs() < 1e-9);
+    }
+}

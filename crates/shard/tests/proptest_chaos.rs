@@ -1,0 +1,90 @@
+//! Chaos: seeded random worker faults (panics, stalls, typed errors) at
+//! random epochs must never panic the master, never yield a plan that
+//! violates redlines or oversubscribes the feed, and — once the faults
+//! clear — the solver must converge back to the all-healthy answer
+//! within the backoff bound.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use thermaware_shard::chaos::ChaosScript;
+use thermaware_shard::fleet::{Fleet, FleetParams};
+use thermaware_shard::pool::PoolConfig;
+use thermaware_shard::solver::{FleetConfig, FleetSolver};
+
+fn cfg(threads: usize) -> FleetConfig {
+    FleetConfig {
+        pool: PoolConfig {
+            threads,
+            // No deadline: chaos stalls become slow failed attempts, so
+            // the retry/fallback path is exercised with zero timing
+            // flake in debug builds. Genuine timeouts are covered by the
+            // pool unit tests and the release-mode drill.
+            deadline: None,
+            retries: 1,
+            backoff: std::time::Duration::from_millis(1),
+            hedge_after: None,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    // Every case is several epochs of full fleet solves; keep the case
+    // count small and the fleet smaller.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core robustness property of the shard crate.
+    #[test]
+    fn chaotic_epochs_never_break_invariants_and_recovery_converges(
+        seed in 0u64..10_000,
+        chaos_seed in 0u64..10_000,
+        p_fault in 0.1f64..0.6,
+        threads in 1usize..4,
+    ) {
+        let chaos_epochs = 3u64;
+        let fleet = Arc::new(
+            Fleet::build(&FleetParams::small(3, 4, seed), 50.0).expect("fleet builds"),
+        );
+
+        // The all-healthy reference answer.
+        let mut reference = FleetSolver::new(Arc::clone(&fleet), cfg(1));
+        let healthy = reference.replan(None);
+        prop_assert_eq!(healthy.degraded, 0);
+
+        // Faults at random (epoch, zone, attempt) coordinates for the
+        // first `chaos_epochs` epochs; stall times are tiny because with
+        // no deadline they only add latency, not semantics.
+        let script = ChaosScript::seeded(
+            chaos_seed, chaos_epochs, fleet.n_zones(), 2, p_fault, 5,
+        );
+
+        let mut solver = FleetSolver::new(Arc::clone(&fleet), cfg(threads));
+        for _ in 0..chaos_epochs {
+            // Any injected panic is caught by the pool: this call must
+            // return a full, invariant-respecting plan regardless.
+            let plan = solver.replan(Some(&script));
+            plan.verify(&fleet).expect("invariants hold under chaos");
+            prop_assert_eq!(plan.zones.len(), fleet.n_zones());
+        }
+
+        // Faults cleared: within the backoff bound (skip lengths are
+        // capped at 8 epochs) every zone must return to fresh solves and
+        // the fleet must match the healthy reference.
+        let mut recovered = None;
+        for _ in 0..12 {
+            let plan = solver.replan(None);
+            plan.verify(&fleet).expect("invariants hold during recovery");
+            if plan.degraded == 0 {
+                recovered = Some(plan);
+                break;
+            }
+        }
+        let plan = recovered.expect("solver must reconverge once faults clear");
+        let tol = 1e-6 * (1.0 + healthy.reward.abs());
+        prop_assert!(
+            (plan.reward - healthy.reward).abs() <= tol,
+            "recovered {} vs healthy {}", plan.reward, healthy.reward
+        );
+    }
+}

@@ -78,6 +78,9 @@ pub use thermaware_scheduler as scheduler;
 /// deterministic engine, durable store, wire protocol, and load
 /// generator.
 pub use thermaware_service as service;
+/// Zone-decomposed fleet solving: the supervised worker pool, the
+/// power-budget bisection master, and the degraded-zone fallback ladder.
+pub use thermaware_shard as shard;
 /// The abstract heat-flow model, CoP/CRAC power, interference generation.
 pub use thermaware_thermal as thermal;
 /// Task types, ECS matrices, arrival traces.

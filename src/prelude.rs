@@ -47,5 +47,8 @@ pub use thermaware_service::{
     resume_service, ReplanVerdict, ServiceConfig, ServiceEngine, ServiceStore,
 };
 
+// Zone-decomposed fleet solving on the supervised worker pool.
+pub use thermaware_shard::{Fleet, FleetConfig, FleetParams, FleetPlan, FleetSolver};
+
 // Observability sinks and the install entry point.
 pub use thermaware_obs::{JsonlRecorder, MemoryRecorder, NoopRecorder, Recorder};
