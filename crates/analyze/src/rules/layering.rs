@@ -40,8 +40,8 @@ const ALLOWED: [(&str, &[&str]); 14] = [
     ("datacenter", &["obs", "lp", "power", "thermal", "workload"]),
     ("core", &["linalg", "obs", "lp", "power", "thermal", "workload", "datacenter"]),
     ("scheduler", &["workload", "obs", "datacenter", "core"]),
-    ("runtime", &["core", "obs", "datacenter", "scheduler", "workload"]),
-    ("service", &["core", "obs", "datacenter", "runtime", "scheduler"]),
+    ("runtime", &["core", "obs", "datacenter", "scheduler", "thermal", "workload"]),
+    ("service", &["core", "obs", "datacenter", "runtime", "scheduler", "workload"]),
     ("shard", &["core", "obs", "datacenter", "runtime"]),
     ("bench", &["*"]),
 ];

@@ -31,6 +31,7 @@ use thermaware_obs::MemoryRecorder;
 use thermaware_shard::chaos::ChaosScript;
 use thermaware_shard::fleet::{Fleet, FleetParams};
 use thermaware_shard::pool::PoolConfig;
+use thermaware_core::ObjectiveWeights;
 use thermaware_shard::solver::{solve_monolithic, FleetConfig, FleetSolver};
 
 const USAGE: &str = "shard_bench [--zones N] [--nodes N] [--seed S] [--chaos-epochs N] \
@@ -88,7 +89,8 @@ fn main() {
     let mut mono_reward = 0.0;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let mono = solve_monolithic(&fleet, 50.0).expect("monolithic solve");
+        let mono = solve_monolithic(&fleet, 50.0, &ObjectiveWeights::reward_only())
+            .expect("monolithic solve");
         mono_best = mono_best.min(t0.elapsed());
         mono_reward = mono.reward;
     }

@@ -116,6 +116,7 @@ pub fn run_one_scenario(
     let mk = |psi| ThreeStageOptions {
         psi_percent: psi,
         search: config.search,
+        ..ThreeStageOptions::default()
     };
     let s25 = solve_three_stage(&dc, &mk(25.0))?;
     let s50 = solve_three_stage(&dc, &mk(50.0))?;

@@ -38,9 +38,10 @@ pub struct BaselineSolution {
 
 /// Solve the baseline for a data center.
 ///
-/// Prefer [`crate::Solver::baseline`] — the builder façade wrapping this
+///// Prefer [`crate::Solver::baseline`] — the builder façade wrapping this
 /// entry point; this free function is kept as a thin shim for existing
 /// call sites and produces bit-identical assignments.
+#[doc(hidden)]
 pub fn solve_baseline(
     dc: &DataCenter,
     search: CracSearchOptions,

@@ -32,9 +32,11 @@
 
 pub mod arr;
 pub mod baseline;
+pub mod chip_place;
 pub mod error;
 pub mod min_power;
 pub mod minlp;
+pub mod objective;
 pub mod pwl;
 pub mod rr;
 pub mod solver;
@@ -47,7 +49,9 @@ pub mod verify;
 
 pub use arr::ArrCurve;
 pub use baseline::{solve_baseline, BaselineSolution};
+pub use chip_place::place_within_nodes;
 pub use error::SolveError;
+pub use objective::ObjectiveWeights;
 pub use pwl::PiecewiseLinear;
 pub use rr::reward_rate_curve;
 pub use solver::Solver;

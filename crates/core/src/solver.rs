@@ -1,10 +1,11 @@
-//! The [`Solver`] builder — the workspace's primary solve entry point.
+//! The [`Solver`] builder — the workspace's **single documented solve
+//! entry point**.
 //!
-//! The free functions [`crate::solve_three_stage`],
-//! [`crate::solve_three_stage_best_of`] and [`crate::solve_baseline`]
-//! grew one configuration parameter at a time (ψ, the CRAC search
-//! options, now an observability recorder), and every addition rippled
-//! through each signature. The builder gathers the configuration in one
+//! The free functions ([`crate::solve_three_stage`] and friends) grew
+//! one configuration parameter at a time (ψ, the CRAC search options,
+//! an observability recorder), and every addition rippled through each
+//! signature. They are now `#[doc(hidden)]` pass-throughs kept for
+//! existing call sites; the builder gathers all configuration in one
 //! place with defaults matching [`ThreeStageOptions::default`]:
 //!
 //! ```
@@ -19,47 +20,87 @@
 //! Both paths call the same `pub(crate)` implementations, so a builder
 //! solve is **bit-identical** to the equivalent free-function call (a
 //! test in `tests/solver_builder.rs` holds this).
+//!
+//! # The scenario surface
+//!
+//! Beyond the paper's static solve, the builder is where the scenario
+//! engine is configured:
+//!
+//! * [`arrival_curve`](Solver::arrival_curve) — a time-varying demand
+//!   multiplier; [`solve_at`](Solver::solve_at) samples it and scales
+//!   every task type's arrival rate before solving.
+//! * [`objective`](Solver::objective) /
+//!   [`price_curve`](Solver::price_curve) /
+//!   [`carbon_curve`](Solver::carbon_curve) — multi-objective weights
+//!   blending electricity price and carbon intensity into the Stage-1
+//!   objective, with reward-only as the bit-identical default.
+//! * [`chip_model`](Solver::chip_model) — chip-level thermal
+//!   interference: after Stage 2, each node's P-states are permuted
+//!   onto the die's coolest placement (`crate::chip_place`), then
+//!   Stage 3 re-solves warm (same groups, same reward, cooler dies).
+//! * [`warm_start`](Solver::warm_start) — basis reuse across the
+//!   Stage-1 CRAC outlet sweep (on by default).
 
 use crate::baseline::{baseline_impl, BaselineSolution};
 use crate::error::SolveError;
+use crate::objective::ObjectiveWeights;
+use crate::stage3::solve_stage3_warm;
 use crate::three_stage::{three_stage_best_of_impl, three_stage_impl};
 use crate::{ThreeStageOptions, ThreeStageSolution};
 use std::sync::Arc;
 use thermaware_datacenter::{CracSearchOptions, DataCenter};
 use thermaware_obs::Recorder;
+use thermaware_thermal::ChipModel;
+use thermaware_workload::Curve;
 
 /// Which ψ policy a [`Solver`] runs.
 #[derive(Debug, Clone)]
 enum PsiPolicy {
     /// One solve at a single ψ (percent).
     Single(f64),
-    /// Solve per candidate ψ, keep the best by Stage-3 reward rate.
+    /// Solve per candidate ψ, keep the best by the configured net
+    /// objective (Stage-3 reward rate under reward-only weights).
     BestOf(Vec<f64>),
 }
 
-/// Builder façade over the three-stage technique and the baseline.
+/// Builder façade over the three-stage technique, the baseline, and the
+/// scenario engine (demand curves, multi-objective cost, chip-level
+/// placement).
 ///
 /// Construct with [`Solver::new`], chain configuration, finish with
-/// [`solve`](Solver::solve) (or [`baseline`](Solver::baseline)). Every
-/// knob has the same default the free functions use, so
-/// `Solver::new(&dc).solve()` equals
-/// `solve_three_stage(&dc, &ThreeStageOptions::default())`.
+/// [`solve`](Solver::solve) / [`solve_at`](Solver::solve_at) (or
+/// [`baseline`](Solver::baseline)). Every knob has the same default the
+/// historical free functions used, so `Solver::new(&dc).solve()` equals
+/// `solve_three_stage(&dc, &ThreeStageOptions::default())` bit for bit.
 pub struct Solver<'a> {
     dc: &'a DataCenter,
     psi: PsiPolicy,
     search: CracSearchOptions,
     recorder: Option<Arc<dyn Recorder>>,
+    warm: bool,
+    objective: ObjectiveWeights,
+    demand: Option<Curve>,
+    price: Option<Curve>,
+    carbon: Option<Curve>,
+    chip: Option<&'a ChipModel>,
 }
 
 impl<'a> Solver<'a> {
     /// A solver over `dc` with default configuration (ψ = 50%, default
-    /// coarse-to-fine CRAC search, no recorder).
+    /// coarse-to-fine CRAC search, warm-started, reward-only objective,
+    /// no demand curve, no chip model, no recorder).
     pub fn new(dc: &'a DataCenter) -> Solver<'a> {
         Solver {
             dc,
             psi: PsiPolicy::Single(ThreeStageOptions::default().psi_percent),
             search: CracSearchOptions::default(),
             recorder: None,
+            warm: true,
+            objective: ObjectiveWeights::reward_only(),
+            demand: None,
+            price: None,
+            carbon: None,
+            chip: None,
         }
     }
 
@@ -70,10 +111,11 @@ impl<'a> Solver<'a> {
         self
     }
 
-    /// Solve once per candidate ψ and keep the best plan by Stage-3
-    /// reward rate (the paper's "best of the two" series in Figure 6).
-    /// An empty candidate set fails at [`solve`](Solver::solve) time with
-    /// [`SolveError::InvalidInput`].
+    /// Solve once per candidate ψ and keep the best plan by the
+    /// configured net objective — the Stage-3 reward rate under default
+    /// reward-only weights (the paper's "best of the two" series in
+    /// Figure 6). An empty candidate set fails at
+    /// [`solve`](Solver::solve) time with [`SolveError::InvalidInput`].
     pub fn psi_best_of(mut self, psis: impl Into<Vec<f64>>) -> Solver<'a> {
         self.psi = PsiPolicy::BestOf(psis.into());
         self
@@ -82,6 +124,62 @@ impl<'a> Solver<'a> {
     /// Configure the coarse-to-fine CRAC outlet temperature search.
     pub fn crac_grid(mut self, search: CracSearchOptions) -> Solver<'a> {
         self.search = search;
+        self
+    }
+
+    /// Warm-start Stage 1's fixed-outlet LPs across the CRAC sweep
+    /// (default `true`; `false` restores cold solves per grid point,
+    /// mainly for benchmarking the warm-start win itself).
+    pub fn warm_start(mut self, warm: bool) -> Solver<'a> {
+        self.warm = warm;
+        self
+    }
+
+    /// Blend electricity price and carbon into the solve objective.
+    /// [`ObjectiveWeights::reward_only`] (the default) preserves the
+    /// paper's objective bit for bit.
+    pub fn objective(mut self, weights: ObjectiveWeights) -> Solver<'a> {
+        self.objective = weights;
+        self
+    }
+
+    /// Attach a time-varying demand multiplier: at
+    /// [`solve_at(t)`](Solver::solve_at), every task type's arrival
+    /// rate is scaled by `curve.rate_at(t)` (clamped at 0). A constant
+    /// curve of 1.0 reproduces the static workload.
+    pub fn arrival_curve(mut self, curve: Curve) -> Solver<'a> {
+        self.demand = Some(curve);
+        self
+    }
+
+    /// Attach a time-varying electricity price ($ per kWh):
+    /// [`solve_at(t)`](Solver::solve_at) samples it into
+    /// [`ObjectiveWeights::price_per_kwh`], overriding the static
+    /// value from [`objective`](Solver::objective).
+    pub fn price_curve(mut self, curve: Curve) -> Solver<'a> {
+        self.price = Some(curve);
+        self
+    }
+
+    /// Attach a time-varying grid carbon intensity (kg CO₂ per kWh):
+    /// [`solve_at(t)`](Solver::solve_at) samples it into
+    /// [`ObjectiveWeights::carbon_kg_per_kwh`]. The intensity only
+    /// affects the objective when
+    /// [`ObjectiveWeights::carbon_weight`] is non-zero.
+    pub fn carbon_curve(mut self, curve: Curve) -> Solver<'a> {
+        self.carbon = Some(curve);
+        self
+    }
+
+    /// Attach a chip-level thermal model: after Stage 2, each node's
+    /// P-states are permuted onto the die's coolest placement order and
+    /// Stage 3 re-solves warm. Node power totals — and therefore every
+    /// room-level redline, the power budget, and the achieved reward —
+    /// are unchanged; only *which* core runs *which* P-state moves.
+    /// Without this call the solve is bit-identical to the chip-unaware
+    /// solver.
+    pub fn chip_model(mut self, chip: &'a ChipModel) -> Solver<'a> {
+        self.chip = Some(chip);
         self
     }
 
@@ -94,24 +192,94 @@ impl<'a> Solver<'a> {
         self
     }
 
-    /// Run the configured three-stage solve.
+    /// Run the configured solve at scenario time `t = 0` — equivalent
+    /// to [`solve_at(0.0)`](Solver::solve_at). With no scenario curves
+    /// attached this takes the direct path on the original data center.
     pub fn solve(&self) -> Result<ThreeStageSolution, SolveError> {
+        self.solve_at(0.0)
+    }
+
+    /// Run the configured solve at scenario time `t_s` seconds: sample
+    /// the demand/price/carbon curves at `t_s`, solve the resulting
+    /// snapshot, then apply chip-aware placement if a chip model is
+    /// attached.
+    pub fn solve_at(&self, t_s: f64) -> Result<ThreeStageSolution, SolveError> {
         let _install = self.recorder.as_ref().map(|r| thermaware_obs::install(Arc::clone(r)));
-        match &self.psi {
-            PsiPolicy::Single(psi) => three_stage_impl(
-                self.dc,
-                &ThreeStageOptions {
-                    psi_percent: *psi,
-                    search: self.search,
-                },
-            ),
-            PsiPolicy::BestOf(psis) => three_stage_best_of_impl(self.dc, psis, self.search),
+
+        let mut weights = self.objective;
+        if let Some(p) = &self.price {
+            weights.price_per_kwh = p.rate_at(t_s);
+        }
+        if let Some(c) = &self.carbon {
+            weights.carbon_kg_per_kwh = c.rate_at(t_s);
+        }
+
+        match &self.demand {
+            // No demand curve: solve the original data center directly
+            // (with all-default scenario knobs this is the historical,
+            // bit-identical path).
+            None => {
+                let sol = self.run(self.dc, weights)?;
+                self.finish(self.dc, sol)
+            }
+            Some(curve) => {
+                let m = curve.rate_at(t_s).max(0.0);
+                let mut dc = self.dc.clone();
+                for t in &mut dc.workload.task_types {
+                    t.arrival_rate *= m;
+                }
+                let sol = self.run(&dc, weights)?;
+                self.finish(&dc, sol)
+            }
         }
     }
 
+    /// Dispatch the ψ policy against the shared `pub(crate)` impls.
+    fn run(&self, dc: &DataCenter, weights: ObjectiveWeights) -> Result<ThreeStageSolution, SolveError> {
+        let base = ThreeStageOptions {
+            psi_percent: ThreeStageOptions::default().psi_percent,
+            search: self.search,
+            warm_start: self.warm,
+            objective: weights,
+        };
+        match &self.psi {
+            PsiPolicy::Single(psi) => three_stage_impl(
+                dc,
+                &ThreeStageOptions {
+                    psi_percent: *psi,
+                    ..base
+                },
+            ),
+            PsiPolicy::BestOf(psis) => three_stage_best_of_impl(dc, psis, &base),
+        }
+    }
+
+    /// Chip-aware post-pass: permute P-states within nodes onto each
+    /// die's coolest placement, then re-solve Stage 3 warm so the
+    /// core→group mapping matches. No-op without a chip model.
+    fn finish(
+        &self,
+        dc: &DataCenter,
+        mut sol: ThreeStageSolution,
+    ) -> Result<ThreeStageSolution, SolveError> {
+        let Some(chip) = self.chip else {
+            return Ok(sol);
+        };
+        let moved = crate::chip_place::place_within_nodes(dc, chip, &mut sol.pstates);
+        thermaware_obs::counter_add("core.chip_placement_moves", moved as u64);
+        if moved > 0 {
+            let (stage3, stage3_basis) =
+                solve_stage3_warm(dc, &sol.pstates, sol.stage3_basis.as_ref())?;
+            sol.stage3 = stage3;
+            sol.stage3_basis = stage3_basis;
+        }
+        Ok(sol)
+    }
+
     /// Run the Eq.-21 baseline (P0-or-off fractions) under the same CRAC
-    /// search and recorder configuration. The ψ policy does not apply —
-    /// the baseline has no ARR averaging.
+    /// search and recorder configuration. The ψ policy, scenario curves
+    /// and chip model do not apply — the baseline has no ARR averaging
+    /// and serves as the paper's static comparison point.
     pub fn baseline(&self) -> Result<BaselineSolution, SolveError> {
         let _install = self.recorder.as_ref().map(|r| thermaware_obs::install(Arc::clone(r)));
         baseline_impl(self.dc, self.search)
@@ -155,5 +323,57 @@ mod tests {
         let dc = ScenarioParams::small_test().build(5).unwrap();
         let err = Solver::new(&dc).psi_best_of(Vec::new()).solve().unwrap_err();
         assert!(matches!(err, SolveError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn unit_arrival_curve_matches_static_solve() {
+        let dc = ScenarioParams::small_test().build(6).unwrap();
+        let plain = Solver::new(&dc).solve().expect("static");
+        let unit = Solver::new(&dc)
+            .arrival_curve(Curve::constant(1.0))
+            .solve()
+            .expect("unit curve");
+        assert_eq!(plain, unit);
+    }
+
+    #[test]
+    fn diurnal_demand_changes_the_plan_over_the_day() {
+        let dc = ScenarioParams::small_test().build(7).unwrap();
+        let solver = Solver::new(&dc).arrival_curve(Curve::Diurnal {
+            base: 0.4,
+            peak: 1.0,
+            period_s: 86_400.0,
+        });
+        let trough = solver.solve_at(0.0).expect("trough");
+        let crest = solver.solve_at(43_200.0).expect("crest");
+        assert!(
+            crest.reward_rate() > trough.reward_rate(),
+            "crest {} should beat trough {}",
+            crest.reward_rate(),
+            trough.reward_rate()
+        );
+    }
+
+    #[test]
+    fn price_weight_trades_reward_for_power() {
+        let dc = ScenarioParams::small_test().build(8).unwrap();
+        let plain = Solver::new(&dc).solve().expect("reward-only");
+        let costed = Solver::new(&dc)
+            .objective(ObjectiveWeights {
+                price_per_kwh: 50.0,
+                ..ObjectiveWeights::reward_only()
+            })
+            .solve()
+            .expect("costed");
+        let p0 = plain.total_power_kw(&dc);
+        let p1 = costed.total_power_kw(&dc);
+        assert!(
+            p1 <= p0 + 1e-9,
+            "a positive price must not increase power ({p1} vs {p0})"
+        );
+        assert!(
+            plain.reward_rate() >= costed.reward_rate() - 1e-9,
+            "reward-only must stay the reward maximizer"
+        );
     }
 }

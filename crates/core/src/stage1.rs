@@ -27,6 +27,7 @@
 
 use crate::arr::ArrCurve;
 use crate::error::SolveError;
+use crate::objective::ObjectiveWeights;
 use serde::{Deserialize, Serialize};
 use thermaware_datacenter::{optimize_crac_outlets, CracSearchOptions, DataCenter};
 use thermaware_lp::{Basis, Problem, RowOp, Sense, VarId};
@@ -45,6 +46,12 @@ pub struct Stage1Options {
     /// optimal. Off restores the cold-solve-per-point behaviour (used by
     /// the benchmark baseline).
     pub warm_start: bool,
+    /// Objective blend. The reward-only default takes the historical
+    /// code path and is bit-identical to pre-multi-objective solves;
+    /// non-default weights subtract an electricity/carbon cost from
+    /// every segment's reward slope and rank outlet candidates by the
+    /// blended net objective.
+    pub objective: ObjectiveWeights,
 }
 
 impl Default for Stage1Options {
@@ -53,6 +60,7 @@ impl Default for Stage1Options {
             psi_percent: 50.0,
             search: CracSearchOptions::default(),
             warm_start: true,
+            objective: ObjectiveWeights::reward_only(),
         }
     }
 }
@@ -112,7 +120,8 @@ pub fn solve_stage1(
         if !options.warm_start {
             warm = None;
         }
-        solve_fixed_outlets(dc, &node_curves, outlets, &mut warm).map(|(_, obj)| obj)
+        solve_fixed_outlets(dc, &node_curves, outlets, &options.objective, &mut warm)
+            .map(|(_, obj)| obj)
     })
     .ok_or(SolveError::NoFeasibleOutlets { stage: "stage1" })?;
     let (crac_out_c, _) = best;
@@ -121,7 +130,7 @@ pub fn solve_stage1(
         warm = None;
     }
     let (node_core_power_kw, objective) =
-        solve_fixed_outlets(dc, &node_curves, &crac_out_c, &mut warm)
+        solve_fixed_outlets(dc, &node_curves, &crac_out_c, &options.objective, &mut warm)
             .ok_or(SolveError::OutletRecheckFailed { stage: "stage1" })?;
     thermaware_obs::gauge_set("core.stage1_objective", objective);
 
@@ -152,6 +161,16 @@ pub fn solve_stage1(
 /// objective, or `None` when infeasible (including when the exact clamped
 /// power model rejects the linearized solution).
 ///
+/// With reward-only `objective` weights this is the historical LP,
+/// unchanged coefficient for coefficient. With cost weights each
+/// segment's objective coefficient becomes
+/// `reward_weight·slope − cost_rate·node_coeff[j]` — `node_coeff[j]`
+/// is the *total* power sensitivity to node `j`'s core power (IT plus
+/// induced CRAC cooling), so the LP trades reward against the true
+/// marginal electricity/carbon cost — and the returned objective has
+/// the fixed-power cost subtracted so the outlet search ranks
+/// candidates by the blended net objective.
+///
 /// `warm` carries the optimal basis between calls: the solve starts from
 /// it when present and structurally compatible, and on success it is
 /// replaced with this solve's basis. Infeasible outlets leave the last
@@ -160,10 +179,23 @@ fn solve_fixed_outlets(
     dc: &DataCenter,
     node_curves: &[crate::pwl::PiecewiseLinear],
     outlets: &[f64],
+    objective: &ObjectiveWeights,
     warm: &mut Option<Basis>,
 ) -> Option<(Vec<f64>, f64)> {
     let nn = dc.n_nodes();
     let coeff = dc.thermal.coefficients(outlets);
+
+    // Total-power sensitivities, needed up front when the cost term is
+    // active (and later by the power row in every case):
+    // w_c = ρ·Cp·F_c / CoP(out_c), node_coeff_j = 1 + Σ_c w_c·g_crac.
+    let w: Vec<f64> = (0..dc.n_crac())
+        .map(|c| RHO_CP * dc.cracs[c].flow_m3s / cop::cop(outlets[c]))
+        .collect();
+    let node_coeff: Vec<f64> = (0..nn)
+        .map(|j| 1.0 + (0..dc.n_crac()).map(|c| w[c] * coeff.g_crac[(c, j)]).sum::<f64>())
+        .collect();
+    let reward_only = objective.is_reward_only();
+    let cost_rate = objective.cost_rate_per_kws();
 
     let mut p = Problem::new(Sense::Maximize);
     // Segment variables per node; remember each node's var ids.
@@ -175,7 +207,13 @@ fn solve_fixed_outlets(
         let vars = (0..slopes.len())
             .map(|s| {
                 let len = pts[s + 1].0 - pts[s].0;
-                p.add_var(&format!("seg_n{node}_s{s}"), 0.0, len, slopes[s])
+                // Reward-only keeps the raw slope (bit-identical path).
+                let obj = if reward_only {
+                    slopes[s]
+                } else {
+                    objective.reward_weight * slopes[s] - cost_rate * node_coeff[node]
+                };
+                p.add_var(&format!("seg_n{node}_s{s}"), 0.0, len, obj)
             })
             .collect();
         node_vars.push(vars);
@@ -216,13 +254,7 @@ fn solve_fixed_outlets(
     }
 
     // Power row: Σ_j P_j + Σ_c w_c (Tin_c - out_c) <= Pconst, with
-    // w_c = ρ·Cp·F_c / CoP(out_c) and Tin_c affine in node powers.
-    let w: Vec<f64> = (0..dc.n_crac())
-        .map(|c| RHO_CP * dc.cracs[c].flow_m3s / cop::cop(outlets[c]))
-        .collect();
-    let node_coeff: Vec<f64> = (0..nn)
-        .map(|j| 1.0 + (0..dc.n_crac()).map(|c| w[c] * coeff.g_crac[(c, j)]).sum::<f64>())
-        .collect();
+    // w_c and node_coeff_j computed above and Tin_c affine in node powers.
     let fixed_power: f64 = (0..nn).map(|j| node_coeff[j] * base_power[j]).sum::<f64>()
         + (0..dc.n_crac())
             .map(|c| w[c] * (coeff.base_crac[c] - outlets[c]))
@@ -256,7 +288,15 @@ fn solve_fixed_outlets(
     if !dc.redlines_ok(&state) {
         return None;
     }
-    Some((node_core_power, sol.objective))
+    // The variables only carry the *marginal* cost; fold in the cost of
+    // the fixed draw (node bases + outlet-dependent CRAC floor) so the
+    // outlet search compares candidates by the full net objective.
+    let objective_value = if reward_only {
+        sol.objective
+    } else {
+        sol.objective - cost_rate * fixed_power
+    };
+    Some((node_core_power, objective_value))
 }
 
 /// Split a node's total core power across its cores using adjacent hull

@@ -1,6 +1,7 @@
 //! The end-to-end three-stage assignment (paper Section V.B).
 
 use crate::error::SolveError;
+use crate::objective::ObjectiveWeights;
 use crate::stage1::{solve_stage1, Stage1Options, Stage1Solution};
 use crate::stage2::assign_pstates;
 use crate::stage3::{solve_stage3_warm, Stage3Basis, Stage3Solution};
@@ -14,6 +15,12 @@ pub struct ThreeStageOptions {
     pub psi_percent: f64,
     /// CRAC outlet search strategy for Stage 1.
     pub search: CracSearchOptions,
+    /// Warm-start Stage 1's fixed-outlet LPs across the CRAC grid
+    /// sweep (see [`Stage1Options::warm_start`]).
+    pub warm_start: bool,
+    /// Objective blend (reward vs electricity/carbon cost). The
+    /// reward-only default preserves the paper's objective bit for bit.
+    pub objective: ObjectiveWeights,
 }
 
 impl Default for ThreeStageOptions {
@@ -21,6 +28,8 @@ impl Default for ThreeStageOptions {
         ThreeStageOptions {
             psi_percent: 50.0,
             search: CracSearchOptions::default(),
+            warm_start: true,
+            objective: ObjectiveWeights::reward_only(),
         }
     }
 }
@@ -53,6 +62,26 @@ impl ThreeStageSolution {
     pub fn crac_out_c(&self) -> &[f64] {
         &self.stage1.crac_out_c
     }
+
+    /// Exact total power draw (IT + cooling, kW) of this plan on `dc`.
+    pub fn total_power_kw(&self, dc: &DataCenter) -> f64 {
+        let node_powers = dc.node_powers_from_pstates(&self.pstates);
+        let (it, cooling, _) = dc.total_power_kw(&self.stage1.crac_out_c, &node_powers);
+        it + cooling
+    }
+
+    /// The blended net objective under `weights`:
+    /// `reward_weight·reward_rate − cost_rate·total_power`. With
+    /// reward-only weights this is exactly [`reward_rate`]
+    /// (no cost arithmetic is performed).
+    ///
+    /// [`reward_rate`]: ThreeStageSolution::reward_rate
+    pub fn net_objective(&self, dc: &DataCenter, weights: &ObjectiveWeights) -> f64 {
+        if weights.is_reward_only() {
+            return self.reward_rate();
+        }
+        weights.net_objective(self.reward_rate(), self.total_power_kw(dc))
+    }
 }
 
 /// Run Stages 1–3 for one ψ.
@@ -61,6 +90,7 @@ impl ThreeStageSolution {
 /// point (`Solver::new(&dc).psi(50.0).solve()`); this free function is
 /// kept as a thin shim for existing call sites and produces bit-identical
 /// plans.
+#[doc(hidden)]
 pub fn solve_three_stage(
     dc: &DataCenter,
     options: &ThreeStageOptions,
@@ -83,7 +113,8 @@ pub(crate) fn three_stage_impl(
         &Stage1Options {
             psi_percent: options.psi_percent,
             search: options.search,
-            ..Stage1Options::default()
+            warm_start: options.warm_start,
+            objective: options.objective,
         },
     )?;
     let pstates = {
@@ -113,20 +144,31 @@ pub(crate) fn three_stage_impl(
 /// [`psi_best_of`](crate::Solver::psi_best_of); this free function is
 /// kept as a thin shim for existing call sites and produces bit-identical
 /// plans.
+#[doc(hidden)]
 pub fn solve_three_stage_best_of(
     dc: &DataCenter,
     psis: &[f64],
     search: CracSearchOptions,
 ) -> Result<ThreeStageSolution, SolveError> {
-    three_stage_best_of_impl(dc, psis, search)
+    three_stage_best_of_impl(
+        dc,
+        psis,
+        &ThreeStageOptions {
+            search,
+            ..ThreeStageOptions::default()
+        },
+    )
 }
 
 /// Shared implementation behind [`solve_three_stage_best_of`] and the
-/// builder's best-of mode.
+/// builder's best-of mode. `base.psi_percent` is ignored — each
+/// candidate in `psis` is solved with the rest of `base`'s options, and
+/// the winner is picked by `base.objective`'s net objective (exactly
+/// the Stage-3 reward rate under reward-only weights).
 pub(crate) fn three_stage_best_of_impl(
     dc: &DataCenter,
     psis: &[f64],
-    search: CracSearchOptions,
+    base: &ThreeStageOptions,
 ) -> Result<ThreeStageSolution, SolveError> {
     if psis.is_empty() {
         return Err(SolveError::invalid_input("best-of: empty ψ candidate set"));
@@ -140,14 +182,14 @@ pub(crate) fn three_stage_best_of_impl(
             dc,
             &ThreeStageOptions {
                 psi_percent: psi,
-                search,
+                ..*base
             },
         ) {
             Ok(sol) => {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| sol.reward_rate() > b.reward_rate())
-                {
+                if best.as_ref().is_none_or(|b| {
+                    sol.net_objective(dc, &base.objective)
+                        > b.net_objective(dc, &base.objective)
+                }) {
                     best = Some(sol);
                 }
             }

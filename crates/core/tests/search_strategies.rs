@@ -23,6 +23,7 @@ fn coordinate_descent_close_to_exhaustive() {
                 exhaustive_refine: true,
                 ..CracSearchOptions::default()
             },
+            ..ThreeStageOptions::default()
         },
     )
     .unwrap();
@@ -34,6 +35,7 @@ fn coordinate_descent_close_to_exhaustive() {
                 exhaustive_refine: false,
                 ..CracSearchOptions::default()
             },
+            ..ThreeStageOptions::default()
         },
     )
     .unwrap();
@@ -59,6 +61,7 @@ fn wider_refinement_never_hurts() {
                 refine_radius: 0,
                 ..CracSearchOptions::default()
             },
+            ..ThreeStageOptions::default()
         },
     )
     .unwrap();
@@ -70,6 +73,7 @@ fn wider_refinement_never_hurts() {
                 refine_radius: 4,
                 ..CracSearchOptions::default()
             },
+            ..ThreeStageOptions::default()
         },
     )
     .unwrap();
@@ -88,6 +92,7 @@ fn finer_coarse_grid_never_hurts() {
                 refine_radius: 0,
                 ..CracSearchOptions::default()
             },
+            ..ThreeStageOptions::default()
         },
     )
     .unwrap();
@@ -100,6 +105,7 @@ fn finer_coarse_grid_never_hurts() {
                 refine_radius: 0,
                 ..CracSearchOptions::default()
             },
+            ..ThreeStageOptions::default()
         },
     )
     .unwrap();

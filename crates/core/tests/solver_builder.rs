@@ -68,6 +68,7 @@ fn builder_with_custom_search_grid_is_bit_identical() {
     let opts = ThreeStageOptions {
         psi_percent: 50.0,
         search,
+        ..ThreeStageOptions::default()
     };
     let legacy = solve_three_stage(&dc, &opts).expect("legacy");
     let built = Solver::new(&dc).psi(50.0).crac_grid(search).solve().expect("builder");

@@ -24,6 +24,20 @@ pub enum Violation {
     /// The active plan no longer matches the floor (dead nodes still
     /// carrying desired rates, a surge since the last replan, …).
     StalePlan,
+    /// A die's chip-level peak temperature exceeded its TSPD limit
+    /// (requires a chip model attached to the supervisor).
+    ChipHotspot {
+        /// Hottest observed die temperature, °C.
+        observed_c: f64,
+    },
+    /// Observed demand drifted from the multiplier the active plan was
+    /// solved for by more than the configured threshold.
+    DemandDrift {
+        /// Current arrival-rate multiplier.
+        multiplier: f64,
+        /// Multiplier the active plan was solved at.
+        planned: f64,
+    },
 }
 
 /// A degradation-ladder response.
@@ -49,6 +63,17 @@ pub enum Action {
         /// Its per-task reward.
         reward: f64,
     },
+    /// Chip-level task migration: P-states permuted between cores of the
+    /// same node to spread heat across the die. Node power totals (and
+    /// therefore every room-level constraint) are unchanged.
+    Migrate {
+        /// Pairwise core swaps applied.
+        swaps: usize,
+    },
+    /// A full three-stage re-solve at the drifted demand (new outlets,
+    /// P-states, and rates) — the scenario engine's answer to sustained
+    /// demand drift, heavier than the Stage-3-only [`Action::Replan`].
+    Stage1Replan,
 }
 
 /// One typed log entry.
@@ -154,10 +179,18 @@ impl EventLog {
                 EventKind::ViolationDetected(Violation::StalePlan) => {
                     "runtime.violation.stale_plan"
                 }
+                EventKind::ViolationDetected(Violation::ChipHotspot { .. }) => {
+                    "runtime.violation.chip_hotspot"
+                }
+                EventKind::ViolationDetected(Violation::DemandDrift { .. }) => {
+                    "runtime.violation.demand_drift"
+                }
                 EventKind::ActionTaken(Action::Replan) => "runtime.action.replan",
                 EventKind::ActionTaken(Action::OutletDrop { .. }) => "runtime.action.outlet_drop",
                 EventKind::ActionTaken(Action::Throttle { .. }) => "runtime.action.throttle",
                 EventKind::ActionTaken(Action::ShedTaskType { .. }) => "runtime.action.shed",
+                EventKind::ActionTaken(Action::Migrate { .. }) => "runtime.action.migrate",
+                EventKind::ActionTaken(Action::Stage1Replan) => "runtime.action.stage1_replan",
                 EventKind::ReplanFailed { .. } => "runtime.replan_failed",
                 EventKind::Backoff { .. } => "runtime.backoffs",
                 EventKind::Recovered { .. } => "runtime.recoveries",
@@ -165,6 +198,9 @@ impl EventLog {
             thermaware_obs::counter_add(counter, 1);
             if let EventKind::ActionTaken(Action::Throttle { steps }) = &kind {
                 thermaware_obs::counter_add("runtime.throttle_steps", *steps as u64);
+            }
+            if let EventKind::ActionTaken(Action::Migrate { swaps }) = &kind {
+                thermaware_obs::counter_add("runtime.migrate_swaps", *swaps as u64);
             }
         }
         let evicted = self.insert_ordered(Event { at_s, kind });
@@ -279,6 +315,15 @@ impl fmt::Display for EventKind {
                     write!(f, "violation: power {total_kw:.1} kW over budget {budget_kw:.1} kW")
                 }
                 Violation::StalePlan => write!(f, "violation: plan is stale"),
+                Violation::ChipHotspot { observed_c } => {
+                    write!(f, "violation: chip hotspot at {observed_c:.2} °C over TSPD")
+                }
+                Violation::DemandDrift { multiplier, planned } => {
+                    write!(
+                        f,
+                        "violation: demand at {multiplier:.2}x drifted from planned {planned:.2}x"
+                    )
+                }
             },
             EventKind::ActionTaken(a) => match a {
                 Action::Replan => write!(f, "action: Stage-3 replan on surviving cores"),
@@ -290,6 +335,12 @@ impl fmt::Display for EventKind {
                 }
                 Action::ShedTaskType { task_type, reward } => {
                     write!(f, "action: shed task type {task_type} (reward {reward:.2})")
+                }
+                Action::Migrate { swaps } => {
+                    write!(f, "action: chip-level migration ({swaps} core swaps)")
+                }
+                Action::Stage1Replan => {
+                    write!(f, "action: full three-stage replan at drifted demand")
                 }
             },
             EventKind::ReplanFailed { attempt, error } => {
@@ -365,6 +416,15 @@ impl Serialize for Violation {
                 ("budget_kw".to_string(), budget_kw.to_value()),
             ],
             Violation::StalePlan => vec![("kind".to_string(), "stale_plan".to_value())],
+            Violation::ChipHotspot { observed_c } => vec![
+                ("kind".to_string(), "chip_hotspot".to_value()),
+                ("observed_c".to_string(), measurement_to_value(*observed_c)),
+            ],
+            Violation::DemandDrift { multiplier, planned } => vec![
+                ("kind".to_string(), "demand_drift".to_value()),
+                ("multiplier".to_string(), measurement_to_value(*multiplier)),
+                ("planned".to_string(), planned.to_value()),
+            ],
         };
         Value::Object(entries)
     }
@@ -385,6 +445,13 @@ impl Deserialize for Violation {
                 budget_kw: serde::field(entries, "budget_kw")?,
             }),
             "stale_plan" => Ok(Violation::StalePlan),
+            "chip_hotspot" => Ok(Violation::ChipHotspot {
+                observed_c: measurement_from_value(raw_field(entries, "observed_c")?, "Violation")?,
+            }),
+            "demand_drift" => Ok(Violation::DemandDrift {
+                multiplier: measurement_from_value(raw_field(entries, "multiplier")?, "Violation")?,
+                planned: serde::field(entries, "planned")?,
+            }),
             other => Err(serde::Error::custom(format!(
                 "Violation: unknown kind '{other}'"
             ))),
@@ -409,6 +476,11 @@ impl Serialize for Action {
                 ("task_type".to_string(), task_type.to_value()),
                 ("reward".to_string(), reward.to_value()),
             ],
+            Action::Migrate { swaps } => vec![
+                ("kind".to_string(), "migrate".to_value()),
+                ("swaps".to_string(), swaps.to_value()),
+            ],
+            Action::Stage1Replan => vec![("kind".to_string(), "stage1_replan".to_value())],
         };
         Value::Object(entries)
     }
@@ -432,6 +504,10 @@ impl Deserialize for Action {
                 task_type: serde::field(entries, "task_type")?,
                 reward: serde::field(entries, "reward")?,
             }),
+            "migrate" => Ok(Action::Migrate {
+                swaps: serde::field(entries, "swaps")?,
+            }),
+            "stage1_replan" => Ok(Action::Stage1Replan),
             other => Err(serde::Error::custom(format!(
                 "Action: unknown kind '{other}'"
             ))),

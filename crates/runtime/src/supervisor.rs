@@ -41,10 +41,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize, Value};
 use thermaware_core::stage3::{solve_stage3_warm, Stage3Basis, Stage3Solution};
-use thermaware_core::ThreeStageSolution;
+use thermaware_core::{solve_three_stage, ThreeStageOptions, ThreeStageSolution};
 use thermaware_datacenter::DataCenter;
 use thermaware_scheduler::{EpochSim, EpochSimState, SimulationResult};
-use thermaware_workload::TaskArrival;
+use thermaware_thermal::ChipModel;
+use thermaware_workload::{Curve, TaskArrival};
 
 /// Absolute bound on ladder iterations within one response — a backstop
 /// far above what the per-rung bounds allow, guaranteeing termination.
@@ -75,6 +76,21 @@ pub struct SupervisorConfig {
     /// Seed of the arrival stream (identical across supervised and
     /// unsupervised runs of the same config/seed).
     pub seed: u64,
+    /// Scenario demand curve: each epoch the planned arrival-rate
+    /// multiplier follows `demand.rate_at(t)` (times any scripted surge
+    /// fault), and the supervisor triggers a full three-stage re-solve
+    /// when the live multiplier drifts from the one the active plan was
+    /// solved at by more than [`drift_threshold`]. `None` (the default)
+    /// reproduces the static-demand supervisor bit for bit.
+    ///
+    /// [`drift_threshold`]: SupervisorConfig::drift_threshold
+    pub demand: Option<Curve>,
+    /// Relative demand drift that triggers a Stage-1 replan (only with
+    /// [`demand`](SupervisorConfig::demand) set): replan when
+    /// `|m − planned| > drift_threshold · planned`.
+    pub drift_threshold: f64,
+    /// ψ (percent) used by drift-triggered three-stage re-solves.
+    pub psi_percent: f64,
 }
 
 impl Default for SupervisorConfig {
@@ -90,6 +106,9 @@ impl Default for SupervisorConfig {
             power_tol_kw: 1e-6,
             supervise: true,
             seed: 0,
+            demand: None,
+            drift_threshold: 0.25,
+            psi_percent: 50.0,
         }
     }
 }
@@ -113,6 +132,18 @@ impl Serialize for SupervisorConfig {
             ("power_tol_kw".to_string(), self.power_tol_kw.to_value()),
             ("supervise".to_string(), self.supervise.to_value()),
             ("seed".to_string(), format!("{:016x}", self.seed).to_value()),
+            (
+                "demand".to_string(),
+                match &self.demand {
+                    Some(curve) => curve.to_value(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "drift_threshold".to_string(),
+                self.drift_threshold.to_value(),
+            ),
+            ("psi_percent".to_string(), self.psi_percent.to_value()),
         ])
     }
 }
@@ -126,17 +157,31 @@ impl Deserialize for SupervisorConfig {
         let seed = u64::from_str_radix(&seed_hex, 16).map_err(|e| {
             serde::Error::custom(format!("SupervisorConfig: bad seed '{seed_hex}': {e}"))
         })?;
+        // The scenario fields are absent from configs persisted before
+        // the scenario engine existed; default them rather than
+        // rejecting (the defaults reproduce the static supervisor).
+        let demand = match entries.iter().find(|(k, _)| k == "demand") {
+            None | Some((_, Value::Null)) => None,
+            Some((_, v)) => Some(Curve::from_value(v)?),
+        };
+        let defaults = SupervisorConfig::default();
+        let drift_threshold: f64 =
+            serde::field(entries, "drift_threshold").unwrap_or(defaults.drift_threshold);
+        let psi_percent: f64 = serde::field(entries, "psi_percent").unwrap_or(defaults.psi_percent);
         Ok(SupervisorConfig {
             epoch_s: serde::field(entries, "epoch_s")?,
             horizon_s: serde::field(entries, "horizon_s")?,
             max_replan_attempts: serde::field(entries, "max_replan_attempts")?,
             outlet_drop_c: serde::field(entries, "outlet_drop_c")?,
-            throttle_steps: serde::field(entries, "throttle_steps")?,
             trip_margin_c: serde::field(entries, "trip_margin_c")?,
+            throttle_steps: serde::field(entries, "throttle_steps")?,
             redline_tol_c: serde::field(entries, "redline_tol_c")?,
             power_tol_kw: serde::field(entries, "power_tol_kw")?,
             supervise: serde::field(entries, "supervise")?,
             seed,
+            demand,
+            drift_threshold,
+            psi_percent,
         })
     }
 }
@@ -189,11 +234,16 @@ struct Health {
     power_over_kw: f64,
     /// Total power, kW.
     power_kw: f64,
+    /// Worst live die's peak temperature over the chip model's DTM
+    /// threshold, °C (`-inf` without a chip model — never a violation).
+    chip_over_c: f64,
 }
 
 impl Health {
     fn ok(&self, cfg: &SupervisorConfig) -> bool {
-        self.redline_c <= cfg.redline_tol_c && self.power_over_kw <= cfg.power_tol_kw
+        self.redline_c <= cfg.redline_tol_c
+            && self.power_over_kw <= cfg.power_tol_kw
+            && self.chip_over_c <= cfg.redline_tol_c
     }
 }
 
@@ -218,8 +268,15 @@ struct World {
     dead: Vec<bool>,
     /// Observed-minus-true inlet sensor bias, °C.
     bias_c: f64,
-    /// Arrival-rate multiplier.
+    /// Arrival-rate multiplier the floor currently sees (demand-curve
+    /// level × scripted surge faults).
     surge: f64,
+    /// Multiplier the active plan was last solved at — the reference
+    /// the drift detector compares `surge` against.
+    planned_surge: f64,
+    /// Scripted-surge component of `surge` (1.0 when unfaulted). Kept
+    /// separate so the demand curve and surge faults compose.
+    fault_surge: f64,
     /// Shed task types.
     shed: Vec<usize>,
     /// The plan no longer matches the floor (death/surge/throttle since
@@ -234,13 +291,24 @@ struct World {
 pub struct Supervisor<'a> {
     dc: &'a DataCenter,
     cfg: SupervisorConfig,
+    chip: Option<&'a ChipModel>,
 }
 
 impl<'a> Supervisor<'a> {
     /// A supervisor over `dc` with the given configuration.
     pub fn new(dc: &'a DataCenter, cfg: SupervisorConfig) -> Self {
         assert!(cfg.epoch_s > 0.0 && cfg.horizon_s > 0.0);
-        Supervisor { dc, cfg }
+        Supervisor { dc, cfg, chip: None }
+    }
+
+    /// Attach a chip-level thermal model: the supervisor then watches
+    /// each live die's peak temperature against the model's TSPD/DTM
+    /// threshold and gains a **migration rung** between throttle and
+    /// shed — P-state permutations within a node that spread heat across
+    /// the die at zero reward cost (node power totals are invariant).
+    pub fn with_chip(mut self, chip: &'a ChipModel) -> Self {
+        self.chip = Some(chip);
+        self
     }
 
     /// Run the plan against a fault script over the configured horizon.
@@ -272,6 +340,8 @@ impl<'a> Supervisor<'a> {
             dead: vec![false; dc.n_nodes()],
             bias_c: 0.0,
             surge: 1.0,
+            planned_surge: 1.0,
+            fault_surge: 1.0,
             shed: Vec::new(),
             stale: false,
             meltdown: false,
@@ -281,6 +351,7 @@ impl<'a> Supervisor<'a> {
         LiveRun {
             dc,
             cfg,
+            chip: self.chip,
             script: script.clone(),
             work_dc,
             world,
@@ -325,9 +396,17 @@ impl<'a> Supervisor<'a> {
             }
             Fault::ArrivalSurge { factor } => {
                 let factor = if factor.is_finite() { factor.max(0.0) } else { 1.0 };
-                world.surge = factor;
+                world.fault_surge = factor;
+                // Without a demand curve the multiplier IS the fault
+                // factor (the historical behavior, bit for bit); with one
+                // the curve level composes in at the epoch boundary.
+                let m = match &self.cfg.demand {
+                    None => factor,
+                    Some(curve) => factor * curve.rate_at(at_s).max(0.0),
+                };
+                world.surge = m;
                 for (i, t) in work_dc.workload.task_types.iter_mut().enumerate() {
-                    t.arrival_rate = self.dc.workload.task_types[i].arrival_rate * factor;
+                    t.arrival_rate = self.dc.workload.task_types[i].arrival_rate * m;
                 }
                 for &i in &world.shed {
                     work_dc.workload.task_types[i].arrival_rate = 0.0;
@@ -371,18 +450,73 @@ impl<'a> Supervisor<'a> {
                 let observed = (state.max_node_inlet() + world.bias_c - dc.thermal.node_redline_c)
                     .max(state.max_crac_inlet() - dc.thermal.crac_redline_c);
                 let power = powers.iter().sum::<f64>() + dc.thermal.total_crac_power_kw(&state);
+                let nc = dc.n_crac();
+                let inlets: Vec<f64> = (0..dc.n_nodes()).map(|j| state.t_in[nc + j]).collect();
                 Health {
                     redline_c: observed,
                     power_over_kw: power - dc.budget.p_const_kw,
                     power_kw: power,
+                    chip_over_c: self.chip_over_c(world, &inlets),
                 }
             }
             Err(_) => Health {
                 redline_c: f64::INFINITY,
                 power_over_kw: f64::INFINITY,
                 power_kw: f64::INFINITY,
+                chip_over_c: f64::NEG_INFINITY,
             },
         }
+    }
+
+    /// Worst live die's peak temperature over the chip DTM threshold, °C
+    /// (`-inf` without a chip model). The die ambient is each node's
+    /// *observed* inlet (true inlet + sensor bias) — the supervisor acts
+    /// on what its sensors tell it, as for room redlines.
+    fn chip_over_c(&self, world: &World, inlets_c: &[f64]) -> f64 {
+        let Some(chip) = self.chip else {
+            return f64::NEG_INFINITY;
+        };
+        let dc = self.dc;
+        let mut worst = f64::NEG_INFINITY;
+        for (j, &inlet_c) in inlets_c.iter().enumerate().take(dc.n_nodes()) {
+            if world.dead[j] {
+                continue;
+            }
+            let t = dc.node_type_of[j];
+            if t >= chip.n_types() {
+                continue;
+            }
+            let grid = chip.grid(t);
+            let cores: Vec<usize> = dc.cores_of_node(j).collect();
+            if cores.len() != grid.n_cores() {
+                continue;
+            }
+            let table = &dc.node_type(j).core.pstates;
+            let powers: Vec<f64> = cores
+                .iter()
+                .map(|&k| table.power_kw(world.pstates[k]))
+                .collect();
+            let peak = grid.peak_c(inlet_c + world.bias_c, &powers);
+            worst = worst.max(peak - chip.t_dtm_c());
+        }
+        worst
+    }
+
+    /// Per-node observed inlets (°C) at the current world state, or
+    /// `None` when the room has no steady state.
+    fn observed_inlets(&self, world: &World) -> Option<Vec<f64>> {
+        let dc = self.dc;
+        let powers = self.node_powers(world);
+        let state = dc
+            .thermal
+            .steady_state_with_failed_cracs(&world.outlets, &powers, &world.failed)
+            .ok()?;
+        let nc = dc.n_crac();
+        Some(
+            (0..dc.n_nodes())
+                .map(|j| state.t_in[nc + j] + world.bias_c)
+                .collect(),
+        )
     }
 
     /// The staged degradation ladder. Returns whether observed health was
@@ -406,6 +540,7 @@ impl<'a> Supervisor<'a> {
         // hundreds of P-state steps.
         let mut seen_redline = false;
         let mut seen_power = false;
+        let mut seen_chip = false;
         let mut throttled = 0usize;
         let flush_throttle = |throttled: &mut usize, log: &mut EventLog| {
             if *throttled > 0 {
@@ -465,6 +600,56 @@ impl<'a> Supervisor<'a> {
                 }
                 flush_throttle(&mut throttled, log);
                 return false;
+            }
+
+            // Chip-level hotspot (requires a chip model): the room is
+            // fine but some die's peak exceeds its TSPD/DTM limit. Sits
+            // between throttle and shed in severity terms: migration
+            // first — spread the node's P-states across the die at
+            // **zero** reward cost (node powers invariant, so the room
+            // rungs above cannot regress) — then a targeted throttle of
+            // the hottest die's shallowest core as the fallback when no
+            // permutation is cool enough.
+            if h.chip_over_c > cfg.redline_tol_c {
+                if !seen_chip {
+                    seen_chip = true;
+                    let observed = self.chip.map_or(f64::NAN, |c| c.t_dtm_c()) + h.chip_over_c;
+                    log.record(
+                        now,
+                        EventKind::ViolationDetected(Violation::ChipHotspot {
+                            observed_c: observed,
+                        }),
+                    );
+                }
+                if let (Some(chip), Some(inlets)) = (self.chip, self.observed_inlets(world)) {
+                    let plan = crate::degrade::migrate_to_tspd(
+                        dc,
+                        chip,
+                        &inlets,
+                        &world.pstates,
+                        cfg.throttle_steps,
+                        Some(&world.dead),
+                    );
+                    if plan.swaps > 0 {
+                        world.pstates = plan.pstates;
+                        world.stale = true;
+                        log.record(
+                            now,
+                            EventKind::ActionTaken(Action::Migrate { swaps: plan.swaps }),
+                        );
+                        h = self.health(world);
+                        continue;
+                    }
+                }
+                if let Some(k) = self.chip_throttle_step(world) {
+                    world.pstates[k] += 1;
+                    world.stale = true;
+                    throttled += 1;
+                    h = self.health(world);
+                    continue;
+                }
+                flush_throttle(&mut throttled, log);
+                return false; // dies dark (or ambient over DTM) and still too hot
             }
 
             flush_throttle(&mut throttled, log);
@@ -626,6 +811,46 @@ impl<'a> Supervisor<'a> {
         steps
     }
 
+    /// Targeted throttle for a chip hotspot migration cannot cool:
+    /// the shallowest non-off core of the hottest over-DTM die. Returns
+    /// `None` when no chip model is attached, the room has no steady
+    /// state, no die is over DTM, or the hottest die is already dark.
+    fn chip_throttle_step(&self, world: &World) -> Option<usize> {
+        let chip = self.chip?;
+        let inlets = self.observed_inlets(world)?;
+        let dc = self.dc;
+        let mut hottest: Option<(f64, usize)> = None; // (peak, node)
+        for (j, &inlet_c) in inlets.iter().enumerate().take(dc.n_nodes()) {
+            if world.dead[j] {
+                continue;
+            }
+            let t = dc.node_type_of[j];
+            if t >= chip.n_types() {
+                continue;
+            }
+            let grid = chip.grid(t);
+            let cores: Vec<usize> = dc.cores_of_node(j).collect();
+            if cores.len() != grid.n_cores() {
+                continue;
+            }
+            let table = &dc.node_type(j).core.pstates;
+            let powers: Vec<f64> = cores
+                .iter()
+                .map(|&k| table.power_kw(world.pstates[k]))
+                .collect();
+            let peak = grid.peak_c(inlet_c, &powers);
+            if peak > chip.t_dtm_c() && hottest.is_none_or(|(p, _)| peak > p) {
+                hottest = Some((peak, j));
+            }
+        }
+        let (_, j) = hottest?;
+        let table = &dc.node_type(j).core.pstates;
+        let off = table.off_index();
+        dc.cores_of_node(j)
+            .filter(|&k| world.pstates[k] < off)
+            .min_by_key(|&k| world.pstates[k])
+    }
+
     /// Rung 4: shed the lowest-reward task type still live. Returns
     /// whether a type was left to shed.
     fn shed_one(
@@ -720,6 +945,7 @@ impl<'a> Supervisor<'a> {
 pub struct LiveRun<'a> {
     dc: &'a DataCenter,
     cfg: SupervisorConfig,
+    chip: Option<&'a ChipModel>,
     script: FaultScript,
     work_dc: DataCenter,
     world: World,
@@ -745,6 +971,7 @@ impl<'a> LiveRun<'a> {
         let sup = Supervisor {
             dc: self.dc,
             cfg: self.cfg,
+            chip: self.chip,
         };
         let cfg = self.cfg;
         let e = self.epoch;
@@ -770,11 +997,73 @@ impl<'a> LiveRun<'a> {
             );
         }
 
+        // -- 1b. Scenario demand: the live multiplier follows the curve --
+        // (times any scripted surge fault). Arrivals track it
+        // unconditionally — demand is the environment, not a supervisor
+        // decision — while replanning stays drift-gated below.
+        if let Some(curve) = &cfg.demand {
+            let m = self.world.fault_surge * curve.rate_at(t0).max(0.0);
+            self.world.surge = m;
+            for (i, t) in self.work_dc.workload.task_types.iter_mut().enumerate() {
+                t.arrival_rate = self.dc.workload.task_types[i].arrival_rate * m;
+            }
+            for &i in &self.world.shed {
+                self.work_dc.workload.task_types[i].arrival_rate = 0.0;
+            }
+        }
+
         // -- 2. Supervision (before the air catches up) -------------------
         if cfg.supervise {
             if self.backoff_skip > 0 {
                 self.backoff_skip -= 1;
             } else {
+                // Demand drift: the live multiplier moved far enough from
+                // the one the active plan was solved at that rate-only
+                // replans leave reward on the table (demand up: the
+                // P-state floor undershoots) or waste power (demand
+                // down). Re-run the full three-stage solve at the live
+                // demand; the stale-plan rung then rebuilds Stage-3 rates
+                // on the dead-masked cores and pushes them into the
+                // scheduler.
+                if cfg.demand.is_some() {
+                    let drift = (self.world.surge - self.world.planned_surge).abs();
+                    if drift > cfg.drift_threshold * self.world.planned_surge.max(1e-9) {
+                        self.acted = true;
+                        self.log.record(
+                            t0,
+                            EventKind::ViolationDetected(Violation::DemandDrift {
+                                multiplier: self.world.surge,
+                                planned: self.world.planned_surge,
+                            }),
+                        );
+                        match solve_three_stage(
+                            &self.work_dc,
+                            &ThreeStageOptions {
+                                psi_percent: cfg.psi_percent,
+                                ..ThreeStageOptions::default()
+                            },
+                        ) {
+                            Ok(sol) => {
+                                self.world.pstates = sol.pstates;
+                                self.world.outlets = sol.stage1.crac_out_c;
+                                self.world.stage3_basis = sol.stage3_basis;
+                                self.world.planned_surge = self.world.surge;
+                                self.world.stale = true;
+                                self.log
+                                    .record(t0, EventKind::ActionTaken(Action::Stage1Replan));
+                            }
+                            Err(err) => {
+                                self.log.record(
+                                    t0,
+                                    EventKind::ReplanFailed {
+                                        attempt: 1,
+                                        error: err.to_string(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
                 let h = sup.health(&self.world);
                 if !h.ok(&cfg) || self.world.stale {
                     self.acted = true;
@@ -818,7 +1107,7 @@ impl<'a> LiveRun<'a> {
     pub fn conclude(self) -> SupervisorReport {
         let dc = self.dc;
         let cfg = self.cfg;
-        let sup = Supervisor { dc, cfg };
+        let sup = Supervisor { dc, cfg, chip: self.chip };
         let powers = sup.node_powers(&self.world);
         let (final_violation_c, final_power_kw) = match dc.thermal.steady_state_with_failed_cracs(
             &self.world.outlets,
@@ -855,6 +1144,16 @@ impl<'a> LiveRun<'a> {
             nodes_dead,
             shed_task_types: self.world.shed,
         }
+    }
+
+    /// Reattach a chip-level thermal model (see
+    /// [`Supervisor::with_chip`]) — needed after
+    /// [`from_state`](LiveRun::from_state), which cannot persist the
+    /// borrowed model. A resumed run only replays the original's
+    /// migration rungs if the same model is reattached before stepping.
+    pub fn with_chip(mut self, chip: &'a ChipModel) -> LiveRun<'a> {
+        self.chip = Some(chip);
+        self
     }
 
     /// Epochs fully executed so far.
@@ -977,9 +1276,12 @@ impl<'a> LiveRun<'a> {
             work_dc.workload.task_types[i].arrival_rate = 0.0;
         }
         let sim = EpochSim::from_state(dc, state.sim);
+        // The chip model is borrowed, not persisted: reattach it after
+        // restore with [`LiveRun::with_chip`].
         Ok(LiveRun {
             dc,
             cfg,
+            chip: None,
             script: script.clone(),
             work_dc,
             world: state.world,

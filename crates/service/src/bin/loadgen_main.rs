@@ -5,7 +5,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use thermaware_service::cli::Args;
-use thermaware_service::loadgen::{run, verify, LoadReport, LoadgenConfig, Schedule};
+use thermaware_service::loadgen::{run, verify, LoadReport, LoadgenConfig};
+use thermaware_workload::Curve;
 
 const USAGE: &str = "thermaware-loadgen: load generator for thermaware-serve
 
@@ -85,7 +86,7 @@ fn main() -> ExitCode {
     } else {
         let mut cfg = LoadgenConfig::new(&socket);
         if let Some(spec) = args.get_opt_str("schedule") {
-            match Schedule::parse(&spec) {
+            match Curve::parse(&spec) {
                 Some(s) => cfg.schedule = s,
                 None => {
                     eprintln!("bad --schedule '{spec}'\n{USAGE}");

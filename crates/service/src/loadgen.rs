@@ -14,78 +14,11 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Offered-load shape, batches/s aggregate across all connections.
-#[derive(Debug, Clone, Copy)]
-pub enum Schedule {
-    /// Flat rate.
-    Constant {
-        /// Batches per second.
-        rate: f64,
-    },
-    /// Sinusoidal day: `base` at the trough, `peak` at the crest.
-    Diurnal {
-        /// Trough rate, batches/s.
-        base: f64,
-        /// Crest rate, batches/s.
-        peak: f64,
-        /// Full cycle length, seconds.
-        period_s: f64,
-    },
-    /// Flat `base` with a step surge to `surge` during
-    /// `[start_s, start_s + len_s)`.
-    Surge {
-        /// Baseline rate, batches/s.
-        base: f64,
-        /// Surge rate, batches/s.
-        surge: f64,
-        /// Surge onset, seconds from start.
-        start_s: f64,
-        /// Surge length, seconds.
-        len_s: f64,
-    },
-}
-
-impl Schedule {
-    /// Target aggregate rate at time `t` seconds from start.
-    pub fn rate_at(&self, t: f64) -> f64 {
-        match *self {
-            Schedule::Constant { rate } => rate,
-            Schedule::Diurnal { base, peak, period_s } => {
-                let phase = (t / period_s.max(1e-9)) * std::f64::consts::TAU;
-                base + (peak - base) * 0.5 * (1.0 - phase.cos())
-            }
-            Schedule::Surge { base, surge, start_s, len_s } => {
-                if t >= start_s && t < start_s + len_s {
-                    surge
-                } else {
-                    base
-                }
-            }
-        }
-    }
-
-    /// Parse `constant:RATE`, `diurnal:BASE:PEAK:PERIOD`, or
-    /// `surge:BASE:SURGE:START:LEN`.
-    pub fn parse(s: &str) -> Option<Schedule> {
-        let parts: Vec<&str> = s.split(':').collect();
-        let num = |i: usize| parts.get(i).and_then(|p| p.parse::<f64>().ok());
-        match parts.first().copied()? {
-            "constant" => Some(Schedule::Constant { rate: num(1)? }),
-            "diurnal" => Some(Schedule::Diurnal {
-                base: num(1)?,
-                peak: num(2)?,
-                period_s: num(3)?,
-            }),
-            "surge" => Some(Schedule::Surge {
-                base: num(1)?,
-                surge: num(2)?,
-                start_s: num(3)?,
-                len_s: num(4)?,
-            }),
-            _ => None,
-        }
-    }
-}
+// The offered-load shape (constant/diurnal/surge, `rate_at`, `parse`)
+// lives in `thermaware_workload::Curve`, shared with the plan-side
+// scenario engine so client load and solver demand can never drift
+// apart. Import it from there; this module only consumes it.
+use thermaware_workload::Curve;
 
 /// Load generator configuration.
 #[derive(Debug, Clone)]
@@ -93,7 +26,7 @@ pub struct LoadgenConfig {
     /// Daemon socket.
     pub socket: PathBuf,
     /// Offered-load shape.
-    pub schedule: Schedule,
+    pub schedule: Curve,
     /// Run length, seconds.
     pub duration_s: f64,
     /// Client connections (each its own thread).
@@ -125,7 +58,7 @@ impl LoadgenConfig {
     pub fn new(socket: impl Into<PathBuf>) -> LoadgenConfig {
         LoadgenConfig {
             socket: socket.into(),
-            schedule: Schedule::Constant { rate: 200.0 },
+            schedule: Curve::Constant { rate: 200.0 },
             duration_s: 10.0,
             connections: 16,
             batch_tasks: 32,
@@ -568,19 +501,8 @@ fn hash64(x: u64) -> u64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn schedules_parse_and_shape() {
-        let c = Schedule::parse("constant:50").expect("constant");
-        assert_eq!(c.rate_at(3.0), 50.0);
-        let d = Schedule::parse("diurnal:10:110:60").expect("diurnal");
-        assert!((d.rate_at(0.0) - 10.0).abs() < 1e-9, "trough at t=0");
-        assert!((d.rate_at(30.0) - 110.0).abs() < 1e-9, "crest at half period");
-        let s = Schedule::parse("surge:20:500:5:2").expect("surge");
-        assert_eq!(s.rate_at(4.9), 20.0);
-        assert_eq!(s.rate_at(5.0), 500.0);
-        assert_eq!(s.rate_at(7.0), 20.0);
-        assert!(Schedule::parse("sawtooth:1").is_none());
-    }
+    // Curve parsing/shape tests live with the type in
+    // `thermaware_workload::curve` — this module only consumes it.
 
     #[test]
     fn ids_are_unique_across_clients_and_sequences() {

@@ -12,7 +12,8 @@ mod e2e {
     use thermaware_datacenter::ScenarioParams;
     use thermaware_service::daemon::{run_daemon, DaemonConfig};
     use thermaware_service::engine::{ServiceConfig, ServiceEngine};
-    use thermaware_service::loadgen::{self, LoadgenConfig, Schedule};
+    use thermaware_service::loadgen::{self, LoadgenConfig};
+    use thermaware_workload::Curve;
     use thermaware_service::proto::{Request, Response};
     use thermaware_service::store::{ServiceStore, StoreConfig};
 
@@ -66,7 +67,7 @@ mod e2e {
 
         // A short clean burst: everything offered should be acked.
         let load_cfg = LoadgenConfig {
-            schedule: Schedule::Constant { rate: 120.0 },
+            schedule: Curve::Constant { rate: 120.0 },
             duration_s: 1.0,
             connections: 4,
             batch_tasks: 8,

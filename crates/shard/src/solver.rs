@@ -37,7 +37,7 @@ use thermaware_core::stage1::{solve_stage1, Stage1Options};
 use thermaware_core::stage2::assign_pstates;
 use thermaware_core::stage3::{solve_stage3, solve_stage3_warm};
 use thermaware_core::stage3::Stage3Basis;
-use thermaware_core::SolveError;
+use thermaware_core::{ObjectiveWeights, SolveError};
 use thermaware_datacenter::DataCenter;
 use thermaware_obs as obs;
 
@@ -53,6 +53,10 @@ pub struct FleetConfig {
     pub max_backoff_epochs: u32,
     /// Step bound for the throttle fallback rung.
     pub throttle_max_steps: usize,
+    /// Objective blend every zone's Stage 1 optimizes (reward vs
+    /// electricity/carbon cost). The reward-only default reproduces the
+    /// historical fleet solver bit for bit.
+    pub objective: ObjectiveWeights,
 }
 
 impl Default for FleetConfig {
@@ -62,6 +66,7 @@ impl Default for FleetConfig {
             pool: PoolConfig::default(),
             max_backoff_epochs: 8,
             throttle_max_steps: 100_000,
+            objective: ObjectiveWeights::reward_only(),
         }
     }
 }
@@ -140,13 +145,18 @@ pub fn solve_zone(
     zone: usize,
     budget_kw: f64,
     psi_percent: f64,
+    objective: &ObjectiveWeights,
     warm: Option<&Stage3Basis>,
 ) -> Result<(ZonePlan, Option<Stage3Basis>), SolveError> {
     let mut zone_dc = dc.clone();
     zone_dc.budget.p_const_kw = budget_kw;
     let stage1 = match solve_stage1(
         &zone_dc,
-        &Stage1Options { psi_percent, ..Stage1Options::default() },
+        &Stage1Options {
+            psi_percent,
+            objective: *objective,
+            ..Stage1Options::default()
+        },
     ) {
         Ok(s) => s,
         Err(err) => {
@@ -274,6 +284,7 @@ impl FleetSolver {
         let fleet = Arc::clone(&self.fleet);
         let chaos: Option<Arc<ChaosScript>> = chaos.map(|c| Arc::new(c.clone()));
         let psi = self.cfg.psi_percent;
+        let objective = self.cfg.objective;
         let budgets = split.budgets.clone();
         let bases: Vec<Option<Stage3Basis>> =
             active.iter().map(|&z| self.zones[z].basis.clone()).collect();
@@ -289,7 +300,7 @@ impl FleetSolver {
                     if let Some(script) = &chaos {
                         script.apply(epoch, z, attempt)?;
                     }
-                    solve_zone(&fleet.zones[z], z, budget, psi, warm.as_ref())
+                    solve_zone(&fleet.zones[z], z, budget, psi, &objective, warm.as_ref())
                         .map_err(|e| e.to_string())
                 })
             });
@@ -421,11 +432,15 @@ pub fn all_off_plan(dc: &DataCenter, zone: usize, budget_kw: f64) -> ZonePlan {
 /// sequentially on the calling thread with no pool, no chaos, and no
 /// fallback — errors propagate. The decomposition agreement proptest
 /// holds [`FleetSolver::replan`] to this answer.
-pub fn solve_monolithic(fleet: &Fleet, psi_percent: f64) -> Result<FleetPlan, SolveError> {
+pub fn solve_monolithic(
+    fleet: &Fleet,
+    psi_percent: f64,
+    objective: &ObjectiveWeights,
+) -> Result<FleetPlan, SolveError> {
     let split = master::split_budget(fleet.budget_kw, &fleet.profiles);
     let mut zones = Vec::with_capacity(fleet.n_zones());
     for (z, dc) in fleet.zones.iter().enumerate() {
-        let (plan, _basis) = solve_zone(dc, z, split.budgets[z], psi_percent, None)?;
+        let (plan, _basis) = solve_zone(dc, z, split.budgets[z], psi_percent, objective, None)?;
         zones.push(plan);
     }
     let reward: f64 = zones.iter().map(|p| p.reward).sum();

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use thermaware_core::{solve_three_stage, ThreeStageOptions};
+use thermaware_core::{solve_three_stage, ObjectiveWeights, ThreeStageOptions};
 use thermaware_shard::fleet::{Fleet, FleetParams};
 use thermaware_shard::pool::PoolConfig;
 use thermaware_shard::solver::{solve_monolithic, FleetConfig, FleetSolver};
@@ -40,7 +40,8 @@ proptest! {
             Fleet::build(&FleetParams::small(n_zones, nodes_per_zone, seed), 50.0)
                 .expect("fleet builds"),
         );
-        let mono = solve_monolithic(&fleet, 50.0).expect("monolithic solve");
+        let mono = solve_monolithic(&fleet, 50.0, &ObjectiveWeights::reward_only())
+            .expect("monolithic solve");
         let mut solver = FleetSolver::new(Arc::clone(&fleet), cfg(threads));
         let plan = solver.replan(None);
 
@@ -74,7 +75,8 @@ proptest! {
             Fleet::build(&FleetParams::small(2, nodes_per_zone, seed), 50.0)
                 .expect("fleet builds"),
         );
-        let mono = solve_monolithic(&fleet, 50.0).expect("monolithic solve");
+        let mono = solve_monolithic(&fleet, 50.0, &ObjectiveWeights::reward_only())
+            .expect("monolithic solve");
         let mut solver = FleetSolver::new(Arc::clone(&fleet), cfg(2));
         solver.replan(None);
         let warm = solver.replan(None); // second epoch: warm bases in play
@@ -83,6 +85,38 @@ proptest! {
         prop_assert!(
             (warm.reward - mono.reward).abs() <= tol,
             "warm {} vs cold monolithic {}", warm.reward, mono.reward
+        );
+    }
+
+    /// The multi-objective options thread through the decomposition the
+    /// same way: pooled replan under a priced objective == sequential
+    /// monolithic solve under the same weights.
+    #[test]
+    fn priced_objective_still_agrees(
+        nodes_per_zone in 4usize..8,
+        seed in 0u64..1_000,
+        price_per_kwh in 0.0f64..30.0,
+    ) {
+        let weights = ObjectiveWeights {
+            price_per_kwh,
+            ..ObjectiveWeights::reward_only()
+        };
+        let fleet = Arc::new(
+            Fleet::build(&FleetParams::small(2, nodes_per_zone, seed), 50.0)
+                .expect("fleet builds"),
+        );
+        let mono = solve_monolithic(&fleet, 50.0, &weights).expect("monolithic solve");
+        let mut solver = FleetSolver::new(
+            Arc::clone(&fleet),
+            FleetConfig { objective: weights, ..cfg(2) },
+        );
+        let plan = solver.replan(None);
+        prop_assert_eq!(plan.degraded, 0, "healthy fleet must not degrade");
+        plan.verify(&fleet).expect("fleet invariants");
+        let tol = 1e-6 * (1.0 + mono.reward.abs());
+        prop_assert!(
+            (plan.reward - mono.reward).abs() <= tol,
+            "pooled {} vs monolithic {} at price {}", plan.reward, mono.reward, price_per_kwh
         );
     }
 }

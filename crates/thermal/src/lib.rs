@@ -47,12 +47,14 @@
 //! ```
 
 pub mod calibration;
+pub mod chip;
 pub mod cop;
 pub mod interference;
 pub mod layout;
 pub mod model;
 pub mod transient;
 
+pub use chip::{ChipGrid, ChipModel, ChipParams};
 pub use cop::{cop, crac_power_kw, CracUnit};
 pub use interference::CrossInterference;
 pub use layout::{Label, Layout, NodePlacement};

@@ -25,10 +25,12 @@
 //! * Arrival rates follow Eqs. 15–16: the data center can absorb the load
 //!   at full P-state-0 capacity but is oversubscribed under a power cap.
 
+mod curve;
 mod ecs;
 mod task;
 mod trace;
 
+pub use curve::Curve;
 pub use ecs::{EcsGenParams, EcsMatrix};
 pub use task::{TaskType, Workload, WorkloadGenParams};
 pub use trace::{ArrivalTrace, TaskArrival};

@@ -22,15 +22,19 @@ pub use thermaware_datacenter::{
     CracSearchOptions, DataCenter, ScenarioError, ScenarioParams, ScenarioSnapshot,
 };
 
-// Workload and arrival traces.
-pub use thermaware_workload::{ArrivalTrace, Workload};
+// Workload, arrival traces, and scenario curves (demand, price, carbon).
+pub use thermaware_workload::{ArrivalTrace, Curve, Workload};
 
-// The solvers: builder façade first, legacy free functions alongside.
+// The solver: the `Solver` builder is the single documented entry point
+// (the legacy free functions are `#[doc(hidden)]` shims behind it).
 pub use thermaware_core::{
-    solve_baseline, solve_three_stage, solve_three_stage_best_of, verify_assignment,
-    BaselineSolution, SolveError, Solver, ThreeStageOptions, ThreeStageSolution,
-    VerificationReport,
+    verify_assignment, BaselineSolution, ObjectiveWeights, SolveError, Solver,
+    ThreeStageOptions, ThreeStageSolution, VerificationReport,
 };
+
+// Chip-level thermal interference model for the migration rung and the
+// solver's `chip_model(..)` placement pass.
+pub use thermaware_thermal::{ChipModel, ChipParams};
 
 // The second-step dynamic scheduler.
 pub use thermaware_scheduler::{simulate, DispatchPolicy, EpochSim, SimulationResult};
