@@ -1,0 +1,307 @@
+//! A minimal, total JSON reader for the bench drift gate.
+//!
+//! The analyzer is zero-dependency by charter (the gate must never fail
+//! to build), so the `bench --check` verb cannot use serde. This is a
+//! recursive-descent parser for exactly the JSON this workspace's bench
+//! binaries emit: objects, arrays, strings (escapes decoded), f64
+//! numbers, booleans, null. Like the lexer, it is **total** — any byte
+//! soup returns `Err` with a byte offset, never a panic — and bounded:
+//! nesting deeper than [`MAX_DEPTH`] is rejected rather than recursed
+//! into, so a pathological file cannot blow the stack.
+//!
+//! Objects preserve key order as written (`Vec<(String, Value)>`): the
+//! drift report lists metrics in baseline order, which keeps its output
+//! stable across runs.
+
+/// Nesting bound; the bench snapshots use depth 3.
+const MAX_DEPTH: usize = 64;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match; duplicate keys never occur in
+    /// bench output).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walk a path of object keys.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Value> {
+        path.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error: message plus byte offset of the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub msg: String,
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = P { b: text.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(v)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { msg: msg.to_string(), at: self.i }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value(depth + 1)?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self.b.get(self.i + 1..self.i + 5).ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let s = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 scalar, not byte by byte.
+                    let rest = &self.b[self.i..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = rest.get(..len).ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.i += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| self.err("bad number"))?;
+        s.parse::<f64>().map(Value::Num).map_err(|_| ParseError {
+            msg: format!("bad number `{s}`"),
+            at: start,
+        })
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_shaped_document() {
+        let v = parse(
+            r#"{"experiment":"lp","total":{"warm_pivots":2302,"pivot_speedup":14.8},"counters":{"lp.solves":46},"neg":-0.61,"flag":true,"none":null,"arr":[1,2]}"#,
+        )
+        .expect("parse");
+        assert_eq!(v.get("experiment").and_then(Value::as_str), Some("lp"));
+        assert_eq!(v.get_path(&["total", "warm_pivots"]).and_then(Value::as_f64), Some(2302.0));
+        assert_eq!(v.get_path(&["counters", "lp.solves"]).and_then(Value::as_f64), Some(46.0));
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-0.61));
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        assert_eq!(v.get("arr"), Some(&Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)])));
+    }
+
+    #[test]
+    fn real_baselines_parse() {
+        for name in ["BENCH_lp", "BENCH_shard", "BENCH_scenarios", "BENCH_obs"] {
+            let path = format!("{}/../../results/{name}.json", env!("CARGO_MANIFEST_DIR"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_not_panics() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"\\q\"", "01x", "{\"a\" 1}", "[1 2]", "\u{7f}"] {
+            assert!(parse(bad).is_err(), "{bad:?} must be an error");
+        }
+        // Depth bound: reject, don't overflow.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#""a\n\t\"\\ \u0041 é""#).expect("parse");
+        assert_eq!(v.as_str(), Some("a\n\t\"\\ A é"));
+    }
+}

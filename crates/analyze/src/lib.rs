@@ -28,8 +28,12 @@
 //! `thermaware-analyze` binary for `--check` / `--bless`.
 
 pub mod allowlist;
+pub mod bench;
+pub mod callgraph;
 pub mod engine;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod source;

@@ -3,6 +3,8 @@
 //! ```text
 //! thermaware-analyze --check [--root DIR] [--report FILE]   # CI gate
 //! thermaware-analyze --bless [--root DIR]                   # refresh allowlist + API snapshots
+//! thermaware-analyze bench --check [--root DIR] [--report FILE]  # bench drift gate
+//! thermaware-analyze bench --bless [--root DIR]                  # promote fresh snapshots
 //! ```
 //!
 //! `--check` exits 0 only when the tree is clean: no unsuppressed
@@ -11,20 +13,32 @@
 //! current findings (inline-allowed sites are *not* blessed — they are
 //! already suppressed where they stand) and regenerates
 //! `results/api/<crate>.txt`.
+//!
+//! `bench --check` compares the fresh snapshots the bench binaries
+//! wrote to `results/current/` against the committed
+//! `results/BENCH_*.json` baselines, gating every manifest metric at
+//! ±15%. `bench --bless` validates all current snapshots then promotes
+//! them to baselines (all-or-nothing).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use thermaware_analyze::rules::api;
 use thermaware_analyze::workspace::Workspace;
-use thermaware_analyze::{allowlist, engine, report};
+use thermaware_analyze::{allowlist, bench, engine, report};
 
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("bench") {
+        raw.next();
+        return bench_main(raw);
+    }
+
     let mut root = PathBuf::from(".");
     let mut report_path: Option<PathBuf> = None;
     let mut mode_check = true;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = raw;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => mode_check = true,
@@ -122,6 +136,70 @@ fn bless(ws: &Workspace, root: &std::path::Path) -> ExitCode {
         println!("snapshot {} item(s) -> {}", sigs.len(), path.display());
     }
     ExitCode::SUCCESS
+}
+
+fn bench_main(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut mode_check = true;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode_check = true,
+            "--bless" => mode_check = false,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage("--report needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: thermaware-analyze bench [--check|--bless] [--root DIR] [--report FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown bench argument `{other}`")),
+        }
+    }
+
+    if mode_check {
+        let r = bench::check(&root);
+        print!("{}", r.text());
+        if let Some(path) = report_path {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&path, r.json()) {
+                eprintln!("thermaware-analyze: cannot write report {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        if r.clean() {
+            println!("bench: clean");
+            ExitCode::SUCCESS
+        } else {
+            println!(
+                "bench: FAILED — {} metric(s) drifted past ±{:.0}%; investigate, or promote with `bench --bless`",
+                r.drifted(),
+                bench::TOLERANCE * 100.0
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        match bench::bless(&root) {
+            Ok(promoted) => {
+                for name in &promoted {
+                    println!("promoted {}/{name} -> results/{name}", bench::CURRENT_DIR);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("thermaware-analyze: bench --bless refused: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
 }
 
 fn usage(err: &str) -> ExitCode {

@@ -15,6 +15,9 @@ pub fn text(a: &Analysis) -> String {
         if !f.snippet.is_empty() {
             out.push_str(&format!("    | {}\n", f.snippet));
         }
+        for (i, step) in f.witness.iter().enumerate() {
+            out.push_str(&format!("    {} {step}\n", if i == 0 { "via" } else { " ->" }));
+        }
     }
     for e in &a.stale_entries {
         out.push_str(&format!(
@@ -27,11 +30,11 @@ pub fn text(a: &Analysis) -> String {
         out.push('\n');
     }
 
-    out.push_str("\nrule           unsuppressed  allowlisted  inline-allowed\n");
+    out.push_str("\nrule                unsuppressed  allowlisted  inline-allowed\n");
     for rule in RULES {
         let c = |v: &[Finding]| v.iter().filter(|f| f.rule == rule).count();
         out.push_str(&format!(
-            "{rule:<14} {:>12} {:>12} {:>15}\n",
+            "{rule:<19} {:>12} {:>12} {:>15}\n",
             c(&a.unsuppressed),
             c(&a.allowlisted),
             c(&a.inline_allowed),
@@ -79,8 +82,14 @@ fn findings_json(fs: &[Finding]) -> String {
     let items: Vec<String> = fs
         .iter()
         .map(|f| {
+            let witness = if f.witness.is_empty() {
+                String::new()
+            } else {
+                let steps: Vec<String> = f.witness.iter().map(|s| quote(s)).collect();
+                format!(", \"witness\": [{}]", steps.join(", "))
+            };
             format!(
-                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}{witness}}}",
                 quote(f.rule),
                 quote(&f.path),
                 f.line,

@@ -91,6 +91,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
                         current.len()
                     ),
                     snippet: String::new(),
+                    witness: Vec::new(),
                 });
                 continue;
             }
@@ -102,6 +103,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
                 line: 0,
                 message: format!("undocumented API addition in `{crate_name}` — run `thermaware-analyze --bless` to record it"),
                 snippet: added.clone(),
+                witness: Vec::new(),
             });
         }
         for removed in diff(&committed, &current) {
@@ -111,6 +113,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
                 line: 0,
                 message: format!("undocumented API removal in `{crate_name}` — run `thermaware-analyze --bless` to record it"),
                 snippet: removed.clone(),
+                witness: Vec::new(),
             });
         }
     }

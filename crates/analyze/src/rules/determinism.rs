@@ -103,6 +103,7 @@ fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
             line,
             message: what.to_string(),
             snippet: file.line_text(line).to_string(),
+            witness: Vec::new(),
         });
     }
 }

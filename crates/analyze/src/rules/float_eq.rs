@@ -80,6 +80,7 @@ fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
                 "exact {op} on computed f64 — use approx::eq_abs/eq_ulps, or to_bits() if bit equality is the contract"
             ),
             snippet: file.line_text(line).to_string(),
+            witness: Vec::new(),
         });
     }
 }

@@ -71,6 +71,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
                                 if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") },
                             ),
                             snippet: format!("thermaware-{}", dep.name),
+                            witness: Vec::new(),
                         });
                     }
                 }
@@ -90,6 +91,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
                         info.name, dep.name
                     ),
                     snippet: format!("thermaware-{}", dep.name),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -115,6 +117,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
                         "facade: re-export of `{c}` outside the root facade — import at the use site instead"
                     ),
                     snippet: file.line_text(line).to_string(),
+                    witness: Vec::new(),
                 });
             }
         }

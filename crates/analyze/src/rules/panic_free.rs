@@ -75,6 +75,7 @@ fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
             line,
             message: message.to_string(),
             snippet: file.line_text(line).to_string(),
+            witness: Vec::new(),
         });
     }
 }

@@ -37,6 +37,9 @@ fn every_rule_flags_its_seeded_lines_exactly() {
     let lib = "crates/lp/src/lib.rs";
     let expected: Vec<(String, String, usize)> = [
         // Sorted by (path, line, rule) — the engine's report order.
+        ("obs-coverage", "crates/core/src/lib.rs", 19), // un-spanned entry point
+        ("panic-free", "crates/core/src/picker.rs", 7), // token rule sees the unwrap locally…
+        ("transitive-panic", "crates/core/src/picker.rs", 7), // …and the graph rule sees it from the entry
         ("layering", "crates/lp/Cargo.toml", 5),  // dag: lp -> core inverted edge
         ("layering", "crates/lp/Cargo.toml", 6),  // unused-dep: linalg never referenced
         ("determinism", lib, 8),                  // Instant::now, ungated
@@ -47,6 +50,7 @@ fn every_rule_flags_its_seeded_lines_exactly() {
         ("panic-free", lib, 29),                  // .unwrap()
         ("panic-free", lib, 31),                  // unreachable!
         ("float-eq", lib, 55),                    // float == inside #[cfg(test)] — still flagged
+        ("determinism-taint", "crates/runtime/src/entropy.rs", 7), // thread_rng behind a re-export
         ("layering", "crates/thermal/src/lib.rs", 2), // pub use thermaware_* outside facade
         ("api-snapshot", "results/api/lp.txt", 0),    // ghost_item removal drift
         ("api-snapshot", "results/api/thermal.txt", 0), // snapshot missing entirely
@@ -131,6 +135,58 @@ fn finding_snippets_carry_the_offending_line() {
         .find(|f| f.rule == "layering" && f.line == 5)
         .expect("seeded dag finding");
     assert!(dag.message.contains("`lp` must not depend on `core`"), "{}", dag.message);
+}
+
+#[test]
+fn transitive_panic_witness_is_the_exact_call_chain() {
+    let a = analysis();
+    let f = a
+        .unsuppressed
+        .iter()
+        .find(|f| f.rule == "transitive-panic")
+        .expect("seeded transitive-panic finding");
+    assert_eq!(
+        f.witness,
+        vec![
+            "crates/core/src/lib.rs:19 Solver::solve",
+            "crates/core/src/lib.rs:24 plan",
+            "crates/core/src/picker.rs:6 deep_pick",
+            "crates/core/src/picker.rs:7 .unwrap()",
+        ],
+        "witness must walk entry -> wrapper -> re-exported helper -> site"
+    );
+    assert!(f.message.contains("2 call(s) deep"), "{}", f.message);
+}
+
+#[test]
+fn determinism_taint_sees_through_the_cross_crate_reexport() {
+    let a = analysis();
+    let f = a
+        .unsuppressed
+        .iter()
+        .find(|f| f.rule == "determinism-taint")
+        .expect("seeded determinism-taint finding");
+    // `FleetSolver::replan` imports `seed_epoch` via
+    // `thermaware_runtime`'s lib.rs re-export; the witness must still
+    // land on the defining module, not the re-export.
+    assert_eq!(
+        f.witness,
+        vec![
+            "crates/shard/src/solver.rs:13 FleetSolver::replan",
+            "crates/runtime/src/entropy.rs:6 seed_epoch",
+            "crates/runtime/src/entropy.rs:7 thread_rng — ambient entropy",
+        ]
+    );
+}
+
+#[test]
+fn spanned_entry_passes_obs_coverage() {
+    let a = analysis();
+    // The shard fixture's `replan` opens `thermaware_obs::span(…)` in
+    // its own body: obs-coverage must fire only for the core entry.
+    let obs: Vec<_> = a.unsuppressed.iter().filter(|f| f.rule == "obs-coverage").collect();
+    assert_eq!(obs.len(), 1);
+    assert_eq!(obs[0].path, "crates/core/src/lib.rs");
 }
 
 #[test]

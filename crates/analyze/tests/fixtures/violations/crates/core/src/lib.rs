@@ -1,0 +1,26 @@
+//! Seeded cross-function violations for the call-graph rules: a panic
+//! two calls deep behind a re-export, and an un-spanned entry point.
+
+mod picker;
+pub use picker::deep_pick;
+
+pub struct Solver {
+    xs: Vec<f64>,
+}
+
+impl Solver {
+    pub fn new(xs: Vec<f64>) -> Solver {
+        Solver { xs }
+    }
+
+    /// Entry point (`PANIC_ENTRIES` / `OBS_ENTRIES`): never opens an obs
+    /// span (seeded obs-coverage violation at this line) and reaches an
+    /// unwrap two calls deep (seeded transitive-panic violation).
+    pub fn solve(&self) -> f64 {
+        plan(&self.xs)
+    }
+}
+
+fn plan(xs: &[f64]) -> f64 {
+    deep_pick(xs)
+}

@@ -1,0 +1,8 @@
+//! The deep end of the seeded call chain.
+
+/// Reached as `Solver::solve` -> `plan` -> `deep_pick` (via the lib.rs
+/// re-export); the unwrap below must be flagged by both `panic-free`
+/// (token rule) and `transitive-panic` (graph rule, with a witness).
+pub fn deep_pick(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Ambient entropy outside the token `determinism` rule's scope (it
+//! scopes `runtime` only at persist.rs/degrade.rs), so only the
+//! `determinism-taint` graph rule can reach this — through the call
+//! graph, across the lib.rs re-export.
+
+pub fn seed_epoch() -> u64 {
+    thread_rng()
+}

@@ -1,0 +1,5 @@
+//! Fixture shard crate: a replay-path entry that is correctly spanned
+//! (obs-coverage passes) but tainted through a cross-crate re-export.
+
+mod solver;
+pub use solver::FleetSolver;

@@ -1,0 +1,22 @@
+//! Replay-path entry (`FleetSolver::replan`, in `TAINT_ENTRIES`) that
+//! reaches ambient entropy through `thermaware_runtime`'s re-export.
+
+use thermaware_runtime::seed_epoch;
+
+pub struct FleetSolver {
+    seed: u64,
+}
+
+impl FleetSolver {
+    /// Spanned (obs-coverage must NOT fire here) but tainted:
+    /// `seed_epoch` is `thread_rng` behind a re-export, one hop away.
+    pub fn replan(&mut self) -> u64 {
+        let _span = thermaware_obs::span("shard.replan");
+        self.seed = mix(self.seed, seed_epoch());
+        self.seed
+    }
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    a ^ b
+}

@@ -1,0 +1,150 @@
+//! Totality of the item parser: for *any* input — arbitrary bytes,
+//! lossy-decoded, or adversarial concatenations of item-shaped
+//! fragments — `parse` must not panic, and the item/gap segmentation it
+//! produces must tile the file exactly (every byte covered once, in
+//! order, items and gaps alternating over `[0, len)`).
+//!
+//! The tiling property is what the call-graph layer leans on: function
+//! body spans, call-site attribution and `impl` block ownership all
+//! assume item spans are in source order and disjoint.
+
+use proptest::prelude::*;
+use thermaware_analyze::parser::{parse, SegmentKind};
+use thermaware_analyze::source::SourceFile;
+
+/// Parse `src` and assert the item/gap tiling invariant.
+fn assert_tiles(src: &str) -> Result<(), TestCaseError> {
+    let file = SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), src.to_string());
+    let parsed = parse(&file);
+    let segs = parsed.segments(src.len());
+
+    let mut pos = 0usize;
+    for s in &segs {
+        prop_assert_eq!(s.start, pos, "gap or overlap at byte {}", pos);
+        prop_assert!(s.start < s.end, "empty segment at byte {}", s.start);
+        pos = s.end;
+    }
+    prop_assert_eq!(pos, src.len(), "segments must cover the whole file");
+    for w in segs.windows(2) {
+        prop_assert!(
+            !(w[0].kind == SegmentKind::Gap && w[1].kind == SegmentKind::Gap),
+            "adjacent gaps must coalesce"
+        );
+    }
+
+    // Everything the parser attributes to a function must stay inside
+    // that function's item span, and spans must be char-boundary-safe.
+    for f in &parsed.fns {
+        prop_assert!(f.span.0 < f.span.1 && f.span.1 <= src.len());
+        prop_assert!(src.is_char_boundary(f.span.0) && src.is_char_boundary(f.span.1));
+        if let Some((b0, b1)) = f.body {
+            prop_assert!(b0 >= f.span.0 && b1 <= f.span.1, "body escapes its item");
+        }
+        for c in &f.calls {
+            prop_assert!(
+                c.line >= f.line,
+                "call attributed above its owning function"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Arbitrary bytes, lossy-decoded: unterminated strings swallowing
+    // braces, stray closers, unknown tokens between items.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(0usize..256, 0..160)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src)?;
+    }
+
+    // Item-shaped fragment soup: headers without bodies, bodies without
+    // headers, generics left open so angle-depth tracking is stressed,
+    // `impl`/`mod`/`use` torn apart and reassembled out of order.
+    #[test]
+    fn item_fragment_soup_never_panics(
+        picks in prop::collection::vec(
+            prop::sample::select(vec![
+                "fn", "pub fn f", "fn g()", "-> Vec<u8>", "where T: Ord",
+                "impl", "impl Solver", "impl<T> Deep<T> for X", "for",
+                "mod", "mod m", "mod m;", "use", "use a::b::{c, d};",
+                "pub use x::*;", "self::", "super::", "crate::",
+                "{", "}", "{}", "{{", "}}", "(", ")", ";", ",",
+                "<", ">", "<<", ">>", "->", "=>", "::<u64>", "|x|",
+                "a.b()", "A::b()", "Self::new()", "m!(", "panic!(\"x\")",
+                "#[cfg(test)]", "#[test]", "// fn fake()", "/* } */",
+                "\"fn in string { }\"", "r#\"raw } \"#", "'{'",
+                "let x = 1;", "return", "match x", "if let Some(v)",
+                "é", "\n", "\t", " ",
+            ]),
+            0..28,
+        ),
+    ) {
+        let src: String = picks.iter().map(|p| format!("{p} ")).collect();
+        assert_tiles(&src)?;
+    }
+
+    // Well-formed skeletons with a fuzzed interior: the parser must
+    // keep the enclosing item's span exact no matter what the body
+    // holds, including braces hidden in strings and comments.
+    #[test]
+    fn fuzzed_bodies_stay_inside_their_item(
+        body in prop::collection::vec(
+            prop::sample::select(vec![
+                "x.y()", "a::b::c()", "s!(z)", "\"}\"", "'}'",
+                "/* { */", "{ nested(); }", "if x { y() }", ";", "\n",
+            ]),
+            0..12,
+        ),
+    ) {
+        let src = format!(
+            "pub struct S;\nimpl S {{\n    pub fn f(&self) {{ {} }}\n}}\nfn tail() {{}}\n",
+            body.concat()
+        );
+        let file = SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), src.clone());
+        let parsed = parse(&file);
+        assert_tiles(&src)?;
+        // Whatever the body contained, `tail` must still be found as
+        // its own top-level item after the impl block.
+        prop_assert!(
+            parsed.fns.iter().any(|f| f.name == "tail" && f.impl_type.is_none()),
+            "fuzzed impl body swallowed the following item"
+        );
+        prop_assert!(
+            parsed.fns.iter().any(|f| f.name == "f" && f.impl_type.as_deref() == Some("S"))
+        );
+    }
+}
+
+/// Known-hard deterministic cases, kept explicit so a regression names
+/// the construct instead of a shrunken fragment soup.
+#[test]
+fn deterministic_edge_cases_tile() {
+    for src in [
+        "",
+        "fn",
+        "fn f",
+        "fn f(",
+        "fn f() {",
+        "fn f() {}",
+        "impl",
+        "impl X {",
+        "impl X { fn g(&self) {} ",
+        "mod m { fn h() {} }",
+        "fn generics<T: Into<Vec<u8>>>(t: T) {}",
+        "fn shr(x: u64) -> u64 { x >> 2 }",
+        "fn cmp() -> bool { 1 < 2 && 3 > 4 }",
+        "use a::{b, c::{d, e}};",
+        "fn s() { let _ = \"} fn fake() {\"; }",
+        "fn c() { /* } fn fake() { */ }",
+        "#[cfg(test)]\nmod tests { #[test] fn t() { panic!() } }",
+        "trait T { fn required(&self); }",
+        "fn 🦀() {}",
+    ] {
+        assert_tiles(src).expect(src);
+    }
+}

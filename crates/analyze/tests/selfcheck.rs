@@ -46,6 +46,38 @@ fn shipped_tree_is_clean_and_allowlist_is_exact() {
 }
 
 #[test]
+fn entry_manifests_resolve() {
+    // The graph rules' entry manifests are name-based and the real tree
+    // moves under them. A row that stops resolving silently disables
+    // its gate, so every row must still match at least one function in
+    // the workspace.
+    use thermaware_analyze::callgraph::Graph;
+    use thermaware_analyze::rules::graph::{OBS_ENTRIES, PANIC_ENTRIES, TAINT_ENTRIES};
+    use thermaware_analyze::workspace::Workspace;
+
+    let ws = Workspace::load(&workspace_root());
+    let g = Graph::build(&ws);
+    let mut missing = String::new();
+    for (label, rows) in [
+        ("PANIC_ENTRIES", &PANIC_ENTRIES[..]),
+        ("TAINT_ENTRIES", &TAINT_ENTRIES[..]),
+        ("OBS_ENTRIES", &OBS_ENTRIES[..]),
+    ] {
+        for (krate, impl_type, name) in rows {
+            if g.find(krate, *impl_type, name).is_empty() {
+                let owner = impl_type.map(|t| format!("{t}::")).unwrap_or_default();
+                missing.push_str(&format!("  {label}: {krate} {owner}{name}\n"));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "entry-manifest rows no longer resolve to any function — the rule \
+         silently stopped gating them; update rules/graph.rs:\n{missing}"
+    );
+}
+
+#[test]
 fn analyzer_actually_scanned_the_workspace() {
     // Guard against a silently-empty walk (wrong root, renamed dirs):
     // the real tree has hundreds of findings *before* suppression and

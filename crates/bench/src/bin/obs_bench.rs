@@ -115,7 +115,7 @@ fn main() {
     let runs = args.get_usize("runs", 15).max(1);
     let horizon = args.get_f64("horizon", 30.0);
     let trace_path = args.get_str("trace", "results/obs_trace.jsonl");
-    let out_path = args.get_str("out", "results/BENCH_obs.json");
+    let out_path = args.get_str("out", "results/current/BENCH_obs.json");
     let strict = args.get_usize("strict", 0) != 0;
 
     let params = ScenarioParams {

@@ -4,7 +4,8 @@
 //!
 //! Three measurements, all pure deterministic f64 arithmetic (seeded
 //! simulation, no wall-clock dependence), so every gated metric is
-//! stable across machines and CI gates on ±15% drift:
+//! stable across machines and `thermaware-analyze bench --check` gates
+//! it at ±15% drift against the committed baseline:
 //!
 //! 1. **Diurnal sweep** — the [`Solver`] builder solves the same floor
 //!    at the trough and crest of a diurnal arrival curve; the crest plan
@@ -26,8 +27,8 @@
 //! one section per drill) and uploaded as a CI artifact.
 //!
 //! ```sh
-//! cargo run --release -p thermaware-bench --bin scenario_bench -- --bless 1  # rewrite baseline
-//! cargo run --release -p thermaware-bench --bin scenario_bench -- --check 1 # fail on >15% drift
+//! cargo run --release -p thermaware-bench --bin scenario_bench  # write results/current/BENCH_scenarios.json
+//! cargo run -p thermaware-analyze -- bench --check              # gate vs committed baselines
 //! ```
 
 use thermaware_bench::cli::Args;
@@ -40,11 +41,7 @@ use thermaware_thermal::{ChipModel, ChipParams};
 use thermaware_workload::Curve;
 
 const USAGE: &str = "scenario_bench [--nodes N] [--seed S] [--price P] [--out PATH] \
-                     [--trace PATH] [--check 0|1] [--bless 0|1]";
-
-/// How much a gated deterministic metric may drift from the blessed
-/// baseline before `--check` fails.
-const TOLERANCE: f64 = 0.15;
+                     [--trace PATH]";
 
 fn main() {
     let args = Args::parse(USAGE);
@@ -55,10 +52,8 @@ fn main() {
     // on the 8-node seed-1 floor); the default sits in the smooth part
     // of the trade-off curve, away from the all-or-nothing knife edges.
     let price = args.get_f64("price", 200_000.0);
-    let out_path = args.get_str("out", "results/BENCH_scenarios.json");
+    let out_path = args.get_str("out", "results/current/BENCH_scenarios.json");
     let trace_path = args.get_str("trace", "results/scenario_trace.txt");
-    let check = args.get_usize("check", 0) != 0;
-    let bless = args.get_usize("bless", 0) != 0;
 
     let dc = ScenarioParams {
         n_nodes,
@@ -207,65 +202,10 @@ fn main() {
         },
     });
 
-    if check {
-        let baseline: serde_json::Value = match std::fs::read_to_string(&out_path) {
-            Ok(text) => serde_json::from_str(&text).expect("parse baseline"),
-            Err(e) => {
-                eprintln!("FAIL: no baseline at {out_path} ({e}); run with --bless 1 first");
-                std::process::exit(1);
-            }
-        };
-        let failures = check_against(&baseline, &doc);
-        if failures.is_empty() {
-            println!("check vs {out_path}: OK");
-        } else {
-            for f in &failures {
-                eprintln!("FAIL: {f} — rerun with --bless 1 if the change is intended");
-            }
-            std::process::exit(1);
-        }
-    } else if bless {
-        if let Some(dir) = std::path::Path::new(&out_path).parent() {
-            std::fs::create_dir_all(dir).expect("out dir");
-        }
-        std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("json"))
-            .expect("write baseline");
-        println!("baseline written to {out_path}");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("out dir");
     }
-}
-
-/// The drift-gated metrics: every entry of the `deterministic` section,
-/// each allowed [`TOLERANCE`] relative drift from the blessed baseline
-/// (absolute slack for near-zero values).
-fn check_against(baseline: &serde_json::Value, current: &serde_json::Value) -> Vec<String> {
-    let mut failures = Vec::new();
-    let keys = [
-        "diurnal_crest_over_trough",
-        "drift_violations",
-        "drift_replans",
-        "chip_hotspots",
-        "migrations",
-        "migrate_swaps",
-        "multiobj_power_drop_frac",
-        "multiobj_reward_drop_frac",
-    ];
-    let metric = |doc: &serde_json::Value, key: &str| -> Option<f64> {
-        doc.get("deterministic")?.get(key)?.as_f64()
-    };
-    for key in keys {
-        let Some(base) = metric(baseline, key) else {
-            failures.push(format!("baseline is missing deterministic.{key}"));
-            continue;
-        };
-        let Some(now) = metric(current, key) else {
-            failures.push(format!("current run is missing deterministic.{key}"));
-            continue;
-        };
-        if (now - base).abs() > TOLERANCE * base.abs() + 1e-9 {
-            failures.push(format!(
-                "deterministic.{key} drifted: baseline {base:.3}, now {now:.3}"
-            ));
-        }
-    }
-    failures
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("json"))
+        .expect("write snapshot");
+    println!("snapshot written to {out_path}");
 }

@@ -11,7 +11,8 @@
 //!    few epochs with no deadlines: every counter (zone solves, panics,
 //!    retries, degraded zones, recovery epochs, bisection iterations)
 //!    is a pure function of the script, so the snapshot is stable
-//!    across machines and CI gates on ±15% drift.
+//!    across machines and `thermaware-analyze bench --check` gates it
+//!    at ±15% drift against the committed baseline.
 //! 3. **Speedup** — ratio of minimum wall times, monolithic over
 //!    pooled. Wall time is machine-dependent, so this is *not*
 //!    drift-gated; instead it has a machine-relative acceptance floor of
@@ -19,8 +20,8 @@
 //!    ≥ 0.7× linear scaling on up to eight cores.
 //!
 //! ```sh
-//! cargo run --release -p thermaware-bench --bin shard_bench -- --bless 1  # rewrite baseline
-//! cargo run --release -p thermaware-bench --bin shard_bench -- --check 1 # fail on >15% drift
+//! cargo run --release -p thermaware-bench --bin shard_bench  # write results/current/BENCH_shard.json
+//! cargo run -p thermaware-analyze -- bench --check           # gate vs committed baselines
 //! ```
 
 use std::sync::Arc;
@@ -35,14 +36,12 @@ use thermaware_core::ObjectiveWeights;
 use thermaware_shard::solver::{solve_monolithic, FleetConfig, FleetSolver};
 
 const USAGE: &str = "shard_bench [--zones N] [--nodes N] [--seed S] [--chaos-epochs N] \
-                     [--reps N] [--out PATH] [--check 0|1] [--bless 0|1]";
-
-/// How much a gated deterministic metric may drift from the blessed
-/// baseline before `--check` fails.
-const TOLERANCE: f64 = 0.15;
+                     [--reps N] [--out PATH]";
 
 /// Machine-relative speedup floor: the pooled solve must reach this
-/// fraction of linear scaling over `threads_used` cores.
+/// fraction of linear scaling over `threads_used` cores. An absolute
+/// property, so it stays here; relative drift of the deterministic
+/// counters is judged by `thermaware-analyze bench --check`.
 const LINEAR_FRACTION: f64 = 0.7;
 
 fn cfg(threads: usize) -> FleetConfig {
@@ -65,9 +64,7 @@ fn main() {
     let seed = args.get_u64("seed", 1);
     let chaos_epochs = args.get_usize("chaos-epochs", 3) as u64;
     let reps = args.get_usize("reps", 3).max(1);
-    let out_path = args.get_str("out", "results/BENCH_shard.json");
-    let check = args.get_usize("check", 0) != 0;
-    let bless = args.get_usize("bless", 0) != 0;
+    let out_path = args.get_str("out", "results/current/BENCH_shard.json");
 
     let threads_used = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -198,64 +195,10 @@ fn main() {
         std::process::exit(1);
     }
 
-    if check {
-        let baseline: serde_json::Value = match std::fs::read_to_string(&out_path) {
-            Ok(text) => serde_json::from_str(&text).expect("parse baseline"),
-            Err(e) => {
-                eprintln!("FAIL: no baseline at {out_path} ({e}); run with --bless 1 first");
-                std::process::exit(1);
-            }
-        };
-        let failures = check_against(&baseline, &doc);
-        if failures.is_empty() {
-            println!("check vs {out_path}: OK");
-        } else {
-            for f in &failures {
-                eprintln!("FAIL: {f} — rerun with --bless 1 if the change is intended");
-            }
-            std::process::exit(1);
-        }
-    } else if bless {
-        if let Some(dir) = std::path::Path::new(&out_path).parent() {
-            std::fs::create_dir_all(dir).expect("out dir");
-        }
-        std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("json"))
-            .expect("write baseline");
-        println!("baseline written to {out_path}");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("out dir");
     }
-}
-
-/// The drift-gated metrics: every entry of the `deterministic` section,
-/// each allowed [`TOLERANCE`] relative drift from the blessed baseline
-/// (absolute slack for near-zero values like the agreement gap).
-fn check_against(baseline: &serde_json::Value, current: &serde_json::Value) -> Vec<String> {
-    let mut failures = Vec::new();
-    let keys = [
-        "zone_solves",
-        "zone_panics",
-        "zone_retries",
-        "degraded_zone_epochs",
-        "recovery_epochs",
-        "bisection_iters",
-        "agreement_rel_gap",
-    ];
-    let metric = |doc: &serde_json::Value, key: &str| -> Option<f64> {
-        doc.get("deterministic")?.get(key)?.as_f64()
-    };
-    for key in keys {
-        let Some(base) = metric(baseline, key) else {
-            failures.push(format!("baseline is missing deterministic.{key}"));
-            continue;
-        };
-        let Some(now) = metric(current, key) else {
-            failures.push(format!("current run is missing deterministic.{key}"));
-            continue;
-        };
-        if (now - base).abs() > TOLERANCE * base.abs() + 1e-9 {
-            failures.push(format!(
-                "deterministic.{key} drifted: baseline {base:.3}, now {now:.3}"
-            ));
-        }
-    }
-    failures
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("json"))
+        .expect("write snapshot");
+    println!("snapshot written to {out_path}");
 }

@@ -83,6 +83,10 @@ impl SpanGuard {
             s.push(name);
             s.len() - 1
         });
+        // `span()` returns an inert guard unless a recorder is installed,
+        // and replay runs install none, so this clock read only ever
+        // measures — it cannot feed a replayed computation.
+        // lint: allow(determinism-taint): recorder-gated timing, never on replay
         let start = Instant::now();
         SpanGuard {
             active: Some(ActiveSpan {

@@ -310,6 +310,7 @@ impl ServiceEngine {
     /// EWMAs, apply the journaled `verdict` to the breaker and the
     /// plan, settle finished tasks, and advance the clock.
     pub fn step(&mut self, batches: &[Batch], verdict: &ReplanVerdict) -> EpochReport {
+        let _span = thermaware_obs::span("service.step");
         // Field-level borrows: the sim holds `dc` for its whole scope,
         // so every mutation below goes through `state`/`recent_set`
         // directly rather than `&mut self` methods.
@@ -406,9 +407,8 @@ impl ServiceEngine {
             ReplanVerdict::TimedOut | ReplanVerdict::Failed { .. } => {
                 state.totals.replan_failures += 1;
                 let error = match verdict {
-                    ReplanVerdict::TimedOut => "solve timed out".to_string(),
                     ReplanVerdict::Failed { error } => error.clone(),
-                    _ => unreachable!("outer match covers the other variants"),
+                    _ => "solve timed out".to_string(),
                 };
                 state.log.record(
                     t1,

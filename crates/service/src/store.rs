@@ -297,6 +297,7 @@ pub struct ServiceRecoveryInfo {
 /// deterministically (verdicts come from the journal — **no solve is
 /// ever re-run**), verify commit CRCs, and truncate any torn tail.
 pub fn resume_service(dir: &Path) -> Result<(ServiceEngine, ServiceRecoveryInfo), PersistError> {
+    let _span = thermaware_obs::span("service.resume");
     let header_path = dir.join(HEADER_FILE);
     let raw = match fs::read_to_string(&header_path) {
         Ok(s) => s,

@@ -112,6 +112,10 @@ impl ChaosScript {
         match self.fault(epoch, zone, attempt) {
             None => Ok(()),
             Some(Fault::Panic) => {
+                // This panic IS the injected fault: the pool's worker wraps
+                // every job in `catch_unwind` (pool.rs) and harvests it as a
+                // `JobError::Panicked` retry — it never unwinds out of `replan`.
+                // lint: allow(transitive-panic): injected chaos fault, harvested by the pool's catch_unwind
                 panic!("chaos: injected panic (epoch {epoch}, zone {zone}, attempt {attempt})")
             }
             Some(Fault::Stall(ms)) => {

@@ -275,6 +275,7 @@ where
                     attempt: u32| {
         let tx = tx.clone();
         pool.submit(Box::new(move || {
+            // lint: allow(determinism-taint): measures attempt latency for supervision only
             let start = Instant::now();
             let value = match catch_unwind(AssertUnwindSafe(job)) {
                 Ok(Ok(v)) => Ok(v),
@@ -288,12 +289,17 @@ where
 
     for item in 0..n {
         dispatch(pool, &tx, make_job(item, 0), item, 0);
+        // lint: allow(determinism-taint): dispatch timestamps drive deadlines/hedging, not plan bytes
         states.push(ItemState::Running { attempt: 0, dispatched: Instant::now(), hedged: false });
     }
 
     while pending > 0 {
         // The next instant at which some item's deadline, hedge point, or
-        // backoff expiry needs attention.
+        // backoff expiry needs attention. The pool is wall-clock by design:
+        // timing decides *when* work runs and retries, never *what* a zone
+        // plan contains — plans are pure functions of their inputs, which is
+        // what keeps replan deterministic (the shard drill pins this).
+        // lint: allow(determinism-taint): supervision clock — scheduling only, plans stay input-pure
         let now = Instant::now();
         let mut wake: Option<Instant> = None;
         let mut consider = |t: Instant| match wake {
@@ -381,6 +387,7 @@ where
             Retry(u32),
             Wait,
         }
+        // lint: allow(determinism-taint): supervision clock — scheduling only, plans stay input-pure
         let now = Instant::now();
         for item in 0..n {
             let action = match &mut states[item] {
@@ -445,6 +452,7 @@ fn fail_attempt<T>(
     if attempt < cfg.retries {
         let delay = cfg.backoff * 2u32.saturating_pow(attempt);
         let _ = &err;
+        // lint: allow(determinism-taint): backoff expiry is a scheduling deadline, not plan input
         *state = ItemState::Backoff { attempt, due: Instant::now() + delay };
     } else {
         *slot = Err(err);
